@@ -1,0 +1,140 @@
+//! Classify evolved strategies against the named classics.
+//!
+//! The paper identifies its Fig 2 winner by eyeballing the clustered
+//! population ("the strategy of [0101], which is WSLS"). This module does
+//! that mechanically: match a strategy's feature vector against the
+//! classic roster for its memory depth and report the nearest name with
+//! its distance, plus population-level rollups.
+
+use evo_core::record::PopulationSnapshot;
+use ipd::classic;
+use ipd::payoff::PayoffMatrix;
+use ipd::state::StateSpace;
+use ipd::strategy::Strategy;
+use std::collections::HashMap;
+
+/// The named references for a memory depth: the pure classics plus GTFT
+/// and the uniform random strategy.
+pub fn references(space: &StateSpace) -> Vec<(String, Vec<f64>)> {
+    let mut out: Vec<(String, Vec<f64>)> = classic::roster(space)
+        .into_iter()
+        .map(|(name, s)| (name.to_string(), Strategy::Pure(s).feature_vector()))
+        .collect();
+    if space.mem_steps() >= 1 {
+        out.push((
+            "GTFT".into(),
+            Strategy::Mixed(classic::gtft(space, &PayoffMatrix::default())).feature_vector(),
+        ));
+    }
+    out.push((
+        "RANDOM".into(),
+        Strategy::Mixed(classic::random_mixed(space)).feature_vector(),
+    ));
+    out
+}
+
+/// Nearest named strategy to a feature vector: `(name, rms_distance)`.
+/// RMS rather than L2 so distances are comparable across memory depths.
+pub fn nearest_named(features: &[f64], space: &StateSpace) -> (String, f64) {
+    references(space)
+        .into_iter()
+        .map(|(name, reference)| {
+            let ms = features
+                .iter()
+                .zip(&reference)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / features.len() as f64;
+            (name, ms.sqrt())
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("roster is never empty")
+}
+
+/// Per-name population composition: how many SSets sit nearest to each
+/// named strategy (within `max_distance`; farther strategies count as
+/// `"OTHER"`). Sorted by descending count.
+pub fn composition(
+    snapshot: &PopulationSnapshot,
+    space: &StateSpace,
+    max_distance: f64,
+) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for f in &snapshot.features {
+        let (name, d) = nearest_named(f, space);
+        let key = if d <= max_distance { name } else { "OTHER".into() };
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let mut v: Vec<(String, usize)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> StateSpace {
+        StateSpace::new(1).unwrap()
+    }
+
+    #[test]
+    fn exact_classics_classify_at_zero_distance() {
+        // At memory-one some classics coincide (GRIM's one-round memory IS
+        // TFT), so assert a zero-distance match whose reference vector
+        // equals the query, rather than the exact label.
+        let s = sp();
+        let refs = references(&s);
+        for (name, strat) in classic::roster(&s) {
+            let fv = Strategy::Pure(strat).feature_vector();
+            let (got, d) = nearest_named(&fv, &s);
+            assert!(d < 1e-12, "{name} matched {got} at distance {d}");
+            let matched = refs.iter().find(|(n, _)| *n == got).unwrap();
+            assert_eq!(matched.1, fv, "{name} matched a different table");
+        }
+    }
+
+    #[test]
+    fn near_wsls_classifies_as_wsls() {
+        let (name, d) = nearest_named(&[0.95, 0.05, 0.1, 0.9], &sp());
+        assert_eq!(name, "WSLS");
+        assert!(d > 0.0 && d < 0.2);
+    }
+
+    #[test]
+    fn gtft_vector_found() {
+        let fv = Strategy::Mixed(classic::gtft(&sp(), &PayoffMatrix::default())).feature_vector();
+        let (name, d) = nearest_named(&fv, &sp());
+        assert_eq!(name, "GTFT");
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn composition_counts_and_other_bucket() {
+        let snap = PopulationSnapshot {
+            generation: 0,
+            assignments: vec![0, 1, 2, 3],
+            features: vec![
+                vec![1.0, 0.0, 0.0, 1.0], // WSLS
+                vec![1.0, 0.0, 0.0, 1.0], // WSLS
+                vec![0.0, 0.0, 0.0, 0.0], // ALLD
+                vec![0.7, 0.6, 0.4, 0.3], // near nothing (close to RANDOM)
+            ],
+        };
+        let comp = composition(&snap, &sp(), 0.15);
+        let get = |n: &str| comp.iter().find(|(k, _)| k == n).map(|(_, c)| *c);
+        assert_eq!(get("WSLS"), Some(2));
+        assert_eq!(get("ALLD"), Some(1));
+        assert_eq!(get("RANDOM").unwrap_or(0) + get("OTHER").unwrap_or(0), 1);
+        assert_eq!(comp.iter().map(|(_, c)| c).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn memory_two_classification_includes_tf2t() {
+        let s2 = StateSpace::new(2).unwrap();
+        let fv = Strategy::Pure(classic::tf2t(&s2)).feature_vector();
+        let (name, d) = nearest_named(&fv, &s2);
+        assert_eq!(name, "TF2T");
+        assert!(d < 1e-12);
+    }
+}

@@ -1,0 +1,223 @@
+//! Population heatmaps — the paper's Fig 2 view, in text and PPM.
+//!
+//! "Each row represents a strategy held by a SSet, and each column
+//! represents a memory step … the colors indicate the move to make given
+//! each state. Yellow indicates a cooperative move (C), and blue indicates
+//! the decision to defect (D)." We render the same matrix as ASCII (for
+//! terminals and EXPERIMENTS.md) or as a binary PPM image (for offline
+//! viewing), optionally with rows grouped by k-means cluster.
+
+use crate::kmeans::{kmeans, KMeansConfig};
+use evo_core::record::PopulationSnapshot;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct HeatmapOptions {
+    /// Group rows by k-means cluster (largest cluster first), as the paper
+    /// does for its final-population view. `None` keeps SSet order.
+    pub cluster: Option<KMeansConfig>,
+    /// Maximum rows to emit (subsamples evenly when exceeded); keeps
+    /// terminal output usable for 5,000-SSet populations.
+    pub max_rows: usize,
+    /// Pixel scale for PPM output (each cell becomes `scale × scale`
+    /// pixels).
+    pub scale: usize,
+}
+
+impl Default for HeatmapOptions {
+    fn default() -> Self {
+        HeatmapOptions {
+            cluster: Some(KMeansConfig::default()),
+            max_rows: 64,
+            scale: 4,
+        }
+    }
+}
+
+/// Resolve row order (clustered or natural) and subsample to `max_rows`.
+fn rows_for(snapshot: &PopulationSnapshot, opts: &HeatmapOptions) -> Vec<usize> {
+    let order: Vec<usize> = match &opts.cluster {
+        Some(cfg) => kmeans(&snapshot.features, cfg).row_order(),
+        None => (0..snapshot.num_ssets()).collect(),
+    };
+    if order.len() <= opts.max_rows {
+        return order;
+    }
+    // Even subsample preserving order.
+    let step = order.len() as f64 / opts.max_rows as f64;
+    (0..opts.max_rows)
+        .map(|i| order[(i as f64 * step) as usize])
+        .collect()
+}
+
+/// Character for a cooperation probability: `C` ≥ ¾, `c` ≥ ½, `d` ≥ ¼,
+/// `D` below (pure strategies render as pure `C`/`D`).
+fn glyph(p: f64) -> char {
+    if p >= 0.75 {
+        'C'
+    } else if p >= 0.5 {
+        'c'
+    } else if p >= 0.25 {
+        'd'
+    } else {
+        'D'
+    }
+}
+
+/// Render the population as ASCII, one row per (sampled) SSet. Returns a
+/// string ending in a newline.
+pub fn render_ascii(snapshot: &PopulationSnapshot, opts: &HeatmapOptions) -> String {
+    let rows = rows_for(snapshot, opts);
+    let mut out = String::with_capacity(rows.len() * (snapshot.num_states() + 8));
+    for r in rows {
+        out.push_str(&format!("{r:>6} "));
+        for &p in &snapshot.features[r] {
+            out.push(glyph(p));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the population as a binary PPM (P6) image: yellow = cooperate,
+/// blue = defect (the paper's palette), linearly blended for mixed
+/// strategies.
+pub fn render_ppm(snapshot: &PopulationSnapshot, opts: &HeatmapOptions) -> Vec<u8> {
+    let rows = rows_for(snapshot, opts);
+    let cols = snapshot.num_states();
+    let s = opts.scale.max(1);
+    let (w, h) = (cols * s, rows.len() * s);
+    let mut out = format!("P6\n{w} {h}\n255\n").into_bytes();
+    let yellow = [255u8, 215, 0];
+    let blue = [30u8, 60, 200];
+    let mut body = Vec::with_capacity(w * h * 3);
+    for &r in &rows {
+        let px_row: Vec<[u8; 3]> = snapshot.features[r]
+            .iter()
+            .map(|&p| {
+                let mut c = [0u8; 3];
+                for i in 0..3 {
+                    c[i] = (p * yellow[i] as f64 + (1.0 - p) * blue[i] as f64).round() as u8;
+                }
+                c
+            })
+            .collect();
+        for _ in 0..s {
+            for px in &px_row {
+                for _ in 0..s {
+                    body.extend_from_slice(px);
+                }
+            }
+        }
+    }
+    out.extend_from_slice(&body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> PopulationSnapshot {
+        PopulationSnapshot {
+            generation: 5,
+            assignments: vec![0, 1, 0, 2],
+            features: vec![
+                vec![1.0, 0.0, 0.0, 1.0],
+                vec![0.0, 0.0, 0.0, 0.0],
+                vec![1.0, 0.0, 0.0, 1.0],
+                vec![0.6, 0.4, 1.0, 0.0],
+            ],
+        }
+    }
+
+    fn no_cluster() -> HeatmapOptions {
+        HeatmapOptions {
+            cluster: None,
+            ..HeatmapOptions::default()
+        }
+    }
+
+    #[test]
+    fn ascii_renders_one_row_per_sset() {
+        let text = render_ascii(&snapshot(), &no_cluster());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].ends_with("CDDC"));
+        assert!(lines[1].ends_with("DDDD"));
+        assert!(lines[3].ends_with("cdCD"));
+    }
+
+    #[test]
+    fn ascii_clustered_groups_identical_rows() {
+        let opts = HeatmapOptions {
+            cluster: Some(KMeansConfig {
+                k: 3,
+                seed: 1,
+                ..KMeansConfig::default()
+            }),
+            ..HeatmapOptions::default()
+        };
+        let text = render_ascii(&snapshot(), &opts);
+        let lines: Vec<&str> = text.lines().collect();
+        // The two WSLS rows (0 and 2) must be adjacent after clustering.
+        let pos0 = lines.iter().position(|l| l.starts_with("     0")).unwrap();
+        let pos2 = lines.iter().position(|l| l.starts_with("     2")).unwrap();
+        assert_eq!(pos0.abs_diff(pos2), 1, "identical rows must be adjacent");
+    }
+
+    #[test]
+    fn subsampling_caps_rows() {
+        let big = PopulationSnapshot {
+            generation: 0,
+            assignments: vec![0; 500],
+            features: vec![vec![1.0, 0.0]; 500],
+        };
+        let opts = HeatmapOptions {
+            cluster: None,
+            max_rows: 32,
+            scale: 1,
+        };
+        let text = render_ascii(&big, &opts);
+        assert_eq!(text.lines().count(), 32);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let opts = HeatmapOptions {
+            cluster: None,
+            max_rows: 64,
+            scale: 2,
+        };
+        let ppm = render_ppm(&snapshot(), &opts);
+        let header = b"P6\n8 8\n255\n"; // 4 cols x2, 4 rows x2
+        assert!(ppm.starts_with(header));
+        assert_eq!(ppm.len(), header.len() + 8 * 8 * 3);
+    }
+
+    #[test]
+    fn ppm_pure_colors_match_palette() {
+        let snap = PopulationSnapshot {
+            generation: 0,
+            assignments: vec![0],
+            features: vec![vec![1.0, 0.0]],
+        };
+        let opts = HeatmapOptions {
+            cluster: None,
+            max_rows: 4,
+            scale: 1,
+        };
+        let ppm = render_ppm(&snap, &opts);
+        let body = &ppm[ppm.len() - 6..];
+        assert_eq!(&body[0..3], &[255, 215, 0], "cooperate = yellow");
+        assert_eq!(&body[3..6], &[30, 60, 200], "defect = blue");
+    }
+
+    #[test]
+    fn glyph_thresholds() {
+        assert_eq!(glyph(1.0), 'C');
+        assert_eq!(glyph(0.6), 'c');
+        assert_eq!(glyph(0.3), 'd');
+        assert_eq!(glyph(0.0), 'D');
+    }
+}

@@ -1,0 +1,421 @@
+//! Lloyd's k-means clustering over strategy feature vectors.
+//!
+//! The paper clusters the final population's strategies with "Lloyd k-means
+//! clustering [36], allowing strategies that are more prevalent to be more
+//! easily identified" before rendering Fig 2(b). Points here are per-SSet
+//! feature vectors (per-state cooperation probabilities, so pure strategies
+//! are 0/1 vertices of the hypercube). Seeding uses k-means++ for
+//! robustness; iteration is plain Lloyd.
+
+use evo_core::rngstream::{stream, Domain};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a k-means run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters `k` (clamped to the number of points).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on centroid movement (squared L2).
+    pub tolerance: f64,
+    /// Seed for the k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iters: 100,
+            tolerance: 1e-9,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids (`k × dim`).
+    pub centroids: Vec<Vec<f64>>,
+    /// Points per cluster.
+    pub sizes: Vec<usize>,
+    /// Total within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Cluster indices ordered by descending size — the paper's "more
+    /// prevalent" ordering for the Fig 2 rendering.
+    pub fn clusters_by_size(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.centroids.len()).collect();
+        order.sort_by(|&a, &b| self.sizes[b].cmp(&self.sizes[a]).then(a.cmp(&b)));
+        order
+    }
+
+    /// Point indices sorted so same-cluster rows are adjacent, largest
+    /// cluster first (row order of Fig 2(b)).
+    pub fn row_order(&self) -> Vec<usize> {
+        let order = self.clusters_by_size();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0usize; order.len()];
+            for (rank, &c) in order.iter().enumerate() {
+                pos[c] = rank;
+            }
+            pos
+        };
+        let mut rows: Vec<usize> = (0..self.assignments.len()).collect();
+        rows.sort_by_key(|&r| (pos[self.assignments[r]], r));
+        rows
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Mean silhouette score of a clustering, in `[-1, 1]`: ~1 for compact
+/// well-separated clusters, ~0 for overlapping ones. Points in singleton
+/// clusters score 0 by convention; a single-cluster partition scores 0.
+pub fn silhouette_score(points: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    assert_eq!(points.len(), assignments.len());
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    if k < 2 || points.len() < 2 {
+        return 0.0;
+    }
+    let sizes = {
+        let mut s = vec![0usize; k];
+        for &a in assignments {
+            s[a] += 1;
+        }
+        s
+    };
+    let mut total = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let own = assignments[i];
+        if sizes[own] <= 1 {
+            continue; // contributes 0
+        }
+        // Mean distance to each cluster.
+        let mut sums = vec![0.0f64; k];
+        for (j, q) in points.iter().enumerate() {
+            if i != j {
+                sums[assignments[j]] += sq_dist(p, q).sqrt();
+            }
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b).max(f64::MIN_POSITIVE);
+        }
+    }
+    total / points.len() as f64
+}
+
+/// Pick the `k` in `k_range` with the best silhouette score (ties to the
+/// smaller `k`), returning `(k, result)`. This automates the paper's
+/// implicit Fig 2 choice of how many strategy groups to display.
+pub fn choose_k(
+    points: &[Vec<f64>],
+    k_range: std::ops::RangeInclusive<usize>,
+    config: &KMeansConfig,
+) -> (usize, KMeansResult) {
+    let mut best: Option<(f64, usize, KMeansResult)> = None;
+    for k in k_range {
+        let r = kmeans(points, &KMeansConfig { k, ..*config });
+        let score = silhouette_score(points, &r.assignments);
+        let better = match &best {
+            None => true,
+            Some((s, ..)) => score > *s + 1e-12,
+        };
+        if better {
+            best = Some((score, k, r));
+        }
+    }
+    let (_, k, r) = best.expect("non-empty k range");
+    (k, r)
+}
+
+/// Run Lloyd k-means on `points`. All points must share one dimension;
+/// panics on empty input. `k` is clamped to the number of points.
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
+    assert!(!points.is_empty(), "k-means needs at least one point");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "all points must share a dimension"
+    );
+    let k = config.k.clamp(1, points.len());
+    let mut rng = stream(config.seed, Domain::Analysis, 0, 0);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with existing centroids; pick uniformly.
+            rng.random_range(0..points.len())
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let nd = sq_dist(p, centroids.last().expect("just pushed"));
+            if nd < d2[i] {
+                d2[i] = nd;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assign.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, cent) in centroids.iter().enumerate() {
+                let d = sq_dist(p, cent);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (s, &v) in sums[assignments[i]].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        let mut movement = 0.0f64;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the point farthest from its
+                // centroid (standard Lloyd repair).
+                let far = (0..points.len())
+                    .max_by(|&a, &b| {
+                        sq_dist(&points[a], &centroids[assignments[a]])
+                            .total_cmp(&sq_dist(&points[b], &centroids[assignments[b]]))
+                    })
+                    .expect("nonempty points");
+                movement += sq_dist(&centroids[c], &points[far]);
+                centroids[c] = points[far].clone();
+                continue;
+            }
+            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            movement += sq_dist(&centroids[c], &new);
+            centroids[c] = new;
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment + statistics against converged centroids.
+    let mut inertia = 0.0;
+    let mut sizes = vec![0usize; k];
+    for (i, p) in points.iter().enumerate() {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (c, cent) in centroids.iter().enumerate() {
+            let d = sq_dist(p, cent);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        assignments[i] = best;
+        sizes[best] += 1;
+        inertia += best_d;
+    }
+    KMeansResult {
+        assignments,
+        centroids,
+        sizes,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(k: usize, seed: u64) -> KMeansConfig {
+        KMeansConfig {
+            k,
+            seed,
+            ..KMeansConfig::default()
+        }
+    }
+
+    fn well_separated() -> Vec<Vec<f64>> {
+        // Three tight blobs at hypercube corners.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let jitter = i as f64 * 1e-3;
+            pts.push(vec![0.0 + jitter, 0.0, 0.0, 0.0]);
+            pts.push(vec![1.0 - jitter, 1.0, 1.0, 1.0]);
+            pts.push(vec![1.0 - jitter, 0.0, 1.0, 0.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_separated_clusters() {
+        let pts = well_separated();
+        let r = kmeans(&pts, &cfg(3, 1));
+        // Points 0,3,6,... share a cluster; likewise the other two strides.
+        for stride in 0..3 {
+            let c = r.assignments[stride];
+            for i in (stride..pts.len()).step_by(3) {
+                assert_eq!(r.assignments[i], c, "point {i}");
+            }
+        }
+        assert_eq!(r.sizes.iter().sum::<usize>(), pts.len());
+        assert!(r.inertia < 0.01, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![1.0, 3.0]];
+        let r = kmeans(&pts, &cfg(1, 0));
+        assert_eq!(r.centroids.len(), 1);
+        assert!((r.centroids[0][0] - 1.0).abs() < 1e-12);
+        assert!((r.centroids[0][1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let r = kmeans(&pts, &cfg(10, 0));
+        assert_eq!(r.centroids.len(), 2);
+        assert_eq!(r.sizes.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn identical_points_form_one_tight_cluster() {
+        let pts = vec![vec![0.5, 0.5]; 20];
+        let r = kmeans(&pts, &cfg(4, 3));
+        assert!(r.inertia < 1e-12);
+        assert_eq!(r.sizes.iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = well_separated();
+        let a = kmeans(&pts, &cfg(3, 7));
+        let b = kmeans(&pts, &cfg(3, 7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inertia_nonincreasing_in_k() {
+        let pts = well_separated();
+        let mut last = f64::INFINITY;
+        for k in 1..=4 {
+            let r = kmeans(&pts, &cfg(k, 5));
+            assert!(
+                r.inertia <= last + 1e-9,
+                "k={k}: inertia {} > previous {last}",
+                r.inertia
+            );
+            last = r.inertia;
+        }
+    }
+
+    #[test]
+    fn clusters_by_size_orders_descending() {
+        // 15 points near origin, 5 near ones.
+        let mut pts = vec![vec![0.0, 0.0]; 15];
+        pts.extend(vec![vec![1.0, 1.0]; 5]);
+        let r = kmeans(&pts, &cfg(2, 2));
+        let order = r.clusters_by_size();
+        assert_eq!(r.sizes[order[0]], 15);
+        assert_eq!(r.sizes[order[1]], 5);
+    }
+
+    #[test]
+    fn row_order_groups_clusters_contiguously() {
+        let mut pts = vec![vec![0.0]; 4];
+        pts.extend(vec![vec![10.0]; 8]);
+        let r = kmeans(&pts, &cfg(2, 4));
+        let rows = r.row_order();
+        assert_eq!(rows.len(), 12);
+        // First 8 rows all one cluster (the larger), last 4 the other.
+        let first = r.assignments[rows[0]];
+        assert!(rows[..8].iter().all(|&i| r.assignments[i] == first));
+        assert!(rows[8..].iter().all(|&i| r.assignments[i] != first));
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_low_for_merged() {
+        let pts = well_separated();
+        let good = kmeans(&pts, &cfg(3, 1));
+        let high = silhouette_score(&pts, &good.assignments);
+        assert!(high > 0.8, "separated blobs score {high}");
+        // Deliberately merge two blobs into one label.
+        let merged: Vec<usize> = good
+            .assignments
+            .iter()
+            .map(|&a| if a == good.assignments[1] { good.assignments[0] } else { a })
+            .collect();
+        let low = silhouette_score(&pts, &merged);
+        assert!(low < high, "merged {low} must be worse than {high}");
+    }
+
+    #[test]
+    fn silhouette_degenerate_cases_are_zero() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert_eq!(silhouette_score(&pts, &[0, 0]), 0.0); // one cluster
+        assert_eq!(silhouette_score(&[vec![1.0]], &[0]), 0.0); // one point
+    }
+
+    #[test]
+    fn choose_k_finds_three_blobs() {
+        let pts = well_separated();
+        let (k, r) = choose_k(&pts, 2..=6, &cfg(0, 3));
+        assert_eq!(k, 3, "silhouette should pick the true cluster count");
+        assert_eq!(r.centroids.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_input_panics() {
+        kmeans(&[], &KMeansConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimension")]
+    fn ragged_input_panics() {
+        kmeans(&[vec![1.0], vec![1.0, 2.0]], &KMeansConfig::default());
+    }
+}

@@ -1,0 +1,33 @@
+//! Analysis toolkit for evolved populations.
+//!
+//! The paper's validation study (§VI-A, Fig 2) renders the population's
+//! strategies as an image — one row per SSet, one column per state, colour
+//! = move — after clustering rows with Lloyd k-means "allowing strategies
+//! that are more prevalent to be more easily identified", then reports that
+//! 85% of SSets adopted WSLS. This crate provides those pieces:
+//!
+//! - [`kmeans`] — Lloyd's k-means (with k-means++ seeding) over strategy
+//!   feature vectors.
+//! - [`stats`] — population statistics: strategy abundance, cooperativity,
+//!   fraction matching a target strategy (e.g. WSLS), Shannon diversity.
+//! - [`heatmap`] — text and PPM renderings of population snapshots, rows
+//!   optionally grouped by cluster (the Fig 2 view).
+
+pub mod classify;
+pub mod heatmap;
+pub mod kmeans;
+pub mod plot;
+pub mod stats;
+pub mod timeseries;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::classify::{composition, nearest_named};
+    pub use crate::heatmap::{render_ascii, render_ppm, HeatmapOptions};
+    pub use crate::kmeans::{choose_k, kmeans, silhouette_score, KMeansConfig, KMeansResult};
+    pub use crate::plot::{LinePlot, Series};
+    pub use crate::stats::{
+        abundance, dominant_strategy, fraction_matching, mean_cooperativity, shannon_diversity,
+    };
+    pub use crate::timeseries::{record_run, Trajectory, TrajectoryPoint};
+}

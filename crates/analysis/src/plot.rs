@@ -1,0 +1,298 @@
+//! Minimal SVG line charts — figure output without plotting dependencies.
+//!
+//! The regenerator binaries use this to write actual figure files
+//! (`target/experiments/*.svg`) next to their console tables: multiple
+//! series, linear or log₂ x-axis, tick labels, and a legend. The output is
+//! plain SVG 1.1, viewable in any browser.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, plotted in order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    /// Chart title (top centre).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Use log₂ scaling on x (processor-count axes).
+    pub log2_x: bool,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// The data.
+    pub series: Vec<Series>,
+}
+
+impl Default for LinePlot {
+    fn default() -> Self {
+        LinePlot {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log2_x: false,
+            width: 640,
+            height: 420,
+            series: Vec::new(),
+        }
+    }
+}
+
+/// A categorical palette that stays readable on white.
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+impl LinePlot {
+    /// Render the chart as an SVG document.
+    pub fn render(&self) -> String {
+        assert!(
+            self.series.iter().any(|s| !s.points.is_empty()),
+            "plot needs at least one non-empty series"
+        );
+        let xmap = |x: f64| if self.log2_x { x.log2() } else { x };
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let x = xmap(x);
+                x0 = x0.min(x);
+                x1 = x1.max(x);
+                y0 = y0.min(y);
+                y1 = y1.max(y);
+            }
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        // Pad y range 5%.
+        let pad = (y1 - y0) * 0.05;
+        let (y0, y1) = (y0 - pad, y1 + pad);
+        let (w, h) = (self.width as f64, self.height as f64);
+        let (ml, mr, mt, mb) = (64.0, 16.0, 36.0, 48.0);
+        let px = |x: f64| ml + (xmap(x) - x0) / (x1 - x0) * (w - ml - mr);
+        let py = |y: f64| h - mb - (y - y0) / (y1 - y0) * (h - mt - mb);
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="11">"#
+        );
+        let _ = write!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+        // Axes.
+        let _ = write!(
+            svg,
+            r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            h - mb,
+            w - mr,
+            h - mb
+        );
+        let _ = write!(
+            svg,
+            r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#,
+            h - mb
+        );
+        // Title and axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="18" text-anchor="middle" font-size="14">{}</text>"#,
+            w / 2.0,
+            xml_escape(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            w / 2.0,
+            h - 10.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="14" y="{}" text-anchor="middle" transform="rotate(-90 14 {})">{}</text>"#,
+            h / 2.0,
+            h / 2.0,
+            xml_escape(&self.y_label)
+        );
+        // Ticks: 5 on each axis.
+        for i in 0..=4 {
+            let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+            let yy = py(fy);
+            let _ = write!(
+                svg,
+                r#"<line x1="{}" y1="{yy}" x2="{ml}" y2="{yy}" stroke="black"/><text x="{}" y="{}" text-anchor="end">{}</text>"#,
+                ml - 4.0,
+                ml - 7.0,
+                yy + 4.0,
+                tick_label(fy)
+            );
+            let fx = x0 + (x1 - x0) * i as f64 / 4.0;
+            let raw = if self.log2_x { 2f64.powf(fx) } else { fx };
+            let xx = ml + (fx - x0) / (x1 - x0) * (w - ml - mr);
+            let _ = write!(
+                svg,
+                r#"<line x1="{xx}" y1="{}" x2="{xx}" y2="{}" stroke="black"/><text x="{xx}" y="{}" text-anchor="middle">{}</text>"#,
+                h - mb,
+                h - mb + 4.0,
+                h - mb + 16.0,
+                tick_label(raw)
+            );
+        }
+        // Series.
+        for (k, s) in self.series.iter().enumerate() {
+            let color = PALETTE[k % PALETTE.len()];
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.2},{:.2}", px(x), py(y)))
+                .collect();
+            let _ = write!(
+                svg,
+                r#"<polyline fill="none" stroke="{color}" stroke-width="1.8" points="{}"/>"#,
+                path.join(" ")
+            );
+            for &(x, y) in &s.points {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.2}" cy="{:.2}" r="2.6" fill="{color}"/>"#,
+                    px(x),
+                    py(y)
+                );
+            }
+            // Legend entry.
+            let ly = mt + 6.0 + 16.0 * k as f64;
+            let _ = write!(
+                svg,
+                r#"<rect x="{}" y="{}" width="12" height="3" fill="{color}"/><text x="{}" y="{}">{}</text>"#,
+                ml + 10.0,
+                ly,
+                ml + 27.0,
+                ly + 5.0,
+                xml_escape(&s.label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Render and write to `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+fn tick_label(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 10_000.0 || v.abs() < 0.01 {
+        format!("{v:.1e}")
+    } else if v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plot() -> LinePlot {
+        LinePlot {
+            title: "Strong scaling".into(),
+            x_label: "processors".into(),
+            y_label: "efficiency".into(),
+            log2_x: true,
+            series: vec![
+                Series {
+                    label: "memory-1".into(),
+                    points: vec![(128.0, 1.0), (256.0, 0.97), (2048.0, 0.41)],
+                },
+                Series {
+                    label: "memory-6".into(),
+                    points: vec![(128.0, 1.0), (256.0, 0.99), (2048.0, 0.50)],
+                },
+            ],
+            ..LinePlot::default()
+        }
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = plot().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("memory-1"));
+        assert!(svg.contains("Strong scaling"));
+        // One circle per point.
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut p = plot();
+        p.title = "a < b & c".into();
+        let svg = p.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b & c"));
+    }
+
+    #[test]
+    fn points_stay_inside_canvas() {
+        let svg = plot().render();
+        // Crude but effective: every plotted coordinate within bounds.
+        for cap in svg.split("cx=\"").skip(1) {
+            let x: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=640.0).contains(&x));
+        }
+        for cap in svg.split("cy=\"").skip(1) {
+            let y: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=420.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_handled() {
+        let p = LinePlot {
+            series: vec![Series {
+                label: "flat".into(),
+                points: vec![(1.0, 5.0), (2.0, 5.0)],
+            }],
+            ..LinePlot::default()
+        };
+        let svg = p.render();
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty series")]
+    fn empty_plot_panics() {
+        LinePlot::default().render();
+    }
+
+    #[test]
+    fn tick_labels_format_sanely() {
+        assert_eq!(tick_label(0.0), "0");
+        assert_eq!(tick_label(1024.0), "1024");
+        assert_eq!(tick_label(262144.0), "2.6e5");
+        assert_eq!(tick_label(0.82), "0.82");
+    }
+}

@@ -1,0 +1,244 @@
+//! Trajectory recording over evolutionary runs.
+//!
+//! The paper's Nature Agent "handles all file I/O to record the global
+//! variables across generations" (§V). [`Trajectory`] is that recorder for
+//! this engine: sample a [`Population`] at intervals and accumulate the
+//! metrics behind validation plots — cooperativity, diversity, dominant
+//! share, and the fraction matching a target strategy (e.g. WSLS).
+
+use crate::stats::{dominant_strategy, fraction_matching, mean_cooperativity, shannon_diversity};
+use evo_core::population::Population;
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Generation at which the sample was taken.
+    pub generation: u64,
+    /// Mean per-state cooperation probability across the population.
+    pub cooperativity: f64,
+    /// Shannon diversity (nats) of the strategy distribution.
+    pub diversity: f64,
+    /// Number of distinct strategies present.
+    pub distinct: usize,
+    /// Fraction of SSets holding the most abundant strategy.
+    pub dominant_share: f64,
+    /// Fraction matching the target strategy, if one was configured.
+    pub target_fraction: Option<f64>,
+}
+
+/// A recorder of population metrics over time.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    /// Optional target feature vector (e.g. WSLS `[1,0,0,1]`) and matching
+    /// tolerance for [`TrajectoryPoint::target_fraction`].
+    pub target: Option<(Vec<f64>, f64)>,
+    points: Vec<TrajectoryPoint>,
+}
+
+impl Trajectory {
+    /// An empty trajectory with no target strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Track the share of a target strategy (per-state cooperation
+    /// probabilities, L∞ `tolerance`).
+    pub fn with_target(target: Vec<f64>, tolerance: f64) -> Self {
+        Trajectory {
+            target: Some((target, tolerance)),
+            points: Vec::new(),
+        }
+    }
+
+    /// Sample the population now.
+    pub fn observe(&mut self, pop: &Population) {
+        let snap = pop.snapshot();
+        let (_, dominant_share) = dominant_strategy(&snap);
+        self.points.push(TrajectoryPoint {
+            generation: pop.generation(),
+            cooperativity: mean_cooperativity(&snap),
+            diversity: shannon_diversity(&snap),
+            distinct: snap.distinct_strategies(),
+            dominant_share,
+            target_fraction: self
+                .target
+                .as_ref()
+                .map(|(t, tol)| fraction_matching(&snap, t, *tol)),
+        });
+    }
+
+    /// Recorded points in observation order.
+    pub fn points(&self) -> &[TrajectoryPoint] {
+        &self.points
+    }
+
+    /// First observed generation at which the population had fixated
+    /// (a single distinct strategy), if any.
+    pub fn fixation_generation(&self) -> Option<u64> {
+        self.points
+            .iter()
+            .find(|p| p.distinct == 1)
+            .map(|p| p.generation)
+    }
+
+    /// Centred moving average of a metric over `window` points (clamped at
+    /// the edges), as `(generation, smoothed)` pairs.
+    pub fn moving_average(
+        &self,
+        metric: impl Fn(&TrajectoryPoint) -> f64,
+        window: usize,
+    ) -> Vec<(u64, f64)> {
+        assert!(window >= 1);
+        let n = self.points.len();
+        (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(window / 2);
+                let hi = (i + window / 2 + 1).min(n);
+                let mean = self.points[lo..hi].iter().map(&metric).sum::<f64>()
+                    / (hi - lo) as f64;
+                (self.points[i].generation, mean)
+            })
+            .collect()
+    }
+
+    /// CSV rendering (`generation,cooperativity,diversity,distinct,
+    /// dominant_share,target_fraction`), header included.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("generation,cooperativity,diversity,distinct,dominant_share,target_fraction\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{},{:.6},{}\n",
+                p.generation,
+                p.cooperativity,
+                p.diversity,
+                p.distinct,
+                p.dominant_share,
+                p.target_fraction
+                    .map(|f| format!("{f:.6}"))
+                    .unwrap_or_default()
+            ));
+        }
+        out
+    }
+}
+
+/// Run a population for `generations`, observing every `every` generations
+/// (and once at the start and end). Returns the trajectory.
+pub fn record_run(pop: &mut Population, generations: u64, every: u64, target: Option<(Vec<f64>, f64)>) -> Trajectory {
+    assert!(every >= 1);
+    let mut traj = match target {
+        Some((t, tol)) => Trajectory::with_target(t, tol),
+        None => Trajectory::new(),
+    };
+    traj.observe(pop);
+    let mut done = 0;
+    while done < generations {
+        let chunk = every.min(generations - done);
+        pop.run(chunk);
+        done += chunk;
+        traj.observe(pop);
+    }
+    traj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evo_core::params::Params;
+    use ipd::game::GameConfig;
+
+    fn pop(seed: u64) -> Population {
+        Population::new(Params {
+            mem_steps: 1,
+            num_ssets: 10,
+            seed,
+            game: GameConfig {
+                rounds: 16,
+                ..GameConfig::default()
+            },
+            ..Params::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn record_run_samples_start_interior_and_end() {
+        let mut p = pop(1);
+        let traj = record_run(&mut p, 100, 25, None);
+        let gens: Vec<u64> = traj.points().iter().map(|p| p.generation).collect();
+        assert_eq!(gens, vec![0, 25, 50, 75, 100]);
+    }
+
+    #[test]
+    fn record_run_handles_non_divisible_interval() {
+        let mut p = pop(2);
+        let traj = record_run(&mut p, 70, 30, None);
+        let gens: Vec<u64> = traj.points().iter().map(|p| p.generation).collect();
+        assert_eq!(gens, vec![0, 30, 60, 70]);
+    }
+
+    #[test]
+    fn target_fraction_recorded_when_configured() {
+        let mut p = pop(3);
+        let traj = record_run(&mut p, 20, 10, Some((vec![1.0, 0.0, 0.0, 1.0], 0.499)));
+        assert!(traj.points().iter().all(|pt| pt.target_fraction.is_some()));
+        let no_target = record_run(&mut pop(3), 20, 10, None);
+        assert!(no_target.points().iter().all(|pt| pt.target_fraction.is_none()));
+    }
+
+    #[test]
+    fn fixation_detection() {
+        // Force fixation: no mutation, deterministic imitation.
+        let mut params = Params {
+            mem_steps: 1,
+            num_ssets: 6,
+            pc_rate: 1.0,
+            mutation_rate: 0.0,
+            beta: f64::INFINITY,
+            seed: 5,
+            game: GameConfig {
+                rounds: 16,
+                ..GameConfig::default()
+            },
+            ..Params::default()
+        };
+        params.generations = 0;
+        let mut p = Population::new(params).unwrap();
+        let traj = record_run(&mut p, 400, 20, None);
+        if p.distinct_strategies() == 1 {
+            let g = traj.fixation_generation().expect("fixation observed");
+            assert!(g <= 400);
+            // Every later point stays fixated.
+            assert!(traj
+                .points()
+                .iter()
+                .filter(|pt| pt.generation >= g)
+                .all(|pt| pt.distinct == 1));
+        }
+    }
+
+    #[test]
+    fn moving_average_smooths_and_preserves_length() {
+        let mut p = pop(7);
+        let traj = record_run(&mut p, 100, 10, None);
+        let smooth = traj.moving_average(|pt| pt.cooperativity, 3);
+        assert_eq!(smooth.len(), traj.points().len());
+        // A window of 1 is the identity.
+        let ident = traj.moving_average(|pt| pt.cooperativity, 1);
+        for (pt, (_, v)) in traj.points().iter().zip(&ident) {
+            assert!((pt.cooperativity - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut p = pop(8);
+        let traj = record_run(&mut p, 20, 10, None);
+        let csv = traj.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("generation,"));
+        assert_eq!(lines.len(), 1 + traj.points().len());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the analysis toolkit.
+
+use analysis::kmeans::{kmeans, silhouette_score, KMeansConfig};
+use analysis::stats::{abundance, dominant_strategy, fraction_matching, shannon_diversity};
+use evo_core::record::PopulationSnapshot;
+use proptest::prelude::*;
+
+fn arb_points(
+    max_points: usize,
+    dim: usize,
+) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(0.0f64..1.0, dim..=dim),
+        1..=max_points,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every point lands in the cluster of its nearest centroid, sizes sum
+    /// to the point count, and inertia equals the summed nearest-centroid
+    /// distances.
+    #[test]
+    fn kmeans_assignment_is_nearest_centroid(
+        points in arb_points(24, 3),
+        k in 1usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let r = kmeans(&points, &KMeansConfig { k, seed, ..KMeansConfig::default() });
+        prop_assert_eq!(r.assignments.len(), points.len());
+        prop_assert_eq!(r.sizes.iter().sum::<usize>(), points.len());
+        let d2 = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        let mut inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let own = d2(p, &r.centroids[r.assignments[i]]);
+            for c in &r.centroids {
+                prop_assert!(own <= d2(p, c) + 1e-9, "point {i} not at nearest centroid");
+            }
+            inertia += own;
+        }
+        prop_assert!((inertia - r.inertia).abs() < 1e-6);
+    }
+
+    /// Silhouette scores always lie in [-1, 1].
+    #[test]
+    fn silhouette_bounded(points in arb_points(20, 2), k in 1usize..=5, seed in any::<u64>()) {
+        let r = kmeans(&points, &KMeansConfig { k, seed, ..KMeansConfig::default() });
+        let s = silhouette_score(&points, &r.assignments);
+        prop_assert!((-1.0..=1.0).contains(&s), "score {s}");
+    }
+
+    /// Abundance counts partition the population; the dominant strategy's
+    /// fraction matches its count; Shannon diversity is within [0, ln S].
+    #[test]
+    fn population_stats_consistent(
+        assignments in prop::collection::vec(0u32..6, 1..=40),
+    ) {
+        let n = assignments.len();
+        let snap = PopulationSnapshot {
+            generation: 0,
+            assignments: assignments.clone(),
+            features: vec![vec![0.5]; n],
+        };
+        let ab = abundance(&snap);
+        prop_assert_eq!(ab.iter().map(|(_, c)| c).sum::<usize>(), n);
+        // Sorted by descending count.
+        for w in ab.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        let (dom, frac) = dominant_strategy(&snap);
+        prop_assert_eq!(ab[0].0, dom);
+        prop_assert!((frac - ab[0].1 as f64 / n as f64).abs() < 1e-12);
+        let h = shannon_diversity(&snap);
+        prop_assert!(h >= -1e-12 && h <= (n as f64).ln() + 1e-12);
+    }
+
+    /// fraction_matching is monotone in tolerance and bounded by [0, 1].
+    #[test]
+    fn fraction_matching_monotone_in_tolerance(
+        features in prop::collection::vec(
+            prop::collection::vec(0.0f64..1.0, 4..=4), 1..=20,
+        ),
+        target in prop::collection::vec(0.0f64..1.0, 4..=4),
+    ) {
+        let n = features.len();
+        let snap = PopulationSnapshot {
+            generation: 0,
+            assignments: (0..n as u32).collect(),
+            features,
+        };
+        let mut last = 0.0;
+        for tol in [0.0, 0.1, 0.25, 0.5, 1.0] {
+            let f = fraction_matching(&snap, &target, tol);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= last - 1e-12, "tolerance {tol} reduced the fraction");
+            last = f;
+        }
+        prop_assert!((last - 1.0).abs() < 1e-12, "tolerance 1.0 matches everything");
+    }
+}

@@ -1,0 +1,113 @@
+//! Criterion ablation: communication patterns on the virtual cluster.
+//!
+//! Compares the paper's pattern (broadcast pair selection + selective
+//! point-to-point fitness returns, §V-B) against the naive alternative
+//! (gather everything to the Nature Agent every time), and prices the
+//! collective primitives themselves.
+
+use cluster::collective::Collective;
+use cluster::comm::{Comm, VirtualCluster};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const RANKS: usize = 8;
+const ROUNDS: u32 = 20;
+
+/// The paper's pattern: bcast a pair id, only the two selected ranks
+/// respond point-to-point, bcast the outcome.
+fn selective_roundtrips(comm: &Comm<u64>) -> u64 {
+    let coll = Collective::new(comm);
+    let mut acc = 0;
+    for i in 0..ROUNDS as u64 {
+        let pair = coll
+            .bcast(0, (comm.rank() == 0).then_some(i % RANKS as u64))
+            .unwrap();
+        let selected = comm.rank() as u64 == pair && comm.rank() != 0;
+        if selected {
+            comm.send(0, 1, comm.rank() as u64).unwrap();
+        }
+        if comm.rank() == 0 && pair != 0 {
+            acc += comm.recv(None, Some(1)).unwrap().payload;
+        }
+        acc += coll
+            .bcast(0, (comm.rank() == 0).then_some(acc))
+            .unwrap();
+    }
+    acc
+}
+
+/// The naive pattern: gather every rank's value to rank 0 each round.
+fn gather_everything(comm: &Comm<u64>) -> u64 {
+    let coll = Collective::new(comm);
+    let mut acc = 0;
+    for _ in 0..ROUNDS {
+        if let Some(all) = coll.gather(0, comm.rank() as u64).unwrap() {
+            acc += all.iter().sum::<u64>();
+        }
+        acc += coll
+            .bcast(0, (comm.rank() == 0).then_some(acc))
+            .unwrap();
+    }
+    acc
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_pattern/fitness_return");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("selective_p2p"), |b| {
+        b.iter(|| black_box(VirtualCluster::run(RANKS, |comm| selective_roundtrips(&comm))))
+    });
+    group.bench_function(BenchmarkId::from_parameter("gather_all"), |b| {
+        b.iter(|| black_box(VirtualCluster::run(RANKS, |comm| gather_everything(&comm))))
+    });
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_pattern/primitives_x20");
+    group.sample_size(10);
+    group.bench_function("bcast", |b| {
+        b.iter(|| {
+            black_box(VirtualCluster::run(RANKS, |comm: Comm<u64>| {
+                let coll = Collective::new(&comm);
+                let mut acc = 0;
+                for i in 0..20u64 {
+                    acc += coll.bcast(0, (comm.rank() == 0).then_some(i)).unwrap();
+                }
+                acc
+            }))
+        })
+    });
+    group.bench_function("allreduce", |b| {
+        b.iter(|| {
+            black_box(VirtualCluster::run(RANKS, |comm: Comm<u64>| {
+                let coll = Collective::new(&comm);
+                let mut acc = 0;
+                for _ in 0..20 {
+                    acc = coll.allreduce(acc + comm.rank() as u64, |x, y| x + y).unwrap();
+                }
+                acc
+            }))
+        })
+    });
+    group.bench_function("barrier", |b| {
+        b.iter(|| {
+            black_box(VirtualCluster::run(RANKS, |comm: Comm<u64>| {
+                let coll = Collective::new(&comm);
+                for _ in 0..20 {
+                    coll.barrier(0).unwrap();
+                }
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_patterns, bench_primitives
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Criterion bench: the iterated-game kernel across memory depths.
+//!
+//! Measures one 200-round deterministic game per memory step — the
+//! innermost loop of the whole system, whose cost profile drives Table VI
+//! and Fig 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipd::game::{play, play_deterministic, GameConfig};
+use ipd::state::StateSpace;
+use ipd::strategy::{MixedStrategy, PureStrategy, Strategy};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_deterministic(c: &mut Criterion) {
+    let cfg = GameConfig::default();
+    let mut group = c.benchmark_group("game_kernel/deterministic");
+    group.sample_size(20);
+    for mem in [1usize, 2, 4, 6] {
+        let space = StateSpace::new(mem).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = PureStrategy::random(space, &mut rng);
+        let b = PureStrategy::random(space, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(mem), &mem, |bencher, _| {
+            bencher.iter(|| {
+                black_box(play_deterministic(
+                    black_box(&space),
+                    black_box(&a),
+                    black_box(&b),
+                    &cfg,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stochastic(c: &mut Criterion) {
+    let cfg = GameConfig {
+        noise: 0.01,
+        ..GameConfig::default()
+    };
+    let mut group = c.benchmark_group("game_kernel/stochastic_mixed");
+    group.sample_size(20);
+    for mem in [1usize, 3] {
+        let space = StateSpace::new(mem).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = Strategy::Mixed(MixedStrategy::random(space, &mut rng));
+        let b = Strategy::Mixed(MixedStrategy::random(space, &mut rng));
+        group.bench_with_input(BenchmarkId::from_parameter(mem), &mem, |bencher, _| {
+            let mut game_rng = ChaCha8Rng::seed_from_u64(3);
+            bencher.iter(|| {
+                black_box(play(
+                    black_box(&space),
+                    black_box(&a),
+                    black_box(&b),
+                    &cfg,
+                    &mut game_rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycle_kernel(c: &mut Criterion) {
+    // Ablation: naive 200-round loop vs cycle-detection payout.
+    use ipd::game::play_deterministic_cycle;
+    let cfg = GameConfig::default();
+    for mem in [1usize, 3, 6] {
+        let space = StateSpace::new(mem).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let a = PureStrategy::random(space, &mut rng);
+        let b = PureStrategy::random(space, &mut rng);
+        let mut group = c.benchmark_group(format!("game_kernel/cycle_vs_naive/memory-{mem}"));
+        group.sample_size(20);
+        group.bench_function("naive_200_rounds", |bencher| {
+            bencher.iter(|| black_box(play_deterministic(&space, &a, &b, &cfg)))
+        });
+        group.bench_function("cycle_detection", |bencher| {
+            bencher.iter(|| black_box(play_deterministic_cycle(&space, &a, &b, &cfg)))
+        });
+        group.finish();
+    }
+}
+
+fn bench_expected_vs_sampled(c: &mut Criterion) {
+    // Exact Markov expectation vs one Monte-Carlo sample, per memory depth.
+    use ipd::markov::expected_outcome;
+    let cfg = GameConfig {
+        noise: 0.01,
+        ..GameConfig::default()
+    };
+    for mem in [1usize, 3, 6] {
+        let space = StateSpace::new(mem).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let a = Strategy::Mixed(MixedStrategy::random(space, &mut rng));
+        let b = Strategy::Mixed(MixedStrategy::random(space, &mut rng));
+        let mut group = c.benchmark_group(format!("game_kernel/expected_vs_sampled/memory-{mem}"));
+        group.sample_size(20);
+        group.bench_function("markov_exact", |bencher| {
+            bencher.iter(|| black_box(expected_outcome(&space, &a, &b, &cfg)))
+        });
+        group.bench_function("monte_carlo_one_sample", |bencher| {
+            let mut r = ChaCha8Rng::seed_from_u64(7);
+            bencher.iter(|| black_box(play(&space, &a, &b, &cfg, &mut r)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_deterministic, bench_stochastic, bench_cycle_kernel,
+        bench_expected_vs_sampled
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion bench: full-generation throughput of the population engine.
+//!
+//! Covers the engine's operating points: population size sweep, sequential
+//! vs rayon execution, naive vs deduplicated fitness evaluation, and the
+//! EveryGeneration vs OnDemand policies (the Table VI vs Fig 6 regimes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evo_core::fitness::{ExecMode, FitnessPolicy};
+use evo_core::params::Params;
+use evo_core::population::Population;
+use ipd::game::GameConfig;
+use std::hint::black_box;
+
+fn params(ssets: usize) -> Params {
+    Params {
+        mem_steps: 1,
+        num_ssets: ssets,
+        pc_rate: 0.1,
+        seed: 3,
+        game: GameConfig {
+            rounds: 50,
+            ..GameConfig::default()
+        },
+        ..Params::default()
+    }
+}
+
+fn bench_population_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation/ssets");
+    group.sample_size(10);
+    for ssets in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(ssets), &ssets, |bencher, &s| {
+            let mut pop = Population::new(params(s)).unwrap();
+            bencher.iter(|| black_box(pop.step()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exec_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation/exec_mode");
+    group.sample_size(10);
+    for (label, mode) in [("sequential", ExecMode::Sequential), ("rayon", ExecMode::Rayon)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |bencher| {
+            let mut pop = Population::new(params(48)).unwrap();
+            pop.exec_mode = mode;
+            bencher.iter(|| black_box(pop.step()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    // Drive the population to partial fixation first so dedup has
+    // duplicates to exploit, then measure steady-state generations.
+    let mut group = c.benchmark_group("generation/dedup");
+    group.sample_size(10);
+    for (label, dedup) in [("naive", false), ("deduped", true)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |bencher| {
+            let mut p = params(48);
+            p.mutation_rate = 0.01;
+            let mut pop = Population::new(p).unwrap();
+            pop.dedup = dedup;
+            pop.run(300); // fixation warm-up
+            bencher.iter(|| black_box(pop.step()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fitness_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation/policy");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("every_generation", FitnessPolicy::EveryGeneration),
+        ("on_demand", FitnessPolicy::OnDemand),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |bencher| {
+            let mut p = params(48);
+            p.pc_rate = 0.01; // the scaling studies' rate
+            let mut pop = Population::new(p).unwrap();
+            pop.fitness_policy = policy;
+            bencher.iter(|| black_box(pop.step()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_game_kernel_choice(c: &mut Criterion) {
+    use evo_core::fitness::GameKernel;
+    let mut group = c.benchmark_group("generation/kernel");
+    group.sample_size(10);
+    for (label, kernel) in [("naive", GameKernel::Naive), ("cycle", GameKernel::Cycle)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |bencher| {
+            let mut p = params(48);
+            p.game.rounds = 200;
+            let mut pop = Population::new(p).unwrap();
+            pop.kernel = kernel;
+            bencher.iter(|| black_box(pop.step()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_population_size, bench_exec_modes, bench_dedup, bench_fitness_policy,
+        bench_game_kernel_choice
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion ablation: counter-based per-entity RNG streams vs one shared
+//! sequential RNG.
+//!
+//! The engine pays a ChaCha re-key per (entity, generation) to buy
+//! schedule-invariant parallelism. This bench prices that trade: stream
+//! construction, construction + draws (the per-game pattern), and the
+//! shared-RNG baseline that would have made parallel results
+//! schedule-dependent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evo_core::rngstream::{game_stream, stream, Domain};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_stream_creation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng_streams/create");
+    group.sample_size(30);
+    group.bench_function("derive_stream", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(stream(42, Domain::GamePlay, i, i >> 3))
+        })
+    });
+    group.bench_function("game_stream", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(game_stream(42, i % 1_024, (i / 7) % 1_024, 1_024, (i as u64) >> 4))
+        })
+    });
+    group.finish();
+}
+
+fn bench_draw_patterns(c: &mut Criterion) {
+    // The per-game pattern: fresh stream + 400 draws (200 rounds, two
+    // players), vs the same draws from one long-lived RNG.
+    let mut group = c.benchmark_group("rng_streams/per_game_400_draws");
+    group.sample_size(30);
+    group.bench_function(BenchmarkId::from_parameter("fresh_stream"), |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let mut r = stream(42, Domain::GamePlay, i, 0);
+            let mut acc = 0.0f64;
+            for _ in 0..400 {
+                acc += r.random::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("shared_rng"), |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(42);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..400 {
+                acc += r.random::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_stream_creation, bench_draw_patterns
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion ablation: the paper's linear `find_state` scan vs this
+//! implementation's O(1) rolling state index.
+//!
+//! The paper attributes Fig 4's runtime growth to state identification;
+//! this bench quantifies the gap per memory depth on identical games.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipd::game::{play_with_lookup, GameConfig, StateLookup};
+use ipd::state::{StateSpace, StateTable};
+use ipd::strategy::{PureStrategy, Strategy};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_lookup_modes(c: &mut Criterion) {
+    let cfg = GameConfig::default();
+    for mem in [1usize, 3, 6] {
+        let space = StateSpace::new(mem).unwrap();
+        let table = StateTable::new(space);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let a = Strategy::Pure(PureStrategy::random(space, &mut rng));
+        let b = Strategy::Pure(PureStrategy::random(space, &mut rng));
+        let mut group = c.benchmark_group(format!("state_lookup/memory-{mem}"));
+        group.sample_size(20);
+        group.bench_function(BenchmarkId::from_parameter("rolling_o1"), |bencher| {
+            let mut r = ChaCha8Rng::seed_from_u64(5);
+            bencher.iter(|| {
+                black_box(play_with_lookup(
+                    &space,
+                    &a,
+                    &b,
+                    &cfg,
+                    StateLookup::Rolling,
+                    &mut r,
+                ))
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("linear_scan"), |bencher| {
+            let mut r = ChaCha8Rng::seed_from_u64(5);
+            bencher.iter(|| {
+                black_box(play_with_lookup(
+                    &space,
+                    &a,
+                    &b,
+                    &cfg,
+                    StateLookup::LinearScan(&table),
+                    &mut r,
+                ))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_lookup_modes
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion ablation: bit-packed pure strategies vs a byte-per-state
+//! table, plus the cost of strategy-level bulk operations.
+//!
+//! Justifies the 64-words-per-memory-six representation: move lookups in
+//! the game loop, Hamming distances in analysis, and random generation in
+//! the mutation path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipd::payoff::Move;
+use ipd::state::StateSpace;
+use ipd::strategy::PureStrategy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// The naive baseline: one byte per state.
+struct ByteStrategy {
+    moves: Vec<u8>,
+}
+
+impl ByteStrategy {
+    fn from_packed(p: &PureStrategy) -> Self {
+        ByteStrategy {
+            moves: p.to_moves().iter().map(|m| m.bit()).collect(),
+        }
+    }
+
+    #[inline]
+    fn move_for(&self, state: u16) -> Move {
+        Move::from_bit(self.moves[state as usize])
+    }
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let space = StateSpace::new(6).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let packed = PureStrategy::random(space, &mut rng);
+    let bytes = ByteStrategy::from_packed(&packed);
+    // A pseudorandom walk over states, mimicking game-play access.
+    let states: Vec<u16> = (0..4_096u32)
+        .map(|i| ((i.wrapping_mul(2_654_435_761)) % 4_096) as u16)
+        .collect();
+    let mut group = c.benchmark_group("strategy_repr/lookup_4096");
+    group.sample_size(30);
+    group.bench_function(BenchmarkId::from_parameter("bit_packed"), |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &s in &states {
+                acc += packed.move_for(black_box(s)).bit() as u32;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("byte_per_state"), |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &s in &states {
+                acc += bytes.move_for(black_box(s)).bit() as u32;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_bulk_ops(c: &mut Criterion) {
+    let space = StateSpace::new(6).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    let a = PureStrategy::random(space, &mut rng);
+    let b_side = PureStrategy::random(space, &mut rng);
+    let mut group = c.benchmark_group("strategy_repr/bulk");
+    group.sample_size(30);
+    group.bench_function("hamming_4096", |bench| {
+        bench.iter(|| black_box(a.hamming(black_box(&b_side))))
+    });
+    group.bench_function("random_memory_six", |bench| {
+        let mut r = ChaCha8Rng::seed_from_u64(11);
+        bench.iter(|| black_box(PureStrategy::random(space, &mut r)))
+    });
+    group.bench_function("defection_count", |bench| {
+        bench.iter(|| black_box(a.defection_count()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_lookup, bench_bulk_ops
+}
+criterion_main!(benches);

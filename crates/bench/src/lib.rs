@@ -1,0 +1,126 @@
+//! Experiment harness shared by the table/figure regenerator binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (§VI); this library holds the embedded paper data they
+//! calibrate against and compare with, plus small table/CSV helpers.
+//!
+//! | Binary   | Paper artefact | Content |
+//! |----------|----------------|---------|
+//! | `fig2`   | Fig 2          | WSLS validation: evolved population view + WSLS fraction |
+//! | `table6` | Table VI       | runtime vs memory steps × processors (1,024 SSets) |
+//! | `fig3`   | Fig 3          | strong-scaling efficiency per memory step |
+//! | `fig4`   | Fig 4          | runtime vs memory steps (measured local kernel) |
+//! | `table7` | Table VII      | runtime vs SSet count × processors |
+//! | `fig5`   | Fig 5          | strong-scaling efficiency per population size |
+//! | `table8` | Table VIII     | agents per processor grid |
+//! | `fig6`   | Fig 6          | weak scaling at 4,096 SSets/processor |
+//! | `fig7`   | Fig 7          | large-system strong scaling |
+//!
+//! Run any of them with `cargo run --release -p bench --bin <name>`.
+
+pub mod paper_data;
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory where regenerators drop their CSV outputs
+/// (`target/experiments/`).
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Write CSV rows (with a header) to `target/experiments/<name>.csv` and
+/// return the path.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    path
+}
+
+/// Format a runtime in seconds the way the paper's tables do: integral
+/// seconds above 100, two decimals below.
+pub fn fmt_secs(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{:.0}", t)
+    } else if t >= 10.0 {
+        format!("{:.1}", t)
+    } else {
+        format!("{:.2}", t)
+    }
+}
+
+/// Render an aligned table: `header` column labels, `rows` of cells; the
+/// first column is left-aligned, the rest right-aligned.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{:<w$}", cell, w = widths[0]));
+            } else {
+                line.push_str(&format!("  {:>w$}", cell, w = widths[i]));
+            }
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_secs_matches_paper_style() {
+        assert_eq!(fmt_secs(2207.4), "2207");
+        assert_eq!(fmt_secs(26.53), "26.5");
+        assert_eq!(fmt_secs(4.04), "4.04");
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(
+            &["mem".into(), "128".into(), "2048".into()],
+            &[vec!["one".into(), "26.5".into(), "4.04".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("mem"));
+        assert!(lines[2].starts_with("one"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv(
+            "unit_test_csv",
+            "a,b",
+            &["1,2".to_string(), "3,4".to_string()],
+        );
+        let text = std::fs::read_to_string(p).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+    }
+}

@@ -1,0 +1,369 @@
+//! Virtual ranks and point-to-point messaging — the in-process MPI
+//! stand-in.
+//!
+//! A [`VirtualCluster`] runs `P` *ranks*, each an OS thread holding a
+//! [`Comm`] handle. Messages are typed envelopes delivered through
+//! unbounded channels with the usual MPI guarantees: per-(sender, receiver)
+//! ordering and tag-based matching with an out-of-order arrival buffer.
+//! Failure injection (a rank can be killed) lets tests exercise the error
+//! paths a real cluster would see.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A rank index in `0..size`.
+pub type Rank = usize;
+
+/// A message tag; collectives reserve tags ≥ [`Tag::MAX`]`/2`.
+pub type Tag = u32;
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<T> {
+    /// Sending rank.
+    pub src: Rank,
+    /// Receiving rank.
+    pub dst: Rank,
+    /// Matching tag.
+    pub tag: Tag,
+    /// Message body.
+    pub payload: T,
+}
+
+/// Errors surfaced by the messaging layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The destination rank is dead (killed or exited): the paper's
+    /// equivalent of a node failure.
+    RankDead(Rank),
+    /// A rank index was out of range.
+    InvalidRank(Rank),
+    /// The channel closed mid-receive (peer ranks all gone).
+    Disconnected,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::RankDead(r) => write!(f, "rank {r} is dead"),
+            ClusterError::InvalidRank(r) => write!(f, "rank {r} out of range"),
+            ClusterError::Disconnected => write!(f, "all peers disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Per-cluster shared state.
+struct Shared<T> {
+    senders: Vec<Sender<Envelope<T>>>,
+    alive: Vec<AtomicBool>,
+    /// Total messages sent (communication-volume statistics for the
+    /// perf-model validation).
+    messages_sent: AtomicU64,
+}
+
+/// A rank's communication handle. Cloneable only via the cluster spawn; one
+/// handle per rank.
+pub struct Comm<T> {
+    rank: Rank,
+    size: usize,
+    shared: Arc<Shared<T>>,
+    inbox: Receiver<Envelope<T>>,
+    /// Arrived-but-unmatched messages, in arrival order.
+    pending: Mutex<VecDeque<Envelope<T>>>,
+}
+
+impl<T: Send + 'static> Comm<T> {
+    /// This rank's index.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `payload` to `dst` with `tag`. Errors if `dst` is dead or out
+    /// of range. Sends are non-blocking (channels are unbounded), like the
+    /// paper's non-blocking point-to-point returns along the torus.
+    pub fn send(&self, dst: Rank, tag: Tag, payload: T) -> Result<(), ClusterError> {
+        if dst >= self.size {
+            return Err(ClusterError::InvalidRank(dst));
+        }
+        if !self.shared.alive[dst].load(Ordering::Acquire) {
+            return Err(ClusterError::RankDead(dst));
+        }
+        self.shared.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.shared.senders[dst]
+            .send(Envelope {
+                src: self.rank,
+                dst,
+                tag,
+                payload,
+            })
+            .map_err(|_| ClusterError::RankDead(dst))
+    }
+
+    /// Blocking receive of the next message matching `src`/`tag` filters
+    /// (`None` = wildcard, like `MPI_ANY_SOURCE` / `MPI_ANY_TAG`).
+    /// Non-matching arrivals are buffered and stay available to later
+    /// receives in arrival order.
+    pub fn recv(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<Envelope<T>, ClusterError> {
+        let matches = |e: &Envelope<T>| {
+            src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t)
+        };
+        {
+            let mut pending = self.pending.lock();
+            if let Some(pos) = pending.iter().position(&matches) {
+                return Ok(pending.remove(pos).expect("position just found"));
+            }
+        }
+        loop {
+            let env = self.inbox.recv().map_err(|_| ClusterError::Disconnected)?;
+            if matches(&env) {
+                return Ok(env);
+            }
+            self.pending.lock().push_back(env);
+        }
+    }
+
+    /// Receive the next message regardless of source or tag.
+    pub fn recv_any(&self) -> Result<Envelope<T>, ClusterError> {
+        self.recv(None, None)
+    }
+
+    /// Mark this rank dead (failure injection). Subsequent sends *to* it
+    /// fail with [`ClusterError::RankDead`]. The rank's thread should
+    /// return promptly after calling this.
+    pub fn kill(&self) {
+        self.shared.alive[self.rank].store(false, Ordering::Release);
+    }
+
+    /// Whether a rank is still alive.
+    pub fn is_alive(&self, rank: Rank) -> bool {
+        rank < self.size && self.shared.alive[rank].load(Ordering::Acquire)
+    }
+
+    /// Total messages sent across the whole cluster so far.
+    pub fn cluster_messages_sent(&self) -> u64 {
+        self.shared.messages_sent.load(Ordering::Relaxed)
+    }
+}
+
+/// A virtual cluster: spawns `size` ranks as threads and joins them.
+pub struct VirtualCluster;
+
+impl VirtualCluster {
+    /// Run `body(comm)` on `size` ranks concurrently; returns each rank's
+    /// result in rank order. Panics in a rank propagate after all ranks are
+    /// joined.
+    pub fn run<T, R, F>(size: usize, body: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(Comm<T>) -> R + Send + Sync + 'static,
+    {
+        assert!(size > 0, "cluster needs at least one rank");
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            senders,
+            alive: (0..size).map(|_| AtomicBool::new(true)).collect(),
+            messages_sent: AtomicU64::new(0),
+        });
+        let body = Arc::new(body);
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| {
+                let shared = Arc::clone(&shared);
+                let body = Arc::clone(&body);
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .spawn(move || {
+                        let comm = Comm {
+                            rank,
+                            size,
+                            shared,
+                            inbox,
+                            pending: Mutex::new(VecDeque::new()),
+                        };
+                        body(comm)
+                    })
+                    .expect("spawn rank thread")
+            })
+            .collect();
+        let mut results = Vec::with_capacity(size);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(e) => panic = Some(e),
+            }
+        }
+        if let Some(e) = panic {
+            std::panic::resume_unwind(e);
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_visits_every_rank() {
+        // Each rank sends its rank id to the next; sum arrives intact.
+        let results: Vec<usize> = VirtualCluster::run(8, |comm: Comm<usize>| {
+            let next = (comm.rank() + 1) % comm.size();
+            comm.send(next, 0, comm.rank()).unwrap();
+            let env = comm.recv(None, Some(0)).unwrap();
+            env.payload
+        });
+        let mut got = results.clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn point_to_point_ordering_preserved() {
+        // Messages between a fixed (src, dst) pair with the same tag arrive
+        // in send order.
+        let results = VirtualCluster::run(2, |comm: Comm<u32>| {
+            if comm.rank() == 0 {
+                for i in 0..100 {
+                    comm.send(1, 7, i).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..100)
+                    .map(|_| comm.recv(Some(0), Some(7)).unwrap().payload)
+                    .collect::<Vec<u32>>()
+            }
+        });
+        assert_eq!(results[1], (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn tag_matching_buffers_out_of_order() {
+        let results = VirtualCluster::run(2, |comm: Comm<&'static str>| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, "first-sent").unwrap();
+                comm.send(1, 2, "second-sent").unwrap();
+                String::new()
+            } else {
+                // Receive tag 2 first even though tag 1 arrived first.
+                let a = comm.recv(None, Some(2)).unwrap().payload;
+                let b = comm.recv(None, Some(1)).unwrap().payload;
+                format!("{a}|{b}")
+            }
+        });
+        assert_eq!(results[1], "second-sent|first-sent");
+    }
+
+    #[test]
+    fn source_matching_filters() {
+        let results = VirtualCluster::run(3, |comm: Comm<usize>| {
+            match comm.rank() {
+                0 => {
+                    comm.send(2, 0, 100).unwrap();
+                    0
+                }
+                1 => {
+                    comm.send(2, 0, 200).unwrap();
+                    0
+                }
+                _ => {
+                    // Ask for rank 1's message first.
+                    let from1 = comm.recv(Some(1), None).unwrap().payload;
+                    let from0 = comm.recv(Some(0), None).unwrap().payload;
+                    from1 * 1000 + from0
+                }
+            }
+        });
+        assert_eq!(results[2], 200_100);
+    }
+
+    #[test]
+    fn send_to_invalid_rank_errors() {
+        VirtualCluster::run(2, |comm: Comm<u8>| {
+            assert_eq!(comm.send(5, 0, 1), Err(ClusterError::InvalidRank(5)));
+        });
+    }
+
+    #[test]
+    fn send_to_dead_rank_errors() {
+        // Rank 1 kills itself; rank 0 observes the death after a sync.
+        VirtualCluster::run(2, |comm: Comm<u8>| {
+            if comm.rank() == 1 {
+                comm.kill();
+                comm.send(0, 9, 1).unwrap(); // dying gasp still deliverable
+            } else {
+                comm.recv(Some(1), Some(9)).unwrap();
+                assert!(!comm.is_alive(1));
+                assert_eq!(comm.send(1, 0, 1), Err(ClusterError::RankDead(1)));
+            }
+        });
+    }
+
+    #[test]
+    fn message_counter_counts_all_sends() {
+        let results = VirtualCluster::run(4, |comm: Comm<u8>| {
+            // Everyone sends one message to rank 0.
+            if comm.rank() != 0 {
+                comm.send(0, 0, 1).unwrap();
+            } else {
+                for _ in 0..3 {
+                    comm.recv_any().unwrap();
+                }
+            }
+            comm.cluster_messages_sent()
+        });
+        // After the barrier-free exchange, at least rank 0 observed 3 sends.
+        assert!(results[0] >= 3);
+    }
+
+    #[test]
+    fn large_payloads_cross_intact() {
+        let big: Vec<u64> = (0..10_000).collect();
+        let expect = big.clone();
+        let results = VirtualCluster::run(2, move |comm: Comm<Vec<u64>>| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, big.clone()).unwrap();
+                Vec::new()
+            } else {
+                comm.recv_any().unwrap().payload
+            }
+        });
+        assert_eq!(results[1], expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        VirtualCluster::run(0, |_c: Comm<u8>| ());
+    }
+
+    #[test]
+    fn single_rank_cluster_works() {
+        let r = VirtualCluster::run(1, |comm: Comm<u8>| comm.size());
+        assert_eq!(r, vec![1]);
+    }
+}

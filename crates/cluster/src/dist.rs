@@ -1,0 +1,497 @@
+//! The distributed engine: the paper's Blue Gene mapping on the virtual
+//! cluster (§V).
+//!
+//! Rank 0 is the **Nature Agent**; every other rank owns a contiguous block
+//! of SSets and keeps a full local copy of the strategy table ("all nodes
+//! need to maintain an up to date view of the strategies assigned to all
+//! other SSets", §V-B). One generation proceeds exactly as the paper
+//! describes:
+//!
+//! 1. the Nature Agent **broadcasts** the generation's schedule (PC pair
+//!    selection / mutation target) over the collective tree;
+//! 2. compute ranks run their owned SSets' games locally — "handled locally
+//!    with no communication" (§V-A); the owners of the selected teacher and
+//!    learner return those fitnesses to rank 0 by **point-to-point** sends;
+//! 3. rank 0 resolves the comparison through the Fermi rule and
+//!    **broadcasts** the resulting strategy update, plus any mutation (the
+//!    new strategy travels with the broadcast);
+//! 4. every rank applies the updates to its local table.
+//!
+//! Because all stochastic choices come from the same counter-based streams
+//! used by the shared-memory engine, the distributed run produces the
+//! *identical* trajectory — the integration tests assert this rank-count by
+//! rank-count.
+
+use crate::collective::Collective;
+use crate::comm::{Comm, VirtualCluster};
+use evo_core::fitness::{evaluate_one, FitnessPolicy};
+use evo_core::nature::{Event, GenSchedule, NatureAgent};
+use evo_core::params::Params;
+use evo_core::pool::{StratId, StrategyPool};
+use evo_core::record::RunStats;
+use evo_core::rngstream::{stream, Domain};
+use ipd::state::StateSpace;
+use ipd::strategy::Strategy;
+use serde::{Deserialize, Serialize};
+
+/// Messages exchanged by the distributed engine.
+#[derive(Debug, Clone)]
+enum DistMsg {
+    /// Broadcast: this generation's schedule.
+    Schedule(GenSchedule),
+    /// Point-to-point: a selected SSet's relative fitness, returned to the
+    /// Nature Agent.
+    Fitness { sset: u32, value: f64 },
+    /// Broadcast: outcome of the pairwise comparison (learner adopts
+    /// teacher's strategy when `adopted`).
+    PcOutcome { adopted: bool },
+    /// Broadcast: a mutation assigning `strategy` to `sset`.
+    Mutation { sset: u32, strategy: Strategy },
+    /// Collective plumbing (barriers / reductions of scalars).
+    Scalar(#[allow(dead_code)] f64),
+}
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistConfig {
+    /// Engine parameters (shared with the shared-memory engine).
+    pub params: Params,
+    /// Total ranks including the Nature Agent (rank 0); ≥ 2.
+    pub ranks: usize,
+    /// When compute ranks evaluate fitness. `OnDemand` computes only the
+    /// teacher's and learner's fitness in generations with a PC event —
+    /// the configuration that makes Blue Gene-scale weak scaling feasible
+    /// (see DESIGN.md §5, Fig 6/7 discussion).
+    pub policy: FitnessPolicy,
+}
+
+/// Result of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistOutcome {
+    /// Final strategy id per SSet (ids are pool-consistent with the
+    /// shared-memory engine's, as updates intern in the same order).
+    pub assignments: Vec<StratId>,
+    /// Final per-SSet strategy feature vectors.
+    pub features: Vec<Vec<f64>>,
+    /// Aggregate event statistics (as counted by the Nature Agent).
+    pub stats: RunStats,
+    /// Total point-to-point messages the run sent (collectives included —
+    /// they are built from point-to-point sends).
+    pub messages_sent: u64,
+    /// Events per generation, in order (for trajectory comparison).
+    pub events: Vec<Vec<Event>>,
+}
+
+/// Owner rank of `sset` under a balanced block distribution over compute
+/// ranks `1..ranks`.
+pub fn owner_of(sset: usize, num_ssets: usize, ranks: usize) -> usize {
+    assert!(ranks >= 2, "need the Nature Agent plus at least one compute rank");
+    // Inverse of the balanced block partition used by `owned_range`.
+    let compute = ranks - 1;
+    1 + ((sset + 1) * compute - 1) / num_ssets
+}
+
+/// The SSets owned by `rank` (empty for rank 0, the Nature Agent).
+pub fn owned_range(rank: usize, num_ssets: usize, ranks: usize) -> std::ops::Range<usize> {
+    if rank == 0 {
+        return 0..0;
+    }
+    // Standard balanced block partition: [r·n/c, (r+1)·n/c).
+    let compute = ranks - 1;
+    let r = rank - 1;
+    (r * num_ssets / compute)..((r + 1) * num_ssets / compute)
+}
+
+/// Run the distributed engine and return its outcome. Spawns `ranks`
+/// virtual ranks; intended for functional validation at small scale (the
+/// performance model, not this, extrapolates to 262,144 processors).
+pub fn run_distributed(config: &DistConfig) -> DistOutcome {
+    assert!(
+        matches!(
+            config.params.rule,
+            evo_core::params::UpdateRule::PairwiseComparison
+        ),
+        "the distributed engine implements the paper's pairwise-comparison rule; \
+         Moran/ImitateBest need full fitness gathers and are shared-memory only"
+    );
+    let space = config.params.validate().expect("valid params");
+    let params = config.params.clone();
+    let ranks = config.ranks;
+    let policy = config.policy;
+    let num_ssets = params.num_ssets;
+    let generations = params.generations;
+
+    let mut results = VirtualCluster::run(ranks, move |comm: Comm<DistMsg>| {
+        run_rank(&comm, &params, space, policy, generations)
+    });
+    // Rank 0 (Nature Agent) returns the authoritative outcome.
+    let outcome = results.remove(0).expect("rank 0 returns the outcome");
+    // Compute ranks' final tables must agree with rank 0's (consistency of
+    // the replicated strategy view).
+    for (r, other) in results.into_iter().enumerate() {
+        if let Some(o) = other {
+            assert_eq!(
+                o.assignments,
+                outcome.assignments,
+                "rank {} diverged from the Nature Agent's strategy table",
+                r + 1
+            );
+        }
+    }
+    let _ = num_ssets;
+    outcome
+}
+
+/// Per-rank body of the distributed engine.
+fn run_rank(
+    comm: &Comm<DistMsg>,
+    params: &Params,
+    space: StateSpace,
+    policy: FitnessPolicy,
+    generations: u64,
+) -> Option<DistOutcome> {
+    let coll = Collective::new(comm);
+    let rank = comm.rank();
+    let ranks = comm.size();
+    let num_ssets = params.num_ssets;
+    let is_nature = rank == 0;
+
+    // Every rank builds the identical initial table (paper: the global
+    // strategy view is set up in the initialisation broadcast; here the
+    // counter-based streams make it reproducible locally, and the setup
+    // barrier stands in for the paper's initial broadcast).
+    let mut pool = StrategyPool::new();
+    let mixed = matches!(params.kind, evo_core::params::StrategyKind::Mixed);
+    let mut assignments: Vec<StratId> = (0..num_ssets)
+        .map(|i| {
+            let mut rng = stream(params.seed, Domain::Init, i as u64, 0);
+            pool.intern(Strategy::random(space, mixed, &mut rng))
+        })
+        .collect();
+    coll.barrier(DistMsg::Scalar(0.0)).expect("setup barrier");
+
+    let nature = NatureAgent {
+        pc_rate: params.pc_rate,
+        mutation_rate: params.mutation_rate,
+        beta: params.beta,
+        teacher_must_be_fitter: params.teacher_must_be_fitter,
+        kind: params.kind,
+        mutation_kind: params.mutation_kind,
+        seed: params.seed,
+    };
+    let owned = owned_range(rank, num_ssets, ranks);
+    let mut stats = RunStats::default();
+    let mut all_events: Vec<Vec<Event>> = Vec::new();
+
+    for generation in 0..generations {
+        // (1) Nature broadcasts the schedule.
+        let schedule = if is_nature {
+            Some(DistMsg::Schedule(nature.schedule(num_ssets as u32, generation)))
+        } else {
+            None
+        };
+        let schedule = match coll.bcast(0, schedule).expect("schedule bcast") {
+            DistMsg::Schedule(s) => s,
+            other => panic!("expected schedule, got {other:?}"),
+        };
+
+        // (2) Game dynamics: local, no communication (§V-A).
+        let evaluate_all = matches!(policy, FitnessPolicy::EveryGeneration);
+        let mut local_fitness: Vec<(usize, f64)> = Vec::new();
+        if !is_nature {
+            let needed: Vec<usize> = if evaluate_all {
+                owned.clone().collect()
+            } else if let Some((t, l)) = schedule.pc {
+                owned
+                    .clone()
+                    .filter(|&s| s == t as usize || s == l as usize)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            for s in needed {
+                let f = evaluate_one(
+                    &space,
+                    &assignments,
+                    &pool,
+                    &params.game,
+                    params.seed,
+                    generation,
+                    s,
+                );
+                local_fitness.push((s, f));
+            }
+        }
+
+        let mut events = Vec::new();
+
+        // (2b) Selected SSets return fitness point-to-point; (3) Nature
+        // resolves the PC and broadcasts the outcome.
+        if let Some((teacher, learner)) = schedule.pc {
+            if !is_nature {
+                for &(s, f) in &local_fitness {
+                    if s == teacher as usize || s == learner as usize {
+                        comm.send(
+                            0,
+                            1,
+                            DistMsg::Fitness {
+                                sset: s as u32,
+                                value: f,
+                            },
+                        )
+                        .expect("fitness return");
+                    }
+                }
+            }
+            let outcome = if is_nature {
+                let mut ft = None;
+                let mut fl = None;
+                while ft.is_none() || fl.is_none() {
+                    match comm.recv(None, Some(1)).expect("fitness recv").payload {
+                        DistMsg::Fitness { sset, value } => {
+                            if sset == teacher {
+                                ft = Some(value);
+                            }
+                            if sset == learner {
+                                fl = Some(value);
+                            }
+                        }
+                        other => panic!("expected fitness, got {other:?}"),
+                    }
+                }
+                let (ft, fl) = (ft.unwrap(), fl.unwrap());
+                let (p, adopted) = nature.resolve_pc(ft, fl, generation);
+                stats.pc_events += 1;
+                stats.adoptions += adopted as u64;
+                events.push(Event::PairwiseComparison {
+                    teacher,
+                    learner,
+                    teacher_fitness: ft,
+                    learner_fitness: fl,
+                    p,
+                    adopted,
+                });
+                Some(DistMsg::PcOutcome { adopted })
+            } else {
+                None
+            };
+            let outcome = coll.bcast(0, outcome).expect("pc outcome bcast");
+            if let DistMsg::PcOutcome { adopted } = outcome {
+                if adopted {
+                    assignments[learner as usize] = assignments[teacher as usize];
+                }
+            } else {
+                panic!("expected PC outcome");
+            }
+        }
+
+        // (3b) Mutation: Nature generates and broadcasts the new strategy
+        // with its target ("this strategy along with the SSet identifier is
+        // then transmitted to all agents", §V-B).
+        if let Some(target) = schedule.mutation {
+            let msg = if is_nature {
+                let current = (**pool.get(assignments[target as usize])).clone();
+                let strat = nature.mutation_strategy(&space, generation, &current);
+                Some(DistMsg::Mutation {
+                    sset: target,
+                    strategy: strat,
+                })
+            } else {
+                None
+            };
+            match coll.bcast(0, msg).expect("mutation bcast") {
+                DistMsg::Mutation { sset, strategy } => {
+                    let id = pool.intern(strategy);
+                    assignments[sset as usize] = id;
+                    if is_nature {
+                        stats.mutations += 1;
+                        events.push(Event::Mutation { sset, strategy: id });
+                    }
+                }
+                other => panic!("expected mutation, got {other:?}"),
+            }
+        }
+
+        if is_nature {
+            stats.generations += 1;
+            if evaluate_all || schedule.pc.is_some() {
+                stats.fitness_evaluations += 1;
+            }
+            all_events.push(events);
+        }
+    }
+
+    coll.barrier(DistMsg::Scalar(0.0)).expect("teardown barrier");
+
+    if is_nature {
+        Some(DistOutcome {
+            features: assignments
+                .iter()
+                .map(|&id| pool.get(id).feature_vector())
+                .collect(),
+            assignments,
+            stats,
+            messages_sent: comm.cluster_messages_sent(),
+            events: all_events,
+        })
+    } else {
+        // Compute ranks return their table for the consistency check.
+        Some(DistOutcome {
+            features: Vec::new(),
+            assignments,
+            stats: RunStats::default(),
+            messages_sent: 0,
+            events: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evo_core::fitness::ExecMode;
+    use evo_core::population::Population;
+    use ipd::game::GameConfig;
+
+    fn params(seed: u64, ssets: usize, gens: u64) -> Params {
+        Params {
+            mem_steps: 1,
+            num_ssets: ssets,
+            generations: gens,
+            seed,
+            game: GameConfig {
+                rounds: 16,
+                ..GameConfig::default()
+            },
+            ..Params::default()
+        }
+    }
+
+    #[test]
+    fn owner_block_partition_covers_all_ssets() {
+        for (s, r) in [(10usize, 3usize), (16, 5), (7, 2), (100, 9), (5, 7)] {
+            let mut owners = vec![0usize; s];
+            for rank in 1..r {
+                for i in owned_range(rank, s, r) {
+                    owners[i] += 1;
+                    assert_eq!(owner_of(i, s, r), rank, "sset {i} (s={s}, r={r})");
+                }
+            }
+            assert!(owners.iter().all(|&c| c == 1), "s={s} r={r}: {owners:?}");
+            assert!(owned_range(0, s, r).is_empty(), "Nature owns nothing");
+        }
+    }
+
+    #[test]
+    fn distributed_matches_shared_memory_engine() {
+        for seed in [1u64, 2, 3] {
+            let p = params(seed, 10, 40);
+            let mut reference = Population::new(p.clone()).unwrap();
+            reference.exec_mode = ExecMode::Sequential;
+            let mut ref_events = Vec::new();
+            for _ in 0..40 {
+                ref_events.push(reference.step().events);
+            }
+            let out = run_distributed(&DistConfig {
+                params: p,
+                ranks: 4,
+                policy: FitnessPolicy::EveryGeneration,
+            });
+            assert_eq!(out.assignments, reference.assignments(), "seed {seed}");
+            assert_eq!(out.events, ref_events, "seed {seed}");
+            assert_eq!(out.stats.adoptions, reference.stats().adoptions);
+            assert_eq!(out.stats.mutations, reference.stats().mutations);
+        }
+    }
+
+    #[test]
+    fn trajectory_invariant_to_rank_count() {
+        let base = run_distributed(&DistConfig {
+            params: params(9, 12, 30),
+            ranks: 2,
+            policy: FitnessPolicy::EveryGeneration,
+        });
+        for ranks in [3usize, 5, 8, 13] {
+            let out = run_distributed(&DistConfig {
+                params: params(9, 12, 30),
+                ranks,
+                policy: FitnessPolicy::EveryGeneration,
+            });
+            assert_eq!(out.assignments, base.assignments, "ranks {ranks}");
+            assert_eq!(out.events, base.events, "ranks {ranks}");
+        }
+    }
+
+    #[test]
+    fn on_demand_policy_gives_same_trajectory() {
+        let every = run_distributed(&DistConfig {
+            params: params(5, 8, 50),
+            ranks: 3,
+            policy: FitnessPolicy::EveryGeneration,
+        });
+        let lazy = run_distributed(&DistConfig {
+            params: params(5, 8, 50),
+            ranks: 3,
+            policy: FitnessPolicy::OnDemand,
+        });
+        assert_eq!(every.assignments, lazy.assignments);
+        assert_eq!(every.events, lazy.events);
+    }
+
+    #[test]
+    fn more_ranks_than_ssets_still_works() {
+        let out = run_distributed(&DistConfig {
+            params: params(11, 4, 20),
+            ranks: 9, // 8 compute ranks for 4 SSets: some own nothing
+            policy: FitnessPolicy::EveryGeneration,
+        });
+        assert_eq!(out.assignments.len(), 4);
+        assert_eq!(out.stats.generations, 20);
+    }
+
+    #[test]
+    fn mixed_strategy_population_distributes() {
+        let mut p = params(13, 8, 30);
+        p.kind = evo_core::params::StrategyKind::Mixed;
+        let mut reference = Population::new(p.clone()).unwrap();
+        reference.run(30);
+        let out = run_distributed(&DistConfig {
+            params: p,
+            ranks: 4,
+            policy: FitnessPolicy::EveryGeneration,
+        });
+        assert_eq!(out.assignments, reference.assignments());
+    }
+
+    #[test]
+    fn message_volume_scales_with_generations() {
+        let short = run_distributed(&DistConfig {
+            params: params(3, 6, 10),
+            ranks: 4,
+            policy: FitnessPolicy::OnDemand,
+        });
+        let long = run_distributed(&DistConfig {
+            params: params(3, 6, 100),
+            ranks: 4,
+            policy: FitnessPolicy::OnDemand,
+        });
+        assert!(long.messages_sent > short.messages_sent);
+        // Every generation broadcasts at least the schedule: ≥ (ranks-1)
+        // messages per generation.
+        assert!(long.messages_sent >= 100 * 3);
+    }
+
+    #[test]
+    fn noisy_games_still_match_reference() {
+        let mut p = params(17, 6, 30);
+        p.game.noise = 0.05;
+        let mut reference = Population::new(p.clone()).unwrap();
+        reference.run(30);
+        let out = run_distributed(&DistConfig {
+            params: p,
+            ranks: 3,
+            policy: FitnessPolicy::EveryGeneration,
+        });
+        assert_eq!(out.assignments, reference.assignments());
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the cluster substrate: collectives, topology,
+//! the perf-model fit, and the virtual-time layer.
+
+use cluster::collective::{Collective, Messenger};
+use cluster::comm::{Comm, VirtualCluster};
+use cluster::perf::{fit_strong_scaling, FittedRow, MachineProfile, PerfModel, Workload};
+use cluster::simtime::{run_timed, NetCosts};
+use cluster::topology::{RankMapping, Torus3D};
+use evo_core::fitness::FitnessPolicy;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Broadcast delivers the root's value to every rank, for any cluster
+    /// size, root, and value.
+    #[test]
+    fn bcast_delivers_everywhere(size in 1usize..=12, root_raw in 0usize..12, value in any::<u64>()) {
+        let root = root_raw % size;
+        let results = VirtualCluster::run(size, move |comm: Comm<u64>| {
+            let coll = Collective::new(&comm);
+            coll.bcast(root, (comm.rank() == root).then_some(value)).unwrap()
+        });
+        prop_assert!(results.iter().all(|&v| v == value));
+    }
+
+    /// Reduction computes the exact sum at the root for arbitrary values.
+    #[test]
+    fn reduce_sums_exactly(
+        size in 1usize..=12,
+        root_raw in 0usize..12,
+        values in prop::collection::vec(0u64..1_000_000, 12),
+    ) {
+        let root = root_raw % size;
+        let vals = values.clone();
+        let results = VirtualCluster::run(size, move |comm: Comm<u64>| {
+            let coll = Collective::new(&comm);
+            coll.reduce(root, vals[comm.rank()], |a, b| a + b).unwrap()
+        });
+        let expect: u64 = values[..size].iter().sum();
+        prop_assert_eq!(results[root], Some(expect));
+        for (r, v) in results.iter().enumerate() {
+            if r != root {
+                prop_assert_eq!(*v, None);
+            }
+        }
+    }
+
+    /// Gather returns every rank's value in rank order.
+    #[test]
+    fn gather_preserves_rank_order(size in 1usize..=10, root_raw in 0usize..10) {
+        let root = root_raw % size;
+        let results = VirtualCluster::run(size, move |comm: Comm<usize>| {
+            let coll = Collective::new(&comm);
+            coll.gather(root, comm.rank() * 3).unwrap()
+        });
+        let expect: Vec<usize> = (0..size).map(|r| r * 3).collect();
+        prop_assert_eq!(results[root].clone(), Some(expect));
+    }
+
+    /// Torus hop distance is a metric: identity, symmetry, triangle
+    /// inequality — under both rank mappings.
+    #[test]
+    fn torus_hops_is_a_metric(
+        x in 1usize..=6, y in 1usize..=6, z in 1usize..=4,
+        a_raw in 0usize..144, b_raw in 0usize..144, c_raw in 0usize..144,
+    ) {
+        let t = Torus3D::new(x, y, z);
+        let n = t.len();
+        let (a, b, c) = (a_raw % n, b_raw % n, c_raw % n);
+        for mapping in [RankMapping::RowMajor, RankMapping::Snake] {
+            prop_assert_eq!(t.hops_mapped(a, a, mapping), 0);
+            prop_assert_eq!(t.hops_mapped(a, b, mapping), t.hops_mapped(b, a, mapping));
+            prop_assert!(
+                t.hops_mapped(a, c, mapping)
+                    <= t.hops_mapped(a, b, mapping) + t.hops_mapped(b, c, mapping)
+            );
+            prop_assert!(t.hops_mapped(a, b, mapping) <= t.diameter());
+        }
+    }
+
+    /// Snake mapping is a bijection on any torus.
+    #[test]
+    fn snake_mapping_bijective(x in 1usize..=6, y in 1usize..=6, z in 1usize..=4) {
+        let t = Torus3D::new(x, y, z);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..t.len() {
+            prop_assert!(seen.insert(t.coord_mapped(r, RankMapping::Snake)));
+        }
+    }
+
+    /// The strong-scaling fit reproduces synthetic data generated from any
+    /// non-negative constants.
+    #[test]
+    fn fit_recovers_arbitrary_constants(
+        game_cost in 1e-7f64..1e-4,
+        const_cost in 0.0f64..1e-2,
+        log_cost in 0.0f64..1e-3,
+    ) {
+        let truth = FittedRow { game_cost, const_cost, log_cost, rms_rel_error: 0.0 };
+        let work = 1_048_576.0;
+        let gens = 1_000;
+        let points: Vec<(u64, f64)> = [64u64, 128, 256, 512, 1_024, 2_048]
+            .iter()
+            .map(|&p| (p, truth.predict(work, gens, p)))
+            .collect();
+        let fit = fit_strong_scaling(&points, work, gens);
+        prop_assert!(fit.rms_rel_error < 1e-6, "rms {}", fit.rms_rel_error);
+    }
+
+    /// Universal model properties: runtime is positive, total resource
+    /// cost `T(P)·P` never decreases with more processors (no superlinear
+    /// free lunch), and strong-scaling efficiency stays within (0, 1].
+    /// (Raw runtime itself is legitimately non-monotone for tiny
+    /// communication-dominated workloads — more ranks, more tree levels.)
+    #[test]
+    fn perf_model_cost_and_efficiency_bounds(
+        mem in 0usize..=6,
+        ssets_pow in 8u32..=15,
+        every in any::<bool>(),
+    ) {
+        let w = Workload {
+            num_ssets: 1u64 << ssets_pow,
+            mem_steps: mem,
+            generations: 100,
+            pc_rate: 0.01,
+            mutation_rate: 0.05,
+            policy: if every { FitnessPolicy::EveryGeneration } else { FitnessPolicy::OnDemand },
+        };
+        let m = PerfModel::new(MachineProfile::bluegene_p());
+        let mut last_cost = 0.0f64;
+        for p in [64u64, 256, 1_024, 4_096, 16_384] {
+            let t = m.predict(&w, p);
+            prop_assert!(t > 0.0);
+            let cost = t * p as f64;
+            prop_assert!(cost >= last_cost * (1.0 - 1e-12), "P={p}");
+            last_cost = cost;
+            let e = m.efficiency(&w, 64, p);
+            prop_assert!(e > 0.0 && e <= 1.0 + 1e-9, "P={p}: efficiency {e}");
+        }
+    }
+
+    /// Virtual-time invariants: clocks never run backwards, the makespan
+    /// dominates every rank, and a broadcast's completion exceeds the
+    /// root's send time on every rank.
+    #[test]
+    fn virtual_time_causality(size in 2usize..=10, work_us in 0u64..500) {
+        let net = NetCosts {
+            alpha: 1e-6,
+            per_hop: 1e-7,
+            recv_overhead: 1e-7,
+            torus: Torus3D::balanced(size),
+        };
+        let work = work_us as f64 * 1e-6;
+        let (clocks, makespan) = run_timed(size, net, move |comm| {
+            if comm.rank() == 0 {
+                comm.compute(work);
+            }
+            let coll = Collective::new(comm);
+            let _ = coll.bcast(0, (comm.rank() == 0).then_some(1u8)).unwrap();
+            comm.now()
+        });
+        for (r, &t) in clocks.iter().enumerate() {
+            prop_assert!(t >= 0.0);
+            prop_assert!(t <= makespan + 1e-15);
+            if r != 0 && size > 1 {
+                prop_assert!(t >= work, "rank {r} finished before the root's compute");
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The Fermi pairwise-comparison rule (paper Eq. 1).
+//!
+//! When the Nature Agent compares a randomly chosen *teacher* and *learner*
+//! SSet, the learner adopts the teacher's strategy with probability
+//!
+//! ```text
+//! p = 1 / (1 + exp(-β (π_T − π_L)))
+//! ```
+//!
+//! where `π_T`, `π_L` are the two SSets' relative fitnesses and `β` is the
+//! intensity of selection: "a small β leads to almost random strategy
+//! selection, while [for] large values of β the rate of selecting the
+//! strategy with the higher relative fitness increases. As β approaches
+//! infinity, the better strategy will always be adopted." (§IV-B, after
+//! Traulsen, Pacheco & Nowak [15].)
+
+/// Adoption probability for the Fermi rule with selection intensity `beta`,
+/// teacher payoff `pi_t`, learner payoff `pi_l`.
+///
+/// `beta = f64::INFINITY` implements the deterministic imitation limit:
+/// 1 if the teacher is strictly fitter, ½ on ties, 0 otherwise.
+#[inline]
+pub fn fermi_probability(beta: f64, pi_t: f64, pi_l: f64) -> f64 {
+    debug_assert!(beta >= 0.0, "selection intensity must be non-negative");
+    let diff = pi_t - pi_l;
+    if beta.is_infinite() {
+        return if diff > 0.0 {
+            1.0
+        } else if diff == 0.0 {
+            0.5
+        } else {
+            0.0
+        };
+    }
+    1.0 / (1.0 + (-beta * diff).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_payoffs_give_half() {
+        assert_eq!(fermi_probability(1.0, 5.0, 5.0), 0.5);
+        assert_eq!(fermi_probability(0.0, 1.0, 99.0), 0.5); // β=0: random drift
+    }
+
+    #[test]
+    fn better_teacher_more_likely_adopted() {
+        let p = fermi_probability(1.0, 10.0, 5.0);
+        assert!(p > 0.5 && p < 1.0);
+        let q = fermi_probability(1.0, 5.0, 10.0);
+        assert!((p + q - 1.0).abs() < 1e-12, "Fermi is antisymmetric");
+    }
+
+    #[test]
+    fn monotone_in_payoff_difference() {
+        let mut last = 0.0;
+        for d in -10..=10 {
+            let p = fermi_probability(0.5, d as f64, 0.0);
+            assert!(p > last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn monotone_in_beta_when_teacher_better() {
+        let mut last = 0.5;
+        for b in 1..=20 {
+            let p = fermi_probability(b as f64 * 0.25, 1.0, 0.0);
+            assert!(p >= last, "β={} gave {p} < {last}", b);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn infinite_beta_is_step_function() {
+        assert_eq!(fermi_probability(f64::INFINITY, 2.0, 1.0), 1.0);
+        assert_eq!(fermi_probability(f64::INFINITY, 1.0, 2.0), 0.0);
+        assert_eq!(fermi_probability(f64::INFINITY, 1.0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn large_finite_beta_saturates() {
+        let p = fermi_probability(1e3, 10.0, 0.0);
+        assert!(p > 1.0 - 1e-12);
+        let q = fermi_probability(1e3, 0.0, 10.0);
+        assert!(q < 1e-12);
+    }
+
+    #[test]
+    fn probability_always_in_unit_interval() {
+        for &beta in &[0.0, 0.01, 1.0, 100.0, 1e6] {
+            for d in -50..=50 {
+                let p = fermi_probability(beta, d as f64, 0.0);
+                assert!((0.0..=1.0).contains(&p), "β={beta} d={d} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_differences_do_not_overflow() {
+        let p = fermi_probability(10.0, 1e8, -1e8);
+        assert_eq!(p, 1.0);
+        let q = fermi_probability(10.0, -1e8, 1e8);
+        assert_eq!(q, 0.0);
+    }
+}

@@ -1,0 +1,629 @@
+//! Game dynamics: per-generation fitness evaluation (paper §IV-A, §V-A).
+//!
+//! Each generation, every SSet's strategy is measured against every strategy
+//! assigned to any SSet — `s²` iterated games. These games are independent,
+//! so this phase "is easily parallelized … and does not require any
+//! communication": [`evaluate`] runs them either sequentially or via rayon,
+//! with bit-identical results (each game draws from its own counter-based
+//! RNG stream keyed by `(seed, focal, opponent, generation)`).
+//!
+//! Beyond the paper, [`evaluate_deduped`] exploits strategy interning: after
+//! the population begins to fixate, most SSets share a handful of distinct
+//! strategies, so only `u²` games between *unique* strategies are needed
+//! (`u` ≤ number of distinct strategies). Deduplication is only sound when
+//! games are deterministic (pure strategies, no noise); it is rejected
+//! otherwise. The `generation` criterion bench quantifies the speedup.
+
+use crate::pool::{StratId, StrategyPool};
+use crate::rngstream::game_stream;
+use ipd::game::{play, play_deterministic, play_deterministic_cycle, GameConfig};
+use ipd::state::StateSpace;
+use ipd::strategy::Strategy;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How the game-dynamics phase is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Single-threaded reference implementation.
+    Sequential,
+    /// Data-parallel over SSets via rayon (one task per focal SSet).
+    Rayon,
+}
+
+/// When fitness is computed within the generation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FitnessPolicy {
+    /// Every generation, as the paper's SSet pseudocode does (§IV-D).
+    EveryGeneration,
+    /// Only in generations where the Nature Agent actually initiates a
+    /// pairwise comparison — an extension that skips unused work (the PC
+    /// rate in the scaling studies is 1%, so 99% of evaluations go unread).
+    OnDemand,
+}
+
+/// Which inner-loop kernel plays deterministic (pure, noiseless) games.
+/// Outcomes are identical (property-tested in `ipd`); only cost differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GameKernel {
+    /// Simulate every round, as the paper's implementation does.
+    #[default]
+    Naive,
+    /// Detect the state-pair cycle and pay out the remaining rounds
+    /// arithmetically ([`play_deterministic_cycle`]).
+    Cycle,
+}
+
+#[inline]
+fn det_fitness(
+    kernel: GameKernel,
+    space: &StateSpace,
+    a: &ipd::strategy::PureStrategy,
+    b: &ipd::strategy::PureStrategy,
+    game: &GameConfig,
+) -> f64 {
+    match kernel {
+        GameKernel::Naive => play_deterministic(space, a, b, game).fitness_a,
+        GameKernel::Cycle => play_deterministic_cycle(space, a, b, game).fitness_a,
+    }
+}
+
+/// Compute every SSet's relative fitness: `fitness[i]` is the sum over all
+/// opponents `j` (self included) of the focal payoff of the game
+/// `strategy[i]` vs `strategy[j]`.
+///
+/// Works for any strategy kind; stochastic games draw from per-game streams
+/// derived from `seed` and `generation`, so the result is independent of
+/// `mode`.
+pub fn evaluate(
+    space: &StateSpace,
+    assignments: &[StratId],
+    pool: &StrategyPool,
+    game: &GameConfig,
+    seed: u64,
+    generation: u64,
+    mode: ExecMode,
+) -> Vec<f64> {
+    evaluate_with_kernel(
+        space,
+        assignments,
+        pool,
+        game,
+        seed,
+        generation,
+        mode,
+        GameKernel::Naive,
+    )
+}
+
+/// [`evaluate`] with an explicit deterministic-game kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_with_kernel(
+    space: &StateSpace,
+    assignments: &[StratId],
+    pool: &StrategyPool,
+    game: &GameConfig,
+    seed: u64,
+    generation: u64,
+    mode: ExecMode,
+    kernel: GameKernel,
+) -> Vec<f64> {
+    let s = assignments.len();
+    let focal_fitness = |i: usize| -> f64 {
+        let my_strat = pool.get(assignments[i]);
+        let mut total = 0.0;
+        for (j, &opp_id) in assignments.iter().enumerate() {
+            let opp = pool.get(opp_id);
+            total += game_fitness(
+                space,
+                my_strat,
+                opp,
+                game,
+                seed,
+                i as u32,
+                j as u32,
+                s as u32,
+                generation,
+                kernel,
+            );
+        }
+        total
+    };
+    match mode {
+        ExecMode::Sequential => (0..s).map(focal_fitness).collect(),
+        ExecMode::Rayon => (0..s).into_par_iter().map(focal_fitness).collect(),
+    }
+}
+
+/// Relative fitness of a single focal SSet against the whole population —
+/// the per-owner computation of the distributed engine (each node evaluates
+/// the SSets it owns; §V-A). `evaluate(...)[i] == evaluate_one(..., i)` for
+/// every `i`, which is what keeps the distributed and shared-memory engines
+/// bit-identical.
+pub fn evaluate_one(
+    space: &StateSpace,
+    assignments: &[StratId],
+    pool: &StrategyPool,
+    game: &GameConfig,
+    seed: u64,
+    generation: u64,
+    focal: usize,
+) -> f64 {
+    evaluate_one_with_kernel(
+        space,
+        assignments,
+        pool,
+        game,
+        seed,
+        generation,
+        focal,
+        GameKernel::Naive,
+    )
+}
+
+/// [`evaluate_one`] with an explicit deterministic-game kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_one_with_kernel(
+    space: &StateSpace,
+    assignments: &[StratId],
+    pool: &StrategyPool,
+    game: &GameConfig,
+    seed: u64,
+    generation: u64,
+    focal: usize,
+    kernel: GameKernel,
+) -> f64 {
+    let s = assignments.len();
+    let my_strat = pool.get(assignments[focal]);
+    let mut total = 0.0;
+    for (j, &opp_id) in assignments.iter().enumerate() {
+        let opp = pool.get(opp_id);
+        total += game_fitness(
+            space,
+            my_strat,
+            opp,
+            game,
+            seed,
+            focal as u32,
+            j as u32,
+            s as u32,
+            generation,
+            kernel,
+        );
+    }
+    total
+}
+
+/// The focal player's fitness for one game, using the game's own stream.
+#[allow(clippy::too_many_arguments)]
+fn game_fitness(
+    space: &StateSpace,
+    mine: &Strategy,
+    opp: &Strategy,
+    game: &GameConfig,
+    seed: u64,
+    focal: u32,
+    opponent: u32,
+    num_ssets: u32,
+    generation: u64,
+    kernel: GameKernel,
+) -> f64 {
+    if game.noise == 0.0 {
+        if let (Strategy::Pure(a), Strategy::Pure(b)) = (mine, opp) {
+            return det_fitness(kernel, space, a, b, game);
+        }
+    }
+    let mut rng = game_stream(seed, focal, opponent, num_ssets, generation);
+    play(space, mine, opp, game, &mut rng).fitness_a
+}
+
+/// Variance-free fitness: every SSet's **expected** relative fitness,
+/// computed exactly by Markov-chain forward iteration
+/// ([`ipd::markov::expected_outcome`]) instead of sampling games.
+///
+/// This changes the *dynamics*, not just the cost: selection acts on true
+/// expected payoffs, with no sampling noise in the pairwise comparisons —
+/// the "infinite-replicate" ablation of the paper's single-sample fitness.
+/// It also deduplicates by distinct strategy pairs (sound here because
+/// expectations don't depend on which SSet holds the strategy).
+pub fn evaluate_expected(
+    space: &StateSpace,
+    assignments: &[StratId],
+    pool: &StrategyPool,
+    game: &GameConfig,
+    mode: ExecMode,
+) -> Vec<f64> {
+    // Count multiplicity of each distinct strategy id.
+    let mut counts: HashMap<StratId, f64> = HashMap::new();
+    for &id in assignments {
+        *counts.entry(id).or_insert(0.0) += 1.0;
+    }
+    let unique: Vec<StratId> = {
+        let mut u: Vec<StratId> = counts.keys().copied().collect();
+        u.sort_unstable();
+        u
+    };
+    let u = unique.len();
+    let pos: HashMap<StratId, usize> = unique.iter().enumerate().map(|(k, &v)| (v, k)).collect();
+    let pair_row = |p: usize| -> Vec<f64> {
+        let a = pool.get(unique[p]);
+        unique
+            .iter()
+            .map(|&qid| {
+                ipd::markov::expected_outcome(space, a, pool.get(qid), game).fitness_a
+            })
+            .collect()
+    };
+    let payoff: Vec<Vec<f64>> = match mode {
+        ExecMode::Sequential => (0..u).map(pair_row).collect(),
+        ExecMode::Rayon => (0..u).into_par_iter().map(pair_row).collect(),
+    };
+    let weighted: Vec<f64> = (0..u)
+        .map(|p| {
+            unique
+                .iter()
+                .enumerate()
+                .map(|(q, qid)| counts[qid] * payoff[p][q])
+                .sum()
+        })
+        .collect();
+    assignments.iter().map(|id| weighted[pos[id]]).collect()
+}
+
+/// Expected relative fitness of a single focal SSet (the `OnDemand`
+/// companion of [`evaluate_expected`]), deduplicated over distinct
+/// opponents.
+pub fn evaluate_expected_one(
+    space: &StateSpace,
+    assignments: &[StratId],
+    pool: &StrategyPool,
+    game: &GameConfig,
+    focal: usize,
+) -> f64 {
+    let mut counts: HashMap<StratId, f64> = HashMap::new();
+    for &id in assignments {
+        *counts.entry(id).or_insert(0.0) += 1.0;
+    }
+    let me = pool.get(assignments[focal]);
+    counts
+        .iter()
+        .map(|(&qid, &mult)| {
+            mult * ipd::markov::expected_outcome(space, me, pool.get(qid), game).fitness_a
+        })
+        .sum()
+}
+
+/// `true` when fitness evaluation is fully deterministic — pure strategies
+/// only and no execution noise — which is the soundness condition for
+/// [`evaluate_deduped`].
+pub fn is_deterministic(assignments: &[StratId], pool: &StrategyPool, game: &GameConfig) -> bool {
+    game.noise == 0.0
+        && assignments
+            .iter()
+            .all(|&id| matches!(pool.get(id).as_ref(), Strategy::Pure(_)))
+}
+
+/// Deduplicated fitness evaluation: play each *distinct* ordered strategy
+/// pair once, then combine by multiplicity. Produces exactly the same
+/// fitness vector as [`evaluate`] when games are deterministic; panics
+/// otherwise (dedup would change stochastic results).
+pub fn evaluate_deduped(
+    space: &StateSpace,
+    assignments: &[StratId],
+    pool: &StrategyPool,
+    game: &GameConfig,
+    mode: ExecMode,
+) -> Vec<f64> {
+    assert!(
+        is_deterministic(assignments, pool, game),
+        "deduplicated evaluation requires pure strategies and zero noise"
+    );
+    // Count multiplicity of each distinct strategy id.
+    let mut counts: HashMap<StratId, f64> = HashMap::new();
+    for &id in assignments {
+        *counts.entry(id).or_insert(0.0) += 1.0;
+    }
+    let unique: Vec<StratId> = {
+        let mut u: Vec<StratId> = counts.keys().copied().collect();
+        u.sort_unstable();
+        u
+    };
+    let u = unique.len();
+    let pos: HashMap<StratId, usize> = unique.iter().enumerate().map(|(k, &v)| (v, k)).collect();
+    // payoff[p][q] = focal fitness of unique strategy p against unique q.
+    let pair_row = |p: usize| -> Vec<f64> {
+        let a = match pool.get(unique[p]).as_ref() {
+            Strategy::Pure(a) => a,
+            _ => unreachable!("checked deterministic"),
+        };
+        unique
+            .iter()
+            .map(|&qid| {
+                let b = match pool.get(qid).as_ref() {
+                    Strategy::Pure(b) => b,
+                    _ => unreachable!("checked deterministic"),
+                };
+                play_deterministic(space, a, b, game).fitness_a
+            })
+            .collect()
+    };
+    let payoff: Vec<Vec<f64>> = match mode {
+        ExecMode::Sequential => (0..u).map(pair_row).collect(),
+        ExecMode::Rayon => (0..u).into_par_iter().map(pair_row).collect(),
+    };
+    // fitness[i] = sum over unique opponents q of count[q] * payoff[strat_i][q].
+    let weighted: Vec<f64> = (0..u)
+        .map(|p| {
+            unique
+                .iter()
+                .enumerate()
+                .map(|(q, qid)| counts[qid] * payoff[p][q])
+                .sum()
+        })
+        .collect();
+    assignments.iter().map(|id| weighted[pos[id]]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngstream::{stream, Domain};
+    use ipd::classic;
+    use ipd::payoff::PayoffMatrix;
+    use ipd::strategy::{MixedStrategy, PureStrategy};
+    use rand::Rng;
+
+    fn setup_pure(
+        n_ssets: usize,
+        mem: usize,
+        seed: u64,
+    ) -> (StateSpace, Vec<StratId>, StrategyPool) {
+        let space = StateSpace::new(mem).unwrap();
+        let mut pool = StrategyPool::new();
+        let mut rng = stream(seed, Domain::Init, 0, 0);
+        let assignments = (0..n_ssets)
+            .map(|_| pool.intern(Strategy::Pure(PureStrategy::random(space, &mut rng))))
+            .collect();
+        (space, assignments, pool)
+    }
+
+    fn cfg() -> GameConfig {
+        GameConfig {
+            rounds: 50,
+            noise: 0.0,
+            payoff: PayoffMatrix::default(),
+        }
+    }
+
+    #[test]
+    fn sequential_and_rayon_agree_pure() {
+        let (space, asg, pool) = setup_pure(24, 2, 1);
+        let seq = evaluate(&space, &asg, &pool, &cfg(), 1, 0, ExecMode::Sequential);
+        let par = evaluate(&space, &asg, &pool, &cfg(), 1, 0, ExecMode::Rayon);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn sequential_and_rayon_agree_stochastic() {
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let mut rng = stream(3, Domain::Init, 0, 0);
+        let asg: Vec<StratId> = (0..16)
+            .map(|_| pool.intern(Strategy::Mixed(MixedStrategy::random(space, &mut rng))))
+            .collect();
+        let noisy = GameConfig {
+            rounds: 50,
+            noise: 0.05,
+            payoff: PayoffMatrix::default(),
+        };
+        let seq = evaluate(&space, &asg, &pool, &noisy, 3, 5, ExecMode::Sequential);
+        let par = evaluate(&space, &asg, &pool, &noisy, 3, 5, ExecMode::Rayon);
+        assert_eq!(seq, par, "stochastic games must be schedule-invariant");
+    }
+
+    #[test]
+    fn deduped_matches_naive() {
+        // Population with heavy duplication: 4 distinct strategies over 32
+        // SSets.
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let ids = [
+            pool.intern(Strategy::Pure(classic::all_c(&space))),
+            pool.intern(Strategy::Pure(classic::all_d(&space))),
+            pool.intern(Strategy::Pure(classic::tft(&space))),
+            pool.intern(Strategy::Pure(classic::wsls(&space))),
+        ];
+        let asg: Vec<StratId> = (0..32).map(|i| ids[i % 4]).collect();
+        let naive = evaluate(&space, &asg, &pool, &cfg(), 0, 0, ExecMode::Sequential);
+        let dedup = evaluate_deduped(&space, &asg, &pool, &cfg(), ExecMode::Sequential);
+        let dedup_par = evaluate_deduped(&space, &asg, &pool, &cfg(), ExecMode::Rayon);
+        for i in 0..32 {
+            assert!((naive[i] - dedup[i]).abs() < 1e-9, "sset {i}");
+            assert!((naive[i] - dedup_par[i]).abs() < 1e-9, "sset {i} (rayon)");
+        }
+    }
+
+    #[test]
+    fn deduped_matches_naive_random_population() {
+        let (space, asg, pool) = setup_pure(40, 3, 9);
+        let naive = evaluate(&space, &asg, &pool, &cfg(), 9, 2, ExecMode::Sequential);
+        let dedup = evaluate_deduped(&space, &asg, &pool, &cfg(), ExecMode::Sequential);
+        for i in 0..asg.len() {
+            assert!((naive[i] - dedup[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deduplicated evaluation requires")]
+    fn deduped_rejects_noise() {
+        let (space, asg, pool) = setup_pure(8, 1, 0);
+        let noisy = GameConfig {
+            rounds: 10,
+            noise: 0.1,
+            payoff: PayoffMatrix::default(),
+        };
+        evaluate_deduped(&space, &asg, &pool, &noisy, ExecMode::Sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "deduplicated evaluation requires")]
+    fn deduped_rejects_mixed_strategies() {
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let id = pool.intern(Strategy::Mixed(classic::random_mixed(&space)));
+        evaluate_deduped(&space, &[id, id], &pool, &cfg(), ExecMode::Sequential);
+    }
+
+    #[test]
+    fn alld_dominates_allc_population_fitness() {
+        // In a population of ALLC with one ALLD, the defector's relative
+        // fitness must exceed every cooperator's.
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let c = pool.intern(Strategy::Pure(classic::all_c(&space)));
+        let d = pool.intern(Strategy::Pure(classic::all_d(&space)));
+        let mut asg = vec![c; 16];
+        asg[7] = d;
+        let fit = evaluate(&space, &asg, &pool, &cfg(), 0, 0, ExecMode::Sequential);
+        for (i, f) in fit.iter().enumerate() {
+            if i != 7 {
+                assert!(fit[7] > *f, "defector must out-earn cooperator {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fitness_depends_on_generation_for_stochastic_games() {
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let mut rng = stream(5, Domain::Init, 0, 0);
+        let asg: Vec<StratId> = (0..6)
+            .map(|_| pool.intern(Strategy::Mixed(MixedStrategy::random(space, &mut rng))))
+            .collect();
+        let noisy = GameConfig {
+            rounds: 30,
+            noise: 0.0,
+            payoff: PayoffMatrix::default(),
+        };
+        let g0 = evaluate(&space, &asg, &pool, &noisy, 5, 0, ExecMode::Sequential);
+        let g1 = evaluate(&space, &asg, &pool, &noisy, 5, 1, ExecMode::Sequential);
+        assert_ne!(g0, g1, "mixed-strategy games re-sample each generation");
+    }
+
+    #[test]
+    fn is_deterministic_detects_kinds() {
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let p = pool.intern(Strategy::Pure(classic::tft(&space)));
+        let m = pool.intern(Strategy::Mixed(classic::random_mixed(&space)));
+        assert!(is_deterministic(&[p, p], &pool, &cfg()));
+        assert!(!is_deterministic(&[p, m], &pool, &cfg()));
+        let noisy = GameConfig {
+            noise: 0.01,
+            ..cfg()
+        };
+        assert!(!is_deterministic(&[p, p], &pool, &noisy));
+    }
+
+    #[test]
+    fn self_play_counts_toward_fitness() {
+        // A lone pair of ALLC SSets: each plays itself (R*rounds) and the
+        // other (R*rounds) = 2 * 3 * 50 = 300.
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let c = pool.intern(Strategy::Pure(classic::all_c(&space)));
+        let fit = evaluate(&space, &[c, c], &pool, &cfg(), 0, 0, ExecMode::Sequential);
+        assert_eq!(fit, vec![300.0, 300.0]);
+    }
+
+    #[test]
+    fn evaluate_one_matches_vector_evaluate() {
+        let (space, asg, pool) = setup_pure(20, 2, 13);
+        let vec = evaluate(&space, &asg, &pool, &cfg(), 13, 4, ExecMode::Sequential);
+        for i in 0..asg.len() {
+            let one = evaluate_one(&space, &asg, &pool, &cfg(), 13, 4, i);
+            assert_eq!(vec[i], one, "sset {i}");
+        }
+    }
+
+    #[test]
+    fn evaluate_one_matches_for_stochastic_games() {
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let mut rng = stream(21, Domain::Init, 0, 0);
+        let asg: Vec<StratId> = (0..10)
+            .map(|_| pool.intern(Strategy::Mixed(MixedStrategy::random(space, &mut rng))))
+            .collect();
+        let noisy = GameConfig {
+            rounds: 30,
+            noise: 0.03,
+            payoff: PayoffMatrix::default(),
+        };
+        let vec = evaluate(&space, &asg, &pool, &noisy, 21, 9, ExecMode::Sequential);
+        for i in 0..asg.len() {
+            assert_eq!(
+                vec[i],
+                evaluate_one(&space, &asg, &pool, &noisy, 21, 9, i),
+                "sset {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_equals_naive_for_deterministic_populations() {
+        // With pure strategies and no noise, expectation = realisation.
+        let (space, asg, pool) = setup_pure(24, 2, 17);
+        let naive = evaluate(&space, &asg, &pool, &cfg(), 17, 0, ExecMode::Sequential);
+        let expected = evaluate_expected(&space, &asg, &pool, &cfg(), ExecMode::Sequential);
+        let expected_par = evaluate_expected(&space, &asg, &pool, &cfg(), ExecMode::Rayon);
+        for i in 0..asg.len() {
+            assert!((naive[i] - expected[i]).abs() < 1e-6, "sset {i}");
+            assert!((expected[i] - expected_par[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expected_fitness_is_generation_invariant() {
+        // Unlike sampled stochastic fitness, expectations don't depend on
+        // the generation's RNG streams.
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let mut rng = stream(23, Domain::Init, 0, 0);
+        let asg: Vec<StratId> = (0..8)
+            .map(|_| pool.intern(Strategy::Mixed(MixedStrategy::random(space, &mut rng))))
+            .collect();
+        let noisy = GameConfig {
+            rounds: 50,
+            noise: 0.02,
+            payoff: PayoffMatrix::default(),
+        };
+        let e1 = evaluate_expected(&space, &asg, &pool, &noisy, ExecMode::Sequential);
+        let e2 = evaluate_expected(&space, &asg, &pool, &noisy, ExecMode::Sequential);
+        assert_eq!(e1, e2);
+        // And it approximates the mean of many sampled evaluations.
+        let mut mean = vec![0.0; asg.len()];
+        let reps = 400;
+        for g in 0..reps {
+            let f = evaluate(&space, &asg, &pool, &noisy, 23, g, ExecMode::Sequential);
+            for (m, v) in mean.iter_mut().zip(&f) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= reps as f64;
+        }
+        for i in 0..asg.len() {
+            let rel = (mean[i] - e1[i]).abs() / e1[i].abs().max(1.0);
+            assert!(rel < 0.05, "sset {i}: sampled mean {} vs exact {}", mean[i], e1[i]);
+        }
+    }
+
+    #[test]
+    fn rng_stream_sanity() {
+        // game_stream draws differ across (focal, opponent) packing.
+        let mut a = game_stream(1, 0, 1, 10, 0);
+        let mut b = game_stream(1, 1, 0, 10, 0);
+        assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+}

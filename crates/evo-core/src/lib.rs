@@ -1,0 +1,71 @@
+//! Evolutionary game dynamics engine — the primary contribution of the
+//! SC 2012 paper *"Massively Parallel Model of Evolutionary Game Dynamics"*.
+//!
+//! The model has three entities (paper §IV):
+//!
+//! - **Agents** play two-player Iterated Prisoner's Dilemma games (provided
+//!   by the [`ipd`] crate).
+//! - **Strategy Sets (SSets)** group agents that share a strategy; within a
+//!   generation every SSet's strategy is evaluated against every strategy in
+//!   the population, with games partitioned across the SSet's agents
+//!   ([`sset`]).
+//! - A **Nature Agent** drives population dynamics: pairwise-comparison
+//!   learning through the Fermi rule ([`fermi`]) and random strategy
+//!   mutation ([`nature`]).
+//!
+//! [`population::Population`] ties these together into the generation loop,
+//! with *game dynamics* (fitness evaluation, [`fitness`]) running either
+//! sequentially or data-parallel via rayon — both produce bit-identical
+//! results thanks to counter-based RNG streams ([`rngstream`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use evo_core::prelude::*;
+//!
+//! let params = Params {
+//!     mem_steps: 1,
+//!     num_ssets: 32,
+//!     generations: 200,
+//!     seed: 7,
+//!     ..Params::default()
+//! };
+//! let mut pop = Population::new(params).unwrap();
+//! let stats = pop.run_to_end();
+//! assert_eq!(stats.generations, 200);
+//! ```
+
+pub mod fermi;
+pub mod islands;
+pub mod fitness;
+pub mod nature;
+pub mod params;
+pub mod pool;
+pub mod population;
+pub mod record;
+pub mod replicator;
+pub mod rngstream;
+pub mod spatial;
+pub mod sset;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::fermi::fermi_probability;
+    pub use crate::fitness::{ExecMode, FitnessPolicy, GameKernel};
+    pub use crate::islands::{Archipelago, Migration, MigrationPolicy};
+    pub use crate::nature::{Event, NatureAgent};
+    pub use crate::params::{Params, ParamsError, StrategyKind, UpdateRule};
+    pub use crate::pool::{StratId, StrategyPool};
+    pub use crate::population::Population;
+    pub use crate::record::RunStats;
+    pub use crate::replicator::{payoff_matrix, Replicator};
+    pub use crate::record::{Checkpoint, GenerationRecord, PopulationSnapshot};
+    pub use crate::spatial::{
+        InitPattern, Neighborhood, SpatialParams, SpatialPopulation, SpatialUpdate,
+    };
+    pub use crate::sset::{agents_required, opponents_for_agent, SSetLayout};
+}
+
+pub use params::{Params, ParamsError, StrategyKind};
+pub use population::Population;
+pub use record::RunStats;

@@ -1,0 +1,146 @@
+//! Strategy interning — the Nature Agent's "records keeper" role (§V).
+//!
+//! The paper minimises memory by having the Nature Agent maintain "record of
+//! strategies assigned to SSets throughout the generations" while nodes hold
+//! only "strategies currently held by other SSets". We intern each distinct
+//! strategy once in a [`StrategyPool`] and represent the population as a
+//! `Vec<StratId>` — the paper's `SSet_strat` array of "strategy IDs assigned
+//! to all SSets". Interning also lets the deduplicated fitness evaluator
+//! ([`crate::fitness`]) play each distinct strategy pair only once.
+
+use ipd::strategy::Strategy;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Index of an interned strategy within a [`StrategyPool`].
+pub type StratId = u32;
+
+/// An append-only interning pool of strategies.
+///
+/// Ids are stable for the lifetime of the pool; re-interning an existing
+/// strategy returns its original id. Old strategies are retained even after
+/// no SSet holds them, preserving the Nature Agent's full genealogy record
+/// (a run mutates at rate μ, so growth is bounded by `μ · generations`).
+#[derive(Debug, Clone, Default)]
+pub struct StrategyPool {
+    entries: Vec<Arc<Strategy>>,
+    index: HashMap<Arc<Strategy>, StratId>,
+}
+
+impl StrategyPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a strategy, returning its stable id.
+    pub fn intern(&mut self, strategy: Strategy) -> StratId {
+        if let Some(&id) = self.index.get(&strategy) {
+            return id;
+        }
+        let arc = Arc::new(strategy);
+        let id = self.entries.len() as StratId;
+        self.entries.push(Arc::clone(&arc));
+        self.index.insert(arc, id);
+        id
+    }
+
+    /// The strategy for an id. Panics on an id not issued by this pool.
+    #[inline]
+    pub fn get(&self, id: StratId) -> &Arc<Strategy> {
+        &self.entries[id as usize]
+    }
+
+    /// Look up the id of a strategy if it is interned.
+    pub fn id_of(&self, strategy: &Strategy) -> Option<StratId> {
+        self.index.get(strategy).copied()
+    }
+
+    /// Number of distinct strategies ever interned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(id, strategy)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (StratId, &Arc<Strategy>)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as StratId, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd::classic;
+    use ipd::state::StateSpace;
+    use ipd::strategy::PureStrategy;
+
+    fn sp() -> StateSpace {
+        StateSpace::new(1).unwrap()
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut pool = StrategyPool::new();
+        let a = pool.intern(Strategy::Pure(classic::tft(&sp())));
+        let b = pool.intern(Strategy::Pure(classic::wsls(&sp())));
+        let a2 = pool.intern(Strategy::Pure(classic::tft(&sp())));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut pool = StrategyPool::new();
+        let ids: Vec<StratId> = (0..16u8)
+            .map(|i| {
+                pool.intern(Strategy::Pure(PureStrategy::from_memory_one_index(sp(), i)))
+            })
+            .collect();
+        assert_eq!(ids, (0..16).collect::<Vec<StratId>>());
+        // Getting back what was put in.
+        for (i, &id) in ids.iter().enumerate() {
+            match pool.get(id).as_ref() {
+                Strategy::Pure(p) => {
+                    assert_eq!(*p, PureStrategy::from_memory_one_index(sp(), i as u8))
+                }
+                _ => panic!("wrong kind"),
+            }
+        }
+    }
+
+    #[test]
+    fn id_of_finds_only_interned() {
+        let mut pool = StrategyPool::new();
+        let tft = Strategy::Pure(classic::tft(&sp()));
+        assert_eq!(pool.id_of(&tft), None);
+        let id = pool.intern(tft.clone());
+        assert_eq!(pool.id_of(&tft), Some(id));
+    }
+
+    #[test]
+    fn iter_visits_in_id_order() {
+        let mut pool = StrategyPool::new();
+        pool.intern(Strategy::Pure(classic::all_c(&sp())));
+        pool.intern(Strategy::Pure(classic::all_d(&sp())));
+        let ids: Vec<StratId> = pool.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_pool() {
+        let pool = StrategyPool::new();
+        assert!(pool.is_empty());
+        assert_eq!(pool.len(), 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Replicator dynamics — the infinite-population baseline.
+//!
+//! The agent-based engine simulates a *finite* population under
+//! pairwise-comparison learning; its classical infinite-population limit is
+//! the replicator equation over the strategy frequencies `x`:
+//!
+//! ```text
+//! ẋᵢ = xᵢ ((A x)ᵢ − xᵀ A x)
+//! ```
+//!
+//! where `A[i][j]` is the per-game payoff of strategy `i` against `j`,
+//! computed here by actually playing the iterated games (so the matrix is
+//! exactly the one the agent engine uses). This gives the deterministic
+//! baseline the stochastic results can be compared against — which
+//! equilibria selection flows toward, where bistability thresholds sit —
+//! and is integrated with classic RK4 on the probability simplex.
+//!
+//! ```
+//! use evo_core::replicator::{payoff_matrix, Replicator};
+//! use ipd::prelude::*;
+//!
+//! let space = StateSpace::new(1).unwrap();
+//! let strategies = vec![
+//!     Strategy::Pure(classic::all_c(&space)),
+//!     Strategy::Pure(classic::all_d(&space)),
+//! ];
+//! let a = payoff_matrix(&space, &strategies, &GameConfig::default(), 1, 0);
+//! let rep = Replicator::new(a);
+//! let x = rep.run(&[0.9, 0.1], 0.01, 20_000);
+//! assert!(x[1] > 0.99); // defection sweeps the one-population PD
+//! ```
+
+use ipd::game::{play, play_deterministic, GameConfig};
+use ipd::state::StateSpace;
+use ipd::strategy::Strategy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Build the per-game payoff matrix `A[i][j]` (focal per-round payoff of
+/// strategy `i` vs `j`) by playing every ordered pair. Deterministic pairs
+/// are played once; stochastic pairs are averaged over `samples` games.
+pub fn payoff_matrix(
+    space: &StateSpace,
+    strategies: &[Strategy],
+    game: &GameConfig,
+    samples: u32,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    assert!(samples >= 1);
+    let n = strategies.len();
+    let mut a = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            let deterministic = game.noise == 0.0
+                && strategies[i].is_deterministic()
+                && strategies[j].is_deterministic();
+            a[i][j] = if deterministic {
+                if let (Strategy::Pure(p), Strategy::Pure(q)) = (&strategies[i], &strategies[j]) {
+                    play_deterministic(space, p, q, game).mean_fitness_a()
+                } else {
+                    // Deterministic mixed strategies: one sampled game is
+                    // exact.
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                    play(space, &strategies[i], &strategies[j], game, &mut rng).mean_fitness_a()
+                }
+            } else {
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(seed ^ ((i as u64) << 32 | j as u64));
+                (0..samples)
+                    .map(|_| {
+                        play(space, &strategies[i], &strategies[j], game, &mut rng)
+                            .mean_fitness_a()
+                    })
+                    .sum::<f64>()
+                    / samples as f64
+            };
+        }
+    }
+    a
+}
+
+/// The replicator system for a fixed payoff matrix.
+#[derive(Debug, Clone)]
+pub struct Replicator {
+    payoff: Vec<Vec<f64>>,
+}
+
+impl Replicator {
+    /// Build from a square payoff matrix.
+    pub fn new(payoff: Vec<Vec<f64>>) -> Self {
+        let n = payoff.len();
+        assert!(n > 0 && payoff.iter().all(|r| r.len() == n), "square matrix");
+        Replicator { payoff }
+    }
+
+    /// Number of strategies.
+    pub fn len(&self) -> usize {
+        self.payoff.len()
+    }
+
+    /// `true` for the (disallowed) empty system.
+    pub fn is_empty(&self) -> bool {
+        self.payoff.is_empty()
+    }
+
+    /// Fitness of each strategy at state `x`: `(A x)ᵢ`.
+    pub fn fitness(&self, x: &[f64]) -> Vec<f64> {
+        self.payoff
+            .iter()
+            .map(|row| row.iter().zip(x).map(|(a, xi)| a * xi).sum())
+            .collect()
+    }
+
+    /// Population mean fitness `xᵀ A x`.
+    pub fn mean_fitness(&self, x: &[f64]) -> f64 {
+        self.fitness(x).iter().zip(x).map(|(f, xi)| f * xi).sum()
+    }
+
+    /// The replicator vector field at `x`.
+    pub fn derivative(&self, x: &[f64]) -> Vec<f64> {
+        let f = self.fitness(x);
+        let mean = f.iter().zip(x).map(|(fi, xi)| fi * xi).sum::<f64>();
+        x.iter().zip(&f).map(|(xi, fi)| xi * (fi - mean)).collect()
+    }
+
+    /// One RK4 step of size `dt`, followed by a simplex projection
+    /// (clamping tiny negatives and renormalising) to keep the state a
+    /// probability vector under floating-point error.
+    pub fn step(&self, x: &[f64], dt: f64) -> Vec<f64> {
+        let add = |x: &[f64], k: &[f64], h: f64| -> Vec<f64> {
+            x.iter().zip(k).map(|(xi, ki)| xi + h * ki).collect()
+        };
+        let k1 = self.derivative(x);
+        let k2 = self.derivative(&add(x, &k1, dt / 2.0));
+        let k3 = self.derivative(&add(x, &k2, dt / 2.0));
+        let k4 = self.derivative(&add(x, &k3, dt));
+        let mut next: Vec<f64> = (0..x.len())
+            .map(|i| x[i] + dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
+            .collect();
+        for v in &mut next {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        let total: f64 = next.iter().sum();
+        if total > 0.0 {
+            for v in &mut next {
+                *v /= total;
+            }
+        }
+        next
+    }
+
+    /// Integrate `steps` RK4 steps from `x0`; returns the trajectory's
+    /// final state.
+    pub fn run(&self, x0: &[f64], dt: f64, steps: usize) -> Vec<f64> {
+        assert_eq!(x0.len(), self.len());
+        let mut x = x0.to_vec();
+        for _ in 0..steps {
+            x = self.step(&x, dt);
+        }
+        x
+    }
+
+    /// Integrate and record the trajectory every `record_every` steps
+    /// (plus start and end).
+    pub fn trajectory(
+        &self,
+        x0: &[f64],
+        dt: f64,
+        steps: usize,
+        record_every: usize,
+    ) -> Vec<Vec<f64>> {
+        assert!(record_every >= 1);
+        let mut x = x0.to_vec();
+        let mut out = vec![x.clone()];
+        for s in 1..=steps {
+            x = self.step(&x, dt);
+            if s % record_every == 0 || s == steps {
+                out.push(x.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd::classic;
+    use ipd::payoff::PayoffMatrix;
+
+    fn space() -> StateSpace {
+        StateSpace::new(1).unwrap()
+    }
+
+    fn cfg() -> GameConfig {
+        GameConfig::default()
+    }
+
+    fn matrix_for(names: &[&str]) -> Replicator {
+        let sp = space();
+        let strategies: Vec<Strategy> = names
+            .iter()
+            .map(|n| match *n {
+                "ALLC" => Strategy::Pure(classic::all_c(&sp)),
+                "ALLD" => Strategy::Pure(classic::all_d(&sp)),
+                "TFT" => Strategy::Pure(classic::tft(&sp)),
+                "WSLS" => Strategy::Pure(classic::wsls(&sp)),
+                other => panic!("unknown {other}"),
+            })
+            .collect();
+        Replicator::new(payoff_matrix(&sp, &strategies, &cfg(), 1, 0))
+    }
+
+    #[test]
+    fn payoff_matrix_matches_known_games() {
+        let r = matrix_for(&["ALLC", "ALLD"]);
+        // Per-round: C vs C = 3, C vs D = 0, D vs C = 4, D vs D = 1.
+        assert_eq!(r.payoff[0][0], 3.0);
+        assert_eq!(r.payoff[0][1], 0.0);
+        assert_eq!(r.payoff[1][0], 4.0);
+        assert_eq!(r.payoff[1][1], 1.0);
+    }
+
+    #[test]
+    fn simplex_is_invariant() {
+        let r = matrix_for(&["ALLC", "ALLD", "TFT", "WSLS"]);
+        let mut x = vec![0.25; 4];
+        for _ in 0..2_000 {
+            x = r.step(&x, 0.01);
+            let total: f64 = x.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(x.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn alld_drives_allc_extinct() {
+        let r = matrix_for(&["ALLC", "ALLD"]);
+        let x = r.run(&[0.9, 0.1], 0.01, 20_000);
+        assert!(x[1] > 0.999, "ALLD should fixate, got {x:?}");
+    }
+
+    #[test]
+    fn tft_alld_is_bistable() {
+        // With 200-round games TFT vs ALLD is bistable: enough TFT
+        // defends, too little collapses.
+        let r = matrix_for(&["TFT", "ALLD"]);
+        let lots = r.run(&[0.5, 0.5], 0.01, 20_000);
+        assert!(lots[0] > 0.999, "TFT-majority start should fixate TFT: {lots:?}");
+        let few = r.run(&[0.001, 0.999], 0.01, 20_000);
+        assert!(few[1] > 0.999, "rare TFT should die: {few:?}");
+    }
+
+    #[test]
+    fn vertices_are_fixed_points() {
+        let r = matrix_for(&["ALLC", "ALLD", "TFT"]);
+        for i in 0..3 {
+            let mut x = vec![0.0; 3];
+            x[i] = 1.0;
+            let d = r.derivative(&x);
+            assert!(d.iter().all(|&v| v.abs() < 1e-12), "vertex {i}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn neutral_strategies_do_not_move() {
+        // Two copies of the same strategy: any mixture is an equilibrium.
+        let r = matrix_for(&["TFT", "TFT"]);
+        let x = r.run(&[0.3, 0.7], 0.05, 1_000);
+        assert!((x[0] - 0.3).abs() < 1e-9 && (x[1] - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_fitness_rises_under_selection_from_interior() {
+        // In a doubly-symmetric... not guaranteed generally, but for
+        // ALLC/ALLD (a prisoner's dilemma) mean fitness *falls* as
+        // defection spreads — the social dilemma, made quantitative.
+        let r = matrix_for(&["ALLC", "ALLD"]);
+        let x0 = vec![0.9, 0.1];
+        let f0 = r.mean_fitness(&x0);
+        let x1 = r.run(&x0, 0.01, 5_000);
+        let f1 = r.mean_fitness(&x1);
+        assert!(
+            f1 < f0,
+            "the dilemma: selection lowers mean payoff ({f0} -> {f1})"
+        );
+    }
+
+    #[test]
+    fn trajectory_records_requested_points() {
+        let r = matrix_for(&["ALLC", "ALLD"]);
+        let tr = r.trajectory(&[0.5, 0.5], 0.01, 100, 25);
+        assert_eq!(tr.len(), 1 + 4);
+        assert_eq!(tr[0], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn stochastic_payoff_matrix_is_sampled() {
+        let sp = space();
+        let strategies = vec![
+            Strategy::Mixed(classic::gtft(&sp, &PayoffMatrix::default())),
+            Strategy::Pure(classic::all_d(&sp)),
+        ];
+        let a = payoff_matrix(&sp, &strategies, &cfg(), 16, 7);
+        // GTFT vs ALLD: forgives 2/3 of the time, so earns between S and P
+        // per round while ALLD earns between P and T.
+        assert!(a[0][1] < 1.0, "GTFT vs ALLD earns below P: {}", a[0][1]);
+        assert!(a[1][0] > 1.0, "ALLD exploits GTFT above P: {}", a[1][0]);
+    }
+}

@@ -1,0 +1,551 @@
+//! Spatial evolutionary games on a lattice — the spatialised Prisoner's
+//! Dilemma lineage the paper builds on (its reference [30], and the
+//! cellular-automata models of §II).
+//!
+//! Agents sit on a `width × height` torus grid, each holding a strategy.
+//! Every generation each cell plays an iterated game against every
+//! neighbour, accumulating a payoff; then all cells update synchronously:
+//!
+//! - [`SpatialUpdate::BestNeighbor`] — adopt the strategy of the
+//!   highest-scoring cell in the neighbourhood, self included (the
+//!   deterministic imitation rule of Nowak & May's classic spatial
+//!   dilemma, which produces the famous cooperator-cluster patterns);
+//! - [`SpatialUpdate::Fermi`] — compare against one random neighbour and
+//!   adopt with the Fermi probability of Eq. 1, the spatial analogue of
+//!   the paper's pairwise-comparison rule.
+//!
+//! The module reuses the whole game substrate: any memory depth, pure or
+//! mixed strategies, any payoff matrix, optional noise — one-shot
+//! Nowak-May is simply `mem_steps = 0, rounds = 1`.
+
+use crate::fitness::GameKernel;
+use crate::pool::{StratId, StrategyPool};
+use crate::rngstream::{stream, Domain};
+use ipd::game::{play, play_deterministic, play_deterministic_cycle, GameConfig};
+use ipd::state::StateSpace;
+use ipd::strategy::Strategy;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which cells count as neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Neighborhood {
+    /// 4-neighbourhood (N, S, E, W).
+    VonNeumann4,
+    /// 8-neighbourhood (including diagonals) — Nowak & May's choice.
+    Moore8,
+}
+
+impl Neighborhood {
+    /// Relative offsets of the neighbourhood (excluding the cell itself).
+    pub fn offsets(&self) -> &'static [(i64, i64)] {
+        match self {
+            Neighborhood::VonNeumann4 => &[(0, -1), (0, 1), (-1, 0), (1, 0)],
+            Neighborhood::Moore8 => &[
+                (-1, -1),
+                (0, -1),
+                (1, -1),
+                (-1, 0),
+                (1, 0),
+                (-1, 1),
+                (0, 1),
+                (1, 1),
+            ],
+        }
+    }
+}
+
+/// The synchronous update rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpatialUpdate {
+    /// Deterministic best-takes-over within the neighbourhood (self
+    /// included). No randomness: the grid evolves as a cellular automaton.
+    BestNeighbor,
+    /// Fermi imitation of one uniformly chosen neighbour with selection
+    /// intensity β.
+    Fermi {
+        /// Selection intensity (Eq. 1).
+        beta: f64,
+    },
+}
+
+/// Parameters of a spatial population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpatialParams {
+    /// Grid width (≥ 3 so neighbourhoods don't self-overlap via wrap).
+    pub width: usize,
+    /// Grid height (≥ 3).
+    pub height: usize,
+    /// Memory depth of the strategies.
+    pub mem_steps: usize,
+    /// Per-game settings. Nowak-May one-shot play is `rounds = 1`.
+    pub game: GameConfig,
+    /// Neighbourhood shape.
+    pub neighborhood: Neighborhood,
+    /// Update rule.
+    pub update: SpatialUpdate,
+    /// Each cell also plays a game against itself, as in Nowak & May's
+    /// original model — self-interaction is what opens their celebrated
+    /// 1.8 < b < 2 coexistence window.
+    pub include_self: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SpatialParams {
+    fn default() -> Self {
+        SpatialParams {
+            width: 32,
+            height: 32,
+            mem_steps: 0,
+            game: GameConfig {
+                rounds: 1,
+                ..GameConfig::default()
+            },
+            neighborhood: Neighborhood::Moore8,
+            update: SpatialUpdate::BestNeighbor,
+            include_self: true,
+            seed: 0,
+        }
+    }
+}
+
+/// How the grid is initially seeded.
+#[derive(Debug, Clone)]
+pub enum InitPattern {
+    /// Every cell cooperates except a single defector at the centre —
+    /// Nowak & May's kaleidoscope initial condition.
+    SingleDefector,
+    /// Each cell defects independently with the given probability.
+    RandomDefectors(f64),
+    /// Explicit strategies, row-major, `width × height` entries.
+    Explicit(Vec<Strategy>),
+}
+
+/// A lattice population of strategies.
+#[derive(Debug, Clone)]
+pub struct SpatialPopulation {
+    params: SpatialParams,
+    space: StateSpace,
+    pool: StrategyPool,
+    grid: Vec<StratId>,
+    payoffs: Vec<f64>,
+    generation: u64,
+    /// Deterministic-game kernel (outcome-identical options).
+    pub kernel: GameKernel,
+}
+
+impl SpatialPopulation {
+    /// Build a grid population.
+    pub fn new(params: SpatialParams, init: InitPattern) -> Self {
+        assert!(params.width >= 3 && params.height >= 3, "grid must be at least 3x3");
+        let space = StateSpace::new(params.mem_steps).expect("valid memory steps");
+        let mut pool = StrategyPool::new();
+        let n = params.width * params.height;
+        let grid: Vec<StratId> = match init {
+            InitPattern::SingleDefector => {
+                let c = pool.intern(Strategy::Pure(ipd::classic::all_c(&space)));
+                let d = pool.intern(Strategy::Pure(ipd::classic::all_d(&space)));
+                let centre = (params.height / 2) * params.width + params.width / 2;
+                (0..n).map(|i| if i == centre { d } else { c }).collect()
+            }
+            InitPattern::RandomDefectors(p) => {
+                assert!((0.0..=1.0).contains(&p));
+                let c = pool.intern(Strategy::Pure(ipd::classic::all_c(&space)));
+                let d = pool.intern(Strategy::Pure(ipd::classic::all_d(&space)));
+                (0..n)
+                    .map(|i| {
+                        use rand::Rng;
+                        let mut rng = stream(params.seed, Domain::Init, i as u64, 0);
+                        if rng.random::<f64>() < p {
+                            d
+                        } else {
+                            c
+                        }
+                    })
+                    .collect()
+            }
+            InitPattern::Explicit(strats) => {
+                assert_eq!(strats.len(), n, "need one strategy per cell");
+                strats.into_iter().map(|s| pool.intern(s)).collect()
+            }
+        };
+        SpatialPopulation {
+            params,
+            space,
+            pool,
+            grid,
+            payoffs: vec![0.0; n],
+            generation: 0,
+            kernel: GameKernel::Naive,
+        }
+    }
+
+    /// Grid dimensions `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.params.width, self.params.height)
+    }
+
+    /// Completed generations.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Strategy id at `(x, y)`.
+    pub fn at(&self, x: usize, y: usize) -> StratId {
+        self.grid[y * self.params.width + x]
+    }
+
+    /// The interning pool.
+    pub fn pool(&self) -> &StrategyPool {
+        &self.pool
+    }
+
+    /// Payoff of each cell from the most recent generation's games.
+    pub fn payoffs(&self) -> &[f64] {
+        &self.payoffs
+    }
+
+    fn index(&self, x: i64, y: i64) -> usize {
+        let w = self.params.width as i64;
+        let h = self.params.height as i64;
+        let xi = x.rem_euclid(w) as usize;
+        let yi = y.rem_euclid(h) as usize;
+        yi * self.params.width + xi
+    }
+
+    /// Neighbour indices of cell `i` (torus wraparound).
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        let x = (i % self.params.width) as i64;
+        let y = (i / self.params.width) as i64;
+        self.params
+            .neighborhood
+            .offsets()
+            .iter()
+            .map(|&(dx, dy)| self.index(x + dx, y + dy))
+            .collect()
+    }
+
+    /// Focal payoff of the game cell `a` plays against cell `b`.
+    fn game_payoff(&self, a: usize, b: usize, generation: u64) -> f64 {
+        let sa = self.pool.get(self.grid[a]);
+        let sb = self.pool.get(self.grid[b]);
+        if self.params.game.noise == 0.0 {
+            if let (Strategy::Pure(pa), Strategy::Pure(pb)) = (sa.as_ref(), sb.as_ref()) {
+                return match self.kernel {
+                    GameKernel::Naive => {
+                        play_deterministic(&self.space, pa, pb, &self.params.game).fitness_a
+                    }
+                    GameKernel::Cycle => {
+                        play_deterministic_cycle(&self.space, pa, pb, &self.params.game).fitness_a
+                    }
+                };
+            }
+        }
+        let entity = (a as u64) * self.grid.len() as u64 + b as u64;
+        let mut rng = stream(self.params.seed, Domain::GamePlay, entity, generation);
+        play(&self.space, sa, sb, &self.params.game, &mut rng).fitness_a
+    }
+
+    /// Advance one generation: play all neighbour games, then update all
+    /// cells synchronously. Deterministic for `BestNeighbor`;
+    /// schedule-invariant for `Fermi` (counter-based streams).
+    pub fn step(&mut self) {
+        let gen = self.generation;
+        let n = self.grid.len();
+        // Phase 1: payoffs (embarrassingly parallel, like §V-A).
+        let payoffs: Vec<f64> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let mut total: f64 = self
+                    .neighbors(i)
+                    .iter()
+                    .map(|&j| self.game_payoff(i, j, gen))
+                    .sum();
+                if self.params.include_self {
+                    total += self.game_payoff(i, i, gen);
+                }
+                total
+            })
+            .collect();
+        // Phase 2: synchronous update against the frozen payoff field.
+        let new_grid: Vec<StratId> = (0..n)
+            .into_par_iter()
+            .map(|i| match self.params.update {
+                SpatialUpdate::BestNeighbor => {
+                    let mut best = i;
+                    let mut best_pay = payoffs[i];
+                    for j in self.neighbors(i) {
+                        // Strict improvement, lowest-index tie-break: the
+                        // rule stays fully deterministic.
+                        if payoffs[j] > best_pay || (payoffs[j] == best_pay && j < best) {
+                            best = j;
+                            best_pay = payoffs[j];
+                        }
+                    }
+                    self.grid[best]
+                }
+                SpatialUpdate::Fermi { beta } => {
+                    use rand::Rng;
+                    let mut rng = stream(self.params.seed, Domain::Nature, i as u64, gen);
+                    let nb = self.neighbors(i);
+                    let j = nb[rng.random_range(0..nb.len())];
+                    let p = crate::fermi::fermi_probability(beta, payoffs[j], payoffs[i]);
+                    if rng.random::<f64>() < p {
+                        self.grid[j]
+                    } else {
+                        self.grid[i]
+                    }
+                }
+            })
+            .collect();
+        self.payoffs = payoffs;
+        self.grid = new_grid;
+        self.generation += 1;
+    }
+
+    /// Run `generations` steps.
+    pub fn run(&mut self, generations: u64) {
+        for _ in 0..generations {
+            self.step();
+        }
+    }
+
+    /// Fraction of cells whose strategy is fully cooperative (feature
+    /// vector all ones) — the cooperator density of spatial-PD plots.
+    pub fn cooperator_fraction(&self) -> f64 {
+        let n = self.grid.len();
+        let coop = self
+            .grid
+            .iter()
+            .filter(|&&id| {
+                self.pool
+                    .get(id)
+                    .feature_vector()
+                    .iter()
+                    .all(|&p| p == 1.0)
+            })
+            .count();
+        coop as f64 / n as f64
+    }
+
+    /// ASCII frame: `#` cooperator, `.` defector, `o` anything mixed.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity((self.params.width + 1) * self.params.height);
+        for y in 0..self.params.height {
+            for x in 0..self.params.width {
+                let fv = self.pool.get(self.at(x, y)).feature_vector();
+                let ch = if fv.iter().all(|&p| p == 1.0) {
+                    '#'
+                } else if fv.iter().all(|&p| p == 0.0) {
+                    '.'
+                } else {
+                    'o'
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd::payoff::PayoffMatrix;
+
+    /// Nowak-May payoffs: R = 1, T = b, S = P = 0 (weak dilemma). The
+    /// canonical spatial-PD parameterisation.
+    fn nowak_may(b: f64) -> GameConfig {
+        GameConfig {
+            rounds: 1,
+            noise: 0.0,
+            payoff: PayoffMatrix::from_rstp(1.0, 0.0, b, 0.0),
+        }
+    }
+
+    fn params(b: f64, size: usize, update: SpatialUpdate) -> SpatialParams {
+        SpatialParams {
+            width: size,
+            height: size,
+            game: nowak_may(b),
+            update,
+            ..SpatialParams::default()
+        }
+    }
+
+    #[test]
+    fn uniform_grids_are_fixed_points() {
+        for frac in [0.0, 1.0] {
+            let mut pop = SpatialPopulation::new(
+                params(1.5, 8, SpatialUpdate::BestNeighbor),
+                InitPattern::RandomDefectors(frac),
+            );
+            let before: Vec<StratId> = (0..8)
+                .flat_map(|y| (0..8).map(move |x| (x, y)))
+                .map(|(x, y)| pop.at(x, y))
+                .collect();
+            pop.run(5);
+            let after: Vec<StratId> = (0..8)
+                .flat_map(|y| (0..8).map(move |x| (x, y)))
+                .map(|(x, y)| pop.at(x, y))
+                .collect();
+            assert_eq!(before, after, "uniform grid must be invariant");
+        }
+    }
+
+    #[test]
+    fn low_temptation_defector_dies_out() {
+        // With 9b < 8 + 1 (self-game), the lone defector scores below its
+        // cooperating neighbours and is swept away next update.
+        let mut pop = SpatialPopulation::new(
+            params(0.8, 15, SpatialUpdate::BestNeighbor),
+            InitPattern::SingleDefector,
+        );
+        pop.run(10);
+        assert_eq!(pop.cooperator_fraction(), 1.0);
+    }
+
+    #[test]
+    fn high_temptation_defection_spreads() {
+        // b close to the T>R+? regime: a lone defector's cluster expands.
+        let mut pop = SpatialPopulation::new(
+            params(2.5, 15, SpatialUpdate::BestNeighbor),
+            InitPattern::SingleDefector,
+        );
+        let start = pop.cooperator_fraction();
+        pop.run(10);
+        assert!(start > 0.99);
+        assert!(
+            pop.cooperator_fraction() < 0.6,
+            "defection should spread, coop still {}",
+            pop.cooperator_fraction()
+        );
+    }
+
+    #[test]
+    fn intermediate_temptation_sustains_coexistence() {
+        // Nowak & May's celebrated regime (1.8 < b < 2): cooperators
+        // survive in clusters alongside defectors.
+        let mut pop = SpatialPopulation::new(
+            params(1.85, 21, SpatialUpdate::BestNeighbor),
+            InitPattern::RandomDefectors(0.3),
+        );
+        pop.run(60);
+        let f = pop.cooperator_fraction();
+        assert!(
+            (0.05..=0.95).contains(&f),
+            "expected coexistence, got cooperator fraction {f}"
+        );
+    }
+
+    #[test]
+    fn best_neighbor_is_deterministic() {
+        let mk = || {
+            SpatialPopulation::new(
+                params(1.9, 12, SpatialUpdate::BestNeighbor),
+                InitPattern::RandomDefectors(0.25),
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        a.run(20);
+        b.run(20);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn fermi_update_reproducible_and_grid_conserved() {
+        let mk = || {
+            let mut p = params(1.9, 10, SpatialUpdate::Fermi { beta: 1.0 });
+            p.seed = 3;
+            SpatialPopulation::new(p, InitPattern::RandomDefectors(0.5))
+        };
+        let mut a = mk();
+        let mut b = mk();
+        a.run(15);
+        b.run(15);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.dims(), (10, 10));
+        assert_eq!(a.payoffs().len(), 100);
+    }
+
+    #[test]
+    fn neighborhood_sizes() {
+        let pop = SpatialPopulation::new(
+            params(1.5, 5, SpatialUpdate::BestNeighbor),
+            InitPattern::SingleDefector,
+        );
+        assert_eq!(pop.neighbors(0).len(), 8);
+        let mut p4 = params(1.5, 5, SpatialUpdate::BestNeighbor);
+        p4.neighborhood = Neighborhood::VonNeumann4;
+        let pop4 = SpatialPopulation::new(p4, InitPattern::SingleDefector);
+        assert_eq!(pop4.neighbors(0).len(), 4);
+        // Wraparound: corner cell's neighbours include the far corner.
+        assert!(pop.neighbors(0).contains(&(5 * 5 - 1)));
+    }
+
+    #[test]
+    fn iterated_spatial_games_work_with_memory() {
+        // Memory-one TFT grid vs defectors over 20-round games: TFT's
+        // retaliation caps the defectors' earnings, so cooperating clusters
+        // persist.
+        let space = StateSpace::new(1).unwrap();
+        let tft = Strategy::Pure(ipd::classic::tft(&space));
+        let alld = Strategy::Pure(ipd::classic::all_d(&space));
+        let n = 9usize;
+        let strategies: Vec<Strategy> = (0..n * n)
+            .map(|i| if i % 5 == 0 { alld.clone() } else { tft.clone() })
+            .collect();
+        let mut params = SpatialParams {
+            width: n,
+            height: n,
+            mem_steps: 1,
+            game: GameConfig {
+                rounds: 20,
+                ..GameConfig::default()
+            },
+            ..SpatialParams::default()
+        };
+        params.update = SpatialUpdate::BestNeighbor;
+        let mut pop = SpatialPopulation::new(params, InitPattern::Explicit(strategies));
+        pop.run(15);
+        // TFT survives (it is not fully cooperative by feature vector, so
+        // count grid cells holding it via the pool).
+        let tft_id = pop.pool().id_of(&tft).unwrap();
+        let tft_cells = (0..n)
+            .flat_map(|y| (0..n).map(move |x| (x, y)))
+            .filter(|&(x, y)| pop.at(x, y) == tft_id)
+            .count();
+        assert!(
+            tft_cells > n * n / 2,
+            "TFT should hold the grid against sparse defectors, has {tft_cells}"
+        );
+    }
+
+    #[test]
+    fn render_marks_cooperators_and_defectors() {
+        let pop = SpatialPopulation::new(
+            params(1.5, 5, SpatialUpdate::BestNeighbor),
+            InitPattern::SingleDefector,
+        );
+        let frame = pop.render();
+        assert_eq!(frame.matches('.').count(), 1, "one defector");
+        assert_eq!(frame.matches('#').count(), 24, "24 cooperators");
+    }
+
+    #[test]
+    fn kernel_choice_does_not_change_spatial_outcomes() {
+        let mk = |kernel| {
+            let mut p = params(1.9, 10, SpatialUpdate::BestNeighbor);
+            p.game.rounds = 50;
+            p.mem_steps = 1;
+            let mut pop = SpatialPopulation::new(p, InitPattern::RandomDefectors(0.4));
+            pop.kernel = kernel;
+            pop.run(10);
+            pop.render()
+        };
+        assert_eq!(mk(GameKernel::Naive), mk(GameKernel::Cycle));
+    }
+}

@@ -1,0 +1,174 @@
+//! Strategy Sets and the agent/opponent decomposition (paper §IV-A, §IV-D).
+//!
+//! A Strategy Set (SSet) is a group of agents all playing the same strategy.
+//! Within each generation every SSet must measure its strategy against
+//! *every* strategy in the population, and those games are partitioned
+//! across the SSet's agents: with `s` SSets and `a` agents per SSet, "each
+//! agent is assigned `s/a` opposing SSets to play against". The paper
+//! computes each agent's share from rank arithmetic alone (§V-A: each node
+//! can "calculate its position within an SSet and its subsequent opponent
+//! strategies individually") — no communication, no stored opponent lists.
+//! [`opponents_for_agent`] reproduces exactly that arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of the SSet decomposition of a population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SSetLayout {
+    /// Number of SSets `s` in the population.
+    pub num_ssets: usize,
+    /// Agents `a` in each SSet.
+    pub agents_per_sset: usize,
+}
+
+impl SSetLayout {
+    /// Layout with the paper's default `a = s` (each agent plays exactly one
+    /// game per generation).
+    pub fn square(num_ssets: usize) -> Self {
+        SSetLayout {
+            num_ssets,
+            agents_per_sset: num_ssets,
+        }
+    }
+
+    /// Total agents in the population.
+    pub fn total_agents(&self) -> u128 {
+        self.num_ssets as u128 * self.agents_per_sset as u128
+    }
+
+    /// Games per generation: `s²` (every SSet against every SSet, self
+    /// included).
+    pub fn games_per_generation(&self) -> u128 {
+        self.num_ssets as u128 * self.num_ssets as u128
+    }
+
+    /// The opponent SSets handled by `agent` (0-based) of any SSet:
+    /// opponents are dealt round-robin, so agent `k` handles opponents
+    /// `{j : j ≡ k (mod a)}`. Every opponent in `0..s` is covered exactly
+    /// once across the SSet's agents, whether or not `a` divides `s`.
+    pub fn opponents_for_agent(&self, agent: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(agent < self.agents_per_sset, "agent index out of range");
+        (agent..self.num_ssets).step_by(self.agents_per_sset)
+    }
+
+    /// Number of games agent `agent` of an SSet plays per generation —
+    /// `⌈s/a⌉` or `⌊s/a⌋` depending on position (the paper's `s/a` for the
+    /// divisible case).
+    pub fn games_for_agent(&self, agent: usize) -> usize {
+        self.opponents_for_agent(agent).count()
+    }
+}
+
+/// The opponent SSets handled by one agent — free-function form of
+/// [`SSetLayout::opponents_for_agent`] used by the distributed engine's
+/// rank arithmetic.
+pub fn opponents_for_agent(
+    num_ssets: usize,
+    agents_per_sset: usize,
+    agent: usize,
+) -> impl Iterator<Item = usize> {
+    assert!(agent < agents_per_sset, "agent index out of range");
+    (agent..num_ssets).step_by(agents_per_sset)
+}
+
+/// Minimum number of agents an SSet needs so that no agent plays more than
+/// `max_games_per_agent` games per generation.
+pub fn agents_required(num_ssets: usize, max_games_per_agent: usize) -> usize {
+    assert!(max_games_per_agent > 0);
+    num_ssets.div_ceil(max_games_per_agent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn square_layout_matches_paper_default() {
+        let l = SSetLayout::square(1_024);
+        assert_eq!(l.agents_per_sset, 1_024);
+        assert_eq!(l.total_agents(), 1_024 * 1_024);
+        assert_eq!(l.games_per_generation(), 1_024 * 1_024);
+        // Each agent handles exactly one opponent (s/a = 1).
+        for agent in [0usize, 1, 512, 1_023] {
+            assert_eq!(l.games_for_agent(agent), 1);
+            assert_eq!(l.opponents_for_agent(agent).next(), Some(agent));
+        }
+    }
+
+    #[test]
+    fn opponents_partition_all_ssets_exactly_once() {
+        for (s, a) in [(16, 4), (17, 4), (16, 5), (100, 7), (8, 8), (5, 12)] {
+            let l = SSetLayout {
+                num_ssets: s,
+                agents_per_sset: a,
+            };
+            let mut seen = HashSet::new();
+            for agent in 0..a {
+                for opp in l.opponents_for_agent(agent) {
+                    assert!(seen.insert(opp), "opponent {opp} handled twice (s={s}, a={a})");
+                }
+            }
+            assert_eq!(seen.len(), s, "every opponent covered (s={s}, a={a})");
+        }
+    }
+
+    #[test]
+    fn per_agent_load_is_balanced() {
+        // Loads differ by at most one game across agents.
+        let l = SSetLayout {
+            num_ssets: 103,
+            agents_per_sset: 10,
+        };
+        let loads: Vec<usize> = (0..10).map(|k| l.games_for_agent(k)).collect();
+        let (min, max) = (loads.iter().min().unwrap(), loads.iter().max().unwrap());
+        assert!(max - min <= 1, "loads {loads:?}");
+        assert_eq!(loads.iter().sum::<usize>(), 103);
+    }
+
+    #[test]
+    fn divisible_case_gives_exactly_s_over_a() {
+        let l = SSetLayout {
+            num_ssets: 64,
+            agents_per_sset: 16,
+        };
+        for agent in 0..16 {
+            assert_eq!(l.games_for_agent(agent), 4); // s/a = 4, paper §IV-A
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "agent index out of range")]
+    fn agent_index_bounds_checked() {
+        SSetLayout::square(4).opponents_for_agent(4).count();
+    }
+
+    #[test]
+    fn agents_required_bounds_games() {
+        assert_eq!(agents_required(1_024, 1), 1_024);
+        assert_eq!(agents_required(1_024, 4), 256);
+        assert_eq!(agents_required(1_000, 3), 334);
+        // With that many agents, no agent exceeds the cap.
+        let a = agents_required(1_000, 3);
+        let l = SSetLayout {
+            num_ssets: 1_000,
+            agents_per_sset: a,
+        };
+        for agent in 0..a {
+            assert!(l.games_for_agent(agent) <= 3);
+        }
+    }
+
+    #[test]
+    fn free_function_matches_method() {
+        let l = SSetLayout {
+            num_ssets: 23,
+            agents_per_sset: 5,
+        };
+        for agent in 0..5 {
+            let a: Vec<usize> = l.opponents_for_agent(agent).collect();
+            let b: Vec<usize> = opponents_for_agent(23, 5, agent).collect();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Named classic strategies, generalised to memory-*n* where meaningful.
+//!
+//! The paper's narrative strategies: ALLC/ALLD (§III-A), Tit-For-Tat (§I,
+//! §III-B), Win-Stay Lose-Shift (§III-E, Table V), plus the standard IPD
+//! repertoire used in tournaments and tests (Grim trigger, Tit-For-Two-Tats,
+//! Generous TFT). For memory-*n* spaces with n > 1 the memory-one rules are
+//! lifted by conditioning on the *most recent* round only, which preserves
+//! their defining behaviour.
+//!
+//! State-bit cheat sheet (see [`crate::state`]): in the low two bits of a
+//! state, bit 1 is *my* last move and bit 0 is the *opponent's* last move
+//! (C = 0, D = 1).
+
+use crate::payoff::{Move, PayoffMatrix};
+use crate::state::{StateId, StateSpace};
+use crate::strategy::{MixedStrategy, PureStrategy};
+
+/// My move in the most recent round of `state`.
+#[inline]
+fn my_last(state: StateId) -> Move {
+    Move::from_bit(((state >> 1) & 1) as u8)
+}
+
+/// The opponent's move in the most recent round of `state`.
+#[inline]
+fn opp_last(state: StateId) -> Move {
+    Move::from_bit((state & 1) as u8)
+}
+
+/// The opponent's move `k` rounds ago (`k = 0` is the most recent round).
+#[inline]
+fn opp_at(state: StateId, k: usize) -> Move {
+    Move::from_bit(((state >> (2 * k)) & 1) as u8)
+}
+
+/// Always cooperate.
+pub fn all_c(space: &StateSpace) -> PureStrategy {
+    PureStrategy::all_cooperate(*space)
+}
+
+/// Always defect — the dominant strategy of the one-shot PD (§III-A).
+pub fn all_d(space: &StateSpace) -> PureStrategy {
+    PureStrategy::all_defect(*space)
+}
+
+/// Tit-For-Tat: copy the opponent's previous move (§III-B). Requires
+/// memory ≥ 1; panics on a memory-zero space (TFT is undefined without
+/// history).
+pub fn tft(space: &StateSpace) -> PureStrategy {
+    assert!(space.mem_steps() >= 1, "TFT needs at least memory-one");
+    PureStrategy::from_fn(*space, opp_last)
+}
+
+/// Suspicious Tit-For-Tat: like TFT. The opening-move difference (STFT
+/// defects first) is not representable in the stationary strategy table —
+/// openings are fixed to cooperation by the engine per the paper — so within
+/// this framework STFT's table equals TFT's; provided for tournament
+/// completeness.
+pub fn stft(space: &StateSpace) -> PureStrategy {
+    tft(space)
+}
+
+/// Tit-For-Two-Tats: defect only if the opponent defected in **both** of the
+/// last two rounds. Requires memory ≥ 2.
+pub fn tf2t(space: &StateSpace) -> PureStrategy {
+    assert!(space.mem_steps() >= 2, "TF2T needs at least memory-two");
+    PureStrategy::from_fn(*space, |s| {
+        if opp_at(s, 0) == Move::Defect && opp_at(s, 1) == Move::Defect {
+            Move::Defect
+        } else {
+            Move::Cooperate
+        }
+    })
+}
+
+/// Grim trigger (within the memory window): defect if the opponent defected
+/// in **any** remembered round. True Grim needs unbounded memory; this is
+/// the standard memory-*n* truncation. Requires memory ≥ 1.
+pub fn grim(space: &StateSpace) -> PureStrategy {
+    assert!(space.mem_steps() >= 1, "Grim needs at least memory-one");
+    let n = space.mem_steps();
+    PureStrategy::from_fn(*space, |s| {
+        if (0..n).any(|k| opp_at(s, k) == Move::Defect) {
+            Move::Defect
+        } else {
+            Move::Cooperate
+        }
+    })
+}
+
+/// Win-Stay Lose-Shift (Pavlov), the paper's Table V strategy: repeat your
+/// previous move after a *good* outcome (R: mutual cooperation, or T:
+/// successful defection), switch after a *bad* one (S or P). Outperforms
+/// TFT under noise (Nowak & Sigmund [11]). Requires memory ≥ 1.
+///
+/// In our CC,CD,DC,DD state order the memory-one table is `[C,D,D,C]`
+/// (bit string `0110`); the paper's `[0101]` is the same strategy under its
+/// 00,01,11,10 state ordering.
+pub fn wsls(space: &StateSpace) -> PureStrategy {
+    assert!(space.mem_steps() >= 1, "WSLS needs at least memory-one");
+    PureStrategy::from_fn(*space, |s| {
+        let me = my_last(s);
+        let opp = opp_last(s);
+        let won = matches!(
+            (me, opp),
+            (Move::Cooperate, Move::Cooperate) | (Move::Defect, Move::Cooperate)
+        );
+        if won {
+            me
+        } else {
+            me.flipped()
+        }
+    })
+}
+
+/// Generous Tit-For-Tat: cooperate after the opponent cooperates; after a
+/// defection, still cooperate with the forgiveness probability
+/// `g = min(1 − (T−R)/(R−S), (R−P)/(T−P))` (Nowak & Sigmund [13]). With the
+/// paper's payoffs `[3,0,4,1]`, `g = 2/3`. Mixed, memory ≥ 1.
+pub fn gtft(space: &StateSpace, payoff: &PayoffMatrix) -> MixedStrategy {
+    assert!(space.mem_steps() >= 1, "GTFT needs at least memory-one");
+    let g = gtft_generosity(payoff);
+    let coop = space
+        .iter()
+        .map(|s| if opp_last(s) == Move::Cooperate { 1.0 } else { g })
+        .collect();
+    MixedStrategy::new(*space, coop).expect("g is a valid probability")
+}
+
+/// The GTFT forgiveness probability for a payoff matrix, clamped to [0,1].
+pub fn gtft_generosity(payoff: &PayoffMatrix) -> f64 {
+    let a = 1.0 - (payoff.temptation - payoff.reward) / (payoff.reward - payoff.sucker);
+    let b = (payoff.reward - payoff.punishment) / (payoff.temptation - payoff.punishment);
+    a.min(b).clamp(0.0, 1.0)
+}
+
+/// The uniformly random mixed strategy (cooperate with probability ½ in
+/// every state).
+pub fn random_mixed(space: &StateSpace) -> MixedStrategy {
+    MixedStrategy::new(*space, vec![0.5; space.num_states()]).expect("0.5 is valid")
+}
+
+/// Alternator: play the opposite of your own previous move. Memory ≥ 1.
+pub fn alternator(space: &StateSpace) -> PureStrategy {
+    assert!(space.mem_steps() >= 1, "Alternator needs at least memory-one");
+    PureStrategy::from_fn(*space, |s| my_last(s).flipped())
+}
+
+/// All named pure strategies definable on `space`, with display names —
+/// the seed roster for Axelrod-style tournaments.
+pub fn roster(space: &StateSpace) -> Vec<(&'static str, PureStrategy)> {
+    let mut v = vec![
+        ("ALLC", all_c(space)),
+        ("ALLD", all_d(space)),
+    ];
+    if space.mem_steps() >= 1 {
+        v.push(("TFT", tft(space)));
+        v.push(("WSLS", wsls(space)));
+        v.push(("GRIM", grim(space)));
+        v.push(("ALT", alternator(space)));
+    }
+    if space.mem_steps() >= 2 {
+        v.push(("TF2T", tf2t(space)));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Move::{Cooperate as C, Defect as D};
+
+    fn sp(n: usize) -> StateSpace {
+        StateSpace::new(n).unwrap()
+    }
+
+    #[test]
+    fn wsls_memory_one_table_matches_paper_table_v() {
+        // Our state order CC,CD,DC,DD. Paper Table V (order 00,01,11,10)
+        // gives strategy column 0,1,0,1; permuted to our order: C,D,D,C.
+        let w = wsls(&sp(1));
+        assert_eq!(w.move_for(0), C); // after (C,C): reward, stay with C
+        assert_eq!(w.move_for(1), D); // after (C,D): sucker, shift to D
+        assert_eq!(w.move_for(2), D); // after (D,C): temptation, stay with D
+        assert_eq!(w.move_for(3), C); // after (D,D): punishment, shift to C
+        assert_eq!(w.bit_string(), "0110");
+    }
+
+    #[test]
+    fn tft_copies_opponent() {
+        let t = tft(&sp(1));
+        assert_eq!(t.move_for(0), C); // opp played C
+        assert_eq!(t.move_for(1), D); // opp played D
+        assert_eq!(t.move_for(2), C);
+        assert_eq!(t.move_for(3), D);
+    }
+
+    #[test]
+    fn tft_lifts_to_higher_memory() {
+        // At memory-three, TFT still only reads the opponent's last move.
+        let s = sp(3);
+        let t = tft(&s);
+        for st in s.iter() {
+            assert_eq!(t.move_for(st), opp_last(st));
+        }
+    }
+
+    #[test]
+    fn tf2t_requires_two_consecutive_defections() {
+        let s = sp(2);
+        let t = tf2t(&s);
+        // Opponent defected in both remembered rounds.
+        let both = s.encode(&[(C, D), (C, D)]);
+        assert_eq!(t.move_for(both), D);
+        // Only the most recent.
+        let one = s.encode(&[(C, D), (C, C)]);
+        assert_eq!(t.move_for(one), C);
+        // Only the older one.
+        let old = s.encode(&[(C, C), (C, D)]);
+        assert_eq!(t.move_for(old), C);
+    }
+
+    #[test]
+    fn grim_triggers_on_any_defection_in_window() {
+        let s = sp(3);
+        let g = grim(&s);
+        let clean = s.encode(&[(C, C), (C, C), (C, C)]);
+        assert_eq!(g.move_for(clean), C);
+        for k in 0..3 {
+            let mut rounds = vec![(C, C); 3];
+            rounds[k] = (C, D);
+            assert_eq!(g.move_for(s.encode(&rounds)), D, "defection at lag {k}");
+        }
+    }
+
+    #[test]
+    fn gtft_generosity_matches_paper_payoffs() {
+        let g = gtft_generosity(&PayoffMatrix::default());
+        assert!((g - 2.0 / 3.0).abs() < 1e-12, "got {g}");
+        let strat = gtft(&sp(1), &PayoffMatrix::default());
+        assert_eq!(strat.coop_prob(0), 1.0);
+        assert!((strat.coop_prob(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(strat.coop_prob(2), 1.0);
+        assert!((strat.coop_prob(3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternator_flips_own_move() {
+        let a = alternator(&sp(1));
+        assert_eq!(a.move_for(0), D); // I played C
+        assert_eq!(a.move_for(2), C); // I played D
+    }
+
+    #[test]
+    fn roster_sizes_by_memory() {
+        assert_eq!(roster(&sp(0)).len(), 2);
+        assert_eq!(roster(&sp(1)).len(), 6);
+        assert_eq!(roster(&sp(2)).len(), 7);
+        // Names are unique.
+        let r = roster(&sp(2));
+        let names: std::collections::HashSet<_> = r.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), r.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "memory-one")]
+    fn tft_rejects_memory_zero() {
+        tft(&sp(0));
+    }
+
+    #[test]
+    fn wsls_lifts_to_memory_six() {
+        // The memory-six lift reads only the most recent round; verify on a
+        // sample of states.
+        let s = sp(6);
+        let w = wsls(&s);
+        for st in [0u16, 1, 2, 3, 0x0ff0, 0x0aa1, 0x0fff, 0x0552] {
+            let me = my_last(st);
+            let opp = opp_last(st);
+            let expect = if opp == C { me } else { me.flipped() };
+            assert_eq!(w.move_for(st), expect, "state {st:#x}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Compact textual strategy encoding — for CLIs, configs, and logs.
+//!
+//! Format: `m<n>:<body>` where `n` is the memory depth.
+//!
+//! - Pure strategies: `<body>` is the move table as lowercase hex, state 0
+//!   in the least-significant bit, zero-padded to `⌈4^n / 4⌉` digits.
+//!   Memory-one WSLS (`[C,D,D,C]` = bits `0110`) is `m1:6`.
+//! - Mixed strategies: `<body>` is `p:` followed by comma-separated
+//!   per-state cooperation probabilities, e.g. `m1:p:1,0.33,1,0.33`.
+//!
+//! A memory-six pure strategy encodes to 1,024 hex digits — the 2^4096
+//! space the paper opens, one line of text per strategy.
+
+use crate::state::StateSpace;
+use crate::strategy::{MixedStrategy, PureStrategy, Strategy};
+
+/// Errors decoding a compact strategy string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// Missing or malformed `m<n>:` header.
+    BadHeader,
+    /// Memory depth outside the supported range.
+    BadMemory(usize),
+    /// Hex body has the wrong length for the declared memory depth.
+    BadLength { expected: usize, got: usize },
+    /// A non-hex digit appeared in a pure body.
+    BadHexDigit(char),
+    /// A probability failed to parse or was out of range.
+    BadProbability(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadHeader => write!(f, "expected 'm<n>:' header"),
+            CodecError::BadMemory(n) => write!(f, "unsupported memory depth {n}"),
+            CodecError::BadLength { expected, got } => {
+                write!(f, "hex body has {got} digits, expected {expected}")
+            }
+            CodecError::BadHexDigit(c) => write!(f, "invalid hex digit {c:?}"),
+            CodecError::BadProbability(s) => write!(f, "invalid probability {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Hex digits needed for a pure strategy of the given space.
+fn hex_len(space: &StateSpace) -> usize {
+    space.num_states().div_ceil(4)
+}
+
+/// Encode a pure strategy as `m<n>:<hex>`.
+pub fn encode_pure(strategy: &PureStrategy) -> String {
+    let space = strategy.space();
+    let digits = hex_len(space);
+    let mut out = format!("m{}:", space.mem_steps());
+    // Nibble k covers states 4k..4k+4; most-significant digit first.
+    for k in (0..digits).rev() {
+        let mut nibble = 0u8;
+        for bit in 0..4 {
+            let state = 4 * k + bit;
+            if state < space.num_states()
+                && !strategy.move_for(state as u16).is_cooperate()
+            {
+                nibble |= 1 << bit;
+            }
+        }
+        out.push(char::from_digit(nibble as u32, 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Encode a mixed strategy as `m<n>:p:<probs>`.
+pub fn encode_mixed(strategy: &MixedStrategy) -> String {
+    let probs: Vec<String> = strategy
+        .probs()
+        .iter()
+        .map(|p| {
+            // Shortest faithful decimal.
+            let s = format!("{p}");
+            s
+        })
+        .collect();
+    format!("m{}:p:{}", strategy.space().mem_steps(), probs.join(","))
+}
+
+/// Encode either strategy kind.
+pub fn encode(strategy: &Strategy) -> String {
+    match strategy {
+        Strategy::Pure(p) => encode_pure(p),
+        Strategy::Mixed(m) => encode_mixed(m),
+    }
+}
+
+/// Decode a compact strategy string.
+pub fn decode(text: &str) -> Result<Strategy, CodecError> {
+    let rest = text.strip_prefix('m').ok_or(CodecError::BadHeader)?;
+    let (mem_str, body) = rest.split_once(':').ok_or(CodecError::BadHeader)?;
+    let mem: usize = mem_str.parse().map_err(|_| CodecError::BadHeader)?;
+    let space = StateSpace::new(mem).map_err(|_| CodecError::BadMemory(mem))?;
+    if let Some(probs) = body.strip_prefix("p:") {
+        let values: Result<Vec<f64>, CodecError> = probs
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|_| CodecError::BadProbability(s.to_string()))
+            })
+            .collect();
+        let values = values?;
+        let mixed = MixedStrategy::new(space, values)
+            .map_err(|e| CodecError::BadProbability(e.to_string()))?;
+        return Ok(Strategy::Mixed(mixed));
+    }
+    let expected = hex_len(&space);
+    if body.len() != expected {
+        return Err(CodecError::BadLength {
+            expected,
+            got: body.len(),
+        });
+    }
+    let mut strategy = PureStrategy::all_cooperate(space);
+    for (pos, c) in body.chars().enumerate() {
+        let nibble = c.to_digit(16).ok_or(CodecError::BadHexDigit(c))? as u8;
+        let k = expected - 1 - pos; // msd first
+        for bit in 0..4 {
+            let state = 4 * k + bit;
+            if state < space.num_states() && nibble & (1 << bit) != 0 {
+                strategy.set_move(state as u16, crate::payoff::Move::Defect);
+            }
+        }
+    }
+    Ok(Strategy::Pure(strategy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sp(n: usize) -> StateSpace {
+        StateSpace::new(n).unwrap()
+    }
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(encode_pure(&classic::wsls(&sp(1))), "m1:6"); // bits 0110
+        assert_eq!(encode_pure(&classic::all_c(&sp(1))), "m1:0");
+        assert_eq!(encode_pure(&classic::all_d(&sp(1))), "m1:f");
+        assert_eq!(encode_pure(&classic::tft(&sp(1))), "m1:a"); // D in states 1,3
+        assert_eq!(encode_pure(&classic::all_d(&sp(0))), "m0:1");
+        assert_eq!(encode_pure(&classic::all_d(&sp(2))), "m2:ffff");
+    }
+
+    #[test]
+    fn pure_roundtrip_all_memories() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for mem in 0..=6 {
+            for _ in 0..5 {
+                let p = PureStrategy::random(sp(mem), &mut rng);
+                let text = encode_pure(&p);
+                assert_eq!(decode(&text).unwrap(), Strategy::Pure(p), "memory-{mem}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_six_encoding_is_1024_digits() {
+        let p = classic::wsls(&sp(6));
+        let text = encode_pure(&p);
+        assert_eq!(text.len(), "m6:".len() + 1024);
+        assert_eq!(decode(&text).unwrap(), Strategy::Pure(p));
+    }
+
+    #[test]
+    fn mixed_roundtrip() {
+        let m = MixedStrategy::memory_one(sp(1), [1.0, 0.25, 0.5, 0.0]).unwrap();
+        let text = encode_mixed(&m);
+        assert_eq!(text, "m1:p:1,0.25,0.5,0");
+        assert_eq!(decode(&text).unwrap(), Strategy::Mixed(m));
+    }
+
+    #[test]
+    fn mixed_roundtrip_random() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for mem in 0..=2 {
+            let m = MixedStrategy::random(sp(mem), &mut rng);
+            let text = encode(&Strategy::Mixed(m.clone()));
+            assert_eq!(decode(&text).unwrap(), Strategy::Mixed(m));
+        }
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(decode("x1:6"), Err(CodecError::BadHeader));
+        assert_eq!(decode("m1-6"), Err(CodecError::BadHeader));
+        assert_eq!(decode("m9:0"), Err(CodecError::BadMemory(9)));
+        assert_eq!(
+            decode("m1:66"),
+            Err(CodecError::BadLength {
+                expected: 1,
+                got: 2
+            })
+        );
+        assert_eq!(decode("m1:g"), Err(CodecError::BadHexDigit('g')));
+        assert!(matches!(
+            decode("m1:p:1,2,0,0"),
+            Err(CodecError::BadProbability(_))
+        ));
+        assert!(matches!(
+            decode("m1:p:1,oops,0,0"),
+            Err(CodecError::BadProbability(_))
+        ));
+        assert!(matches!(
+            decode("m1:p:1,0"),
+            Err(CodecError::BadProbability(_)) // wrong arity
+        ));
+    }
+}

@@ -1,0 +1,348 @@
+//! Exact expected game outcomes via Markov-chain forward iteration.
+//!
+//! A game between two (possibly mixed) memory-*n* strategies with
+//! execution noise is a Markov chain over the `4^n` joint history states:
+//! both players see the *same* actual history, each through its own
+//! perspective transform. Iterating the state distribution forward for the
+//! game's rounds gives the **exact expected** payoffs and cooperation
+//! counts — no sampling variance — in `O(rounds · 4^n)` time (memory-six:
+//! 4,096 states, still trivially cheap).
+//!
+//! Uses:
+//! - variance-free fitness evaluation for stochastic populations (the
+//!   `Expected` fitness mode in `evo-core`);
+//! - exact verification of zero-determinant score relations ([`crate::zd`]);
+//! - analytic ground truth for the Monte-Carlo engine (property-tested
+//!   agreement).
+//!
+//! ```
+//! use ipd::prelude::*;
+//! use ipd::markov::expected_outcome;
+//!
+//! let space = StateSpace::new(1).unwrap();
+//! let tft = Strategy::Pure(classic::tft(&space));
+//! let noisy = GameConfig { noise: 0.05, ..GameConfig::default() };
+//! let exact = expected_outcome(&space, &tft, &tft, &noisy);
+//! // Errors echo: noisy TFT self-play pays well under mutual cooperation.
+//! assert!(exact.mean_fitness_a() < 2.5);
+//! ```
+
+use crate::game::GameConfig;
+use crate::payoff::Move;
+use crate::state::{StateId, StateSpace};
+use crate::strategy::Strategy;
+
+/// Cooperation probability of `strategy` in `state`, with execution noise
+/// ε folded in: `p' = p(1−ε) + (1−p)ε`.
+fn coop_prob(strategy: &Strategy, state: StateId, noise: f64) -> f64 {
+    let p = match strategy {
+        Strategy::Pure(p) => {
+            if p.move_for(state).is_cooperate() {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Strategy::Mixed(m) => m.coop_prob(state),
+    };
+    p * (1.0 - noise) + (1.0 - p) * noise
+}
+
+/// One forward step of the joint-state distribution. `dist[s]` is the
+/// probability that the last *n* rounds equal state `s` (from player A's
+/// perspective). Returns the next distribution plus this round's expected
+/// `(payoff_a, payoff_b, coop_a, coop_b)`.
+fn step(
+    space: &StateSpace,
+    a: &Strategy,
+    b: &Strategy,
+    config: &GameConfig,
+    dist: &[f64],
+) -> (Vec<f64>, [f64; 4]) {
+    let mut next = vec![0.0; dist.len()];
+    let mut round = [0.0f64; 4];
+    for (s, &mass) in dist.iter().enumerate() {
+        if mass == 0.0 {
+            continue;
+        }
+        let sa = s as StateId;
+        let sb = space.swap_perspective(sa);
+        let pa = coop_prob(a, sa, config.noise);
+        let pb = coop_prob(b, sb, config.noise);
+        for (move_a, wa) in [(Move::Cooperate, pa), (Move::Defect, 1.0 - pa)] {
+            if wa == 0.0 {
+                continue;
+            }
+            for (move_b, wb) in [(Move::Cooperate, pb), (Move::Defect, 1.0 - pb)] {
+                if wb == 0.0 {
+                    continue;
+                }
+                let w = mass * wa * wb;
+                let (fa, fb) = config.payoff.payoffs(move_a, move_b);
+                round[0] += w * fa;
+                round[1] += w * fb;
+                round[2] += w * move_a.is_cooperate() as u8 as f64;
+                round[3] += w * move_b.is_cooperate() as u8 as f64;
+                next[space.advance(sa, move_a, move_b) as usize] += w;
+            }
+        }
+    }
+    (next, round)
+}
+
+/// Expected game outcome (total fitness and expected cooperation counts,
+/// as `f64`s) of the iterated game [`crate::game::play`] simulates —
+/// computed exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpectedOutcome {
+    /// Expected total fitness of player A.
+    pub fitness_a: f64,
+    /// Expected total fitness of player B.
+    pub fitness_b: f64,
+    /// Expected number of A's cooperation moves.
+    pub coop_a: f64,
+    /// Expected number of B's cooperation moves.
+    pub coop_b: f64,
+    /// Rounds played.
+    pub rounds: u32,
+}
+
+impl ExpectedOutcome {
+    /// Expected mean per-round fitness of player A.
+    pub fn mean_fitness_a(&self) -> f64 {
+        self.fitness_a / self.rounds as f64
+    }
+
+    /// Expected mean per-round fitness of player B.
+    pub fn mean_fitness_b(&self) -> f64 {
+        self.fitness_b / self.rounds as f64
+    }
+}
+
+/// Compute the exact expected outcome of a game between `a` and `b`.
+pub fn expected_outcome(
+    space: &StateSpace,
+    a: &Strategy,
+    b: &Strategy,
+    config: &GameConfig,
+) -> ExpectedOutcome {
+    let mut dist = vec![0.0; space.num_states()];
+    dist[space.initial_state() as usize] = 1.0;
+    let mut out = ExpectedOutcome {
+        fitness_a: 0.0,
+        fitness_b: 0.0,
+        coop_a: 0.0,
+        coop_b: 0.0,
+        rounds: config.rounds,
+    };
+    for _ in 0..config.rounds {
+        let (next, round) = step(space, a, b, config, &dist);
+        dist = next;
+        out.fitness_a += round[0];
+        out.fitness_b += round[1];
+        out.coop_a += round[2];
+        out.coop_b += round[3];
+    }
+    out
+}
+
+/// Cesàro (time-averaged) state distribution over `iters` rounds — the
+/// long-run behaviour that zero-determinant score relations constrain.
+/// Converges for any strategy pair, including deterministic cycles.
+pub fn limit_distribution(
+    space: &StateSpace,
+    a: &Strategy,
+    b: &Strategy,
+    config: &GameConfig,
+    iters: u32,
+) -> Vec<f64> {
+    assert!(iters > 0);
+    let mut dist = vec![0.0; space.num_states()];
+    dist[space.initial_state() as usize] = 1.0;
+    let mut avg = vec![0.0; space.num_states()];
+    for _ in 0..iters {
+        let (next, _) = step(space, a, b, config, &dist);
+        dist = next;
+        for (acc, d) in avg.iter_mut().zip(&dist) {
+            *acc += d;
+        }
+    }
+    for v in &mut avg {
+        *v /= iters as f64;
+    }
+    avg
+}
+
+/// Long-run expected per-round payoffs `(s_a, s_b)` under the Cesàro
+/// distribution.
+pub fn long_run_payoffs(
+    space: &StateSpace,
+    a: &Strategy,
+    b: &Strategy,
+    config: &GameConfig,
+    iters: u32,
+) -> (f64, f64) {
+    // Average the per-round expected payoffs directly (exact Cesàro mean).
+    let mut dist = vec![0.0; space.num_states()];
+    dist[space.initial_state() as usize] = 1.0;
+    let (mut sa, mut sb) = (0.0, 0.0);
+    for _ in 0..iters {
+        let (next, round) = step(space, a, b, config, &dist);
+        dist = next;
+        sa += round[0];
+        sb += round[1];
+    }
+    (sa / iters as f64, sb / iters as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic;
+    use crate::game::{play, play_deterministic};
+    use crate::payoff::PayoffMatrix;
+    use crate::strategy::MixedStrategy;
+    use crate::zd;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sp(n: usize) -> StateSpace {
+        StateSpace::new(n).unwrap()
+    }
+
+    #[test]
+    fn exact_for_pure_noiseless_pairs() {
+        let cfg = GameConfig::default();
+        for n in [0usize, 1, 2, 3, 6] {
+            let s = sp(n);
+            let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+            for _ in 0..5 {
+                let a = crate::strategy::PureStrategy::random(s, &mut rng);
+                let b = crate::strategy::PureStrategy::random(s, &mut rng);
+                let det = play_deterministic(&s, &a, &b, &cfg);
+                let exp = expected_outcome(
+                    &s,
+                    &Strategy::Pure(a.clone()),
+                    &Strategy::Pure(b.clone()),
+                    &cfg,
+                );
+                assert!((exp.fitness_a - det.fitness_a).abs() < 1e-9, "memory-{n}");
+                assert!((exp.fitness_b - det.fitness_b).abs() < 1e-9);
+                assert!((exp.coop_a - det.coop_a as f64).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo_for_mixed_strategies() {
+        let s = sp(1);
+        let cfg = GameConfig {
+            rounds: 100,
+            noise: 0.02,
+            ..GameConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = Strategy::Mixed(MixedStrategy::random(s, &mut rng));
+        let b = Strategy::Mixed(MixedStrategy::random(s, &mut rng));
+        let exact = expected_outcome(&s, &a, &b, &cfg);
+        let games = 30_000;
+        let mut mc = 0.0;
+        for _ in 0..games {
+            mc += play(&s, &a, &b, &cfg, &mut rng).fitness_a;
+        }
+        mc /= games as f64;
+        let rel = (exact.fitness_a - mc).abs() / exact.fitness_a;
+        assert!(rel < 0.01, "exact {} vs MC {mc}", exact.fitness_a);
+    }
+
+    #[test]
+    fn noise_degrades_tft_self_play_exactly() {
+        // TFT self-play under noise: the long-run per-round payoff drops
+        // toward the (R+S+T+P)/4 = 2 mixing value.
+        let s = sp(1);
+        let tft = Strategy::Pure(classic::tft(&s));
+        let clean = GameConfig::default();
+        let noisy = GameConfig {
+            noise: 0.05,
+            ..GameConfig::default()
+        };
+        let e_clean = expected_outcome(&s, &tft, &tft, &clean);
+        let e_noisy = expected_outcome(&s, &tft, &tft, &noisy);
+        assert!((e_clean.mean_fitness_a() - 3.0).abs() < 1e-12);
+        assert!(e_noisy.mean_fitness_a() < 2.5);
+        // And WSLS holds up better — the §III-E claim, now exact.
+        let wsls = Strategy::Pure(classic::wsls(&s));
+        let w_noisy = expected_outcome(&s, &wsls, &wsls, &noisy);
+        assert!(
+            w_noisy.mean_fitness_a() > e_noisy.mean_fitness_a() + 0.3,
+            "WSLS {} vs TFT {}",
+            w_noisy.mean_fitness_a(),
+            e_noisy.mean_fitness_a()
+        );
+    }
+
+    #[test]
+    fn zd_extortion_relation_holds_exactly() {
+        // The Press-Dyson relation s_X − P = χ(s_Y − P) verified to
+        // numerical precision on the long-run payoffs.
+        let s = sp(1);
+        let payoff = PayoffMatrix::default();
+        let chi = 3.0;
+        let phi = zd::phi_max(&payoff, payoff.punishment, chi) * 0.7;
+        let x = Strategy::Mixed(zd::extortionate(&s, &payoff, chi, phi).unwrap());
+        for opp in [
+            Strategy::Pure(classic::all_c(&s)),
+            Strategy::Mixed(MixedStrategy::memory_one(s, [0.8, 0.3, 0.6, 0.1]).unwrap()),
+        ] {
+            let (sx, sy) = long_run_payoffs(&s, &x, &opp, &GameConfig::default(), 60_000);
+            let lhs = sx - payoff.punishment;
+            let rhs = chi * (sy - payoff.punishment);
+            assert!(
+                (lhs - rhs).abs() < 1e-3,
+                "ZD relation violated: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn limit_distribution_is_a_distribution() {
+        let s = sp(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let a = Strategy::Mixed(MixedStrategy::random(s, &mut rng));
+        let b = Strategy::Mixed(MixedStrategy::random(s, &mut rng));
+        let d = limit_distribution(&s, &a, &b, &GameConfig::default(), 2_000);
+        let total: f64 = d.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(d.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_cycle_has_uniform_cesaro_limit() {
+        // WSLS vs ALLD cycles with period two through (C,D) and (D,D):
+        // the Cesàro limit puts mass ½ on each of the two visited states.
+        let s = sp(1);
+        let wsls = Strategy::Pure(classic::wsls(&s));
+        let alld = Strategy::Pure(classic::all_d(&s));
+        let d = limit_distribution(&s, &wsls, &alld, &GameConfig::default(), 10_000);
+        // States in A's view: (C,D) = 1, (D,D) = 3.
+        assert!((d[1] - 0.5).abs() < 1e-3, "{d:?}");
+        assert!((d[3] - 0.5).abs() < 1e-3, "{d:?}");
+        assert!(d[0] < 1e-3 && d[2] < 1e-3);
+    }
+
+    #[test]
+    fn gtft_forgiveness_quantified_exactly() {
+        // GTFT vs ALLD: GTFT cooperates 2/3 of the time after defection,
+        // so its long-run cooperation rate against ALLD is exactly 2/3.
+        let s = sp(1);
+        let gtft = Strategy::Mixed(classic::gtft(&s, &PayoffMatrix::default()));
+        let alld = Strategy::Pure(classic::all_d(&s));
+        let cfg = GameConfig {
+            rounds: 5_000,
+            ..GameConfig::default()
+        };
+        let e = expected_outcome(&s, &gtft, &alld, &cfg);
+        let rate = e.coop_a / cfg.rounds as f64;
+        assert!((rate - 2.0 / 3.0).abs() < 1e-3, "rate {rate}");
+    }
+}

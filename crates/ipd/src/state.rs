@@ -1,0 +1,421 @@
+//! The memory-*n* state space (paper §III-D).
+//!
+//! A *state* is the game situation given by the binary decisions of both
+//! players in the past *n* rounds, so a memory-*n* model has `4^n` distinct
+//! states. This module defines the canonical bit encoding of states, the
+//! perspective swap between the two players, and the materialised
+//! [`StateTable`] that the paper's implementation searches linearly in
+//! `find_state`.
+//!
+//! # Encoding
+//!
+//! A state id for memory-*n* occupies the low `2n` bits of a `u16`
+//! (`4^6 = 4096` states need 12 bits). Round `t−1` (most recent) occupies
+//! bits `0..2`, round `t−2` bits `2..4`, and so on. Within a round pair the
+//! **agent's own move is the high bit** and the opponent's move the low bit:
+//!
+//! ```text
+//!   bit:   2n-1 ...         3    2    1    0
+//!          [round t-n] ... [me][opp] [me][opp]
+//!                           round t-2  round t-1
+//! ```
+//!
+//! Memory-zero is supported as the degenerate single-state space used for
+//! one-shot play.
+//!
+//! For memory-one this yields the state order CC, CD, DC, DD (ids 0–3) in
+//! `(my move, opponent move)` lexicographic order. The paper's Table V lists
+//! states in the order 00, 01, 11, 10; the mapping between the two orderings
+//! is a fixed permutation and strategies such as WSLS are identical objects
+//! under either labelling (WSLS is `[C,D,D,C]` here versus `[0,1,0,1]` in
+//! the paper's order).
+
+use crate::payoff::Move;
+use crate::MAX_MEMORY_STEPS;
+use serde::{Deserialize, Serialize};
+
+/// A state identifier: an index in `0..4^n` for a memory-*n* space.
+pub type StateId = u16;
+
+/// Errors constructing or using a state space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The requested number of memory steps exceeds [`MAX_MEMORY_STEPS`].
+    TooManyMemorySteps(usize),
+    /// A state id was out of range for the space.
+    StateOutOfRange { state: StateId, num_states: usize },
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::TooManyMemorySteps(n) => write!(
+                f,
+                "memory-{n} requested but at most memory-{MAX_MEMORY_STEPS} is supported \
+                 (4^{MAX_MEMORY_STEPS} = 4096 states)"
+            ),
+            StateError::StateOutOfRange { state, num_states } => {
+                write!(f, "state id {state} out of range for space of {num_states} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// The memory-*n* state space: sizing, encoding, and state arithmetic.
+///
+/// This is a tiny value type (just the memory depth plus derived constants)
+/// passed by reference throughout the crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StateSpace {
+    mem_steps: usize,
+    num_states: usize,
+    mask: u16,
+}
+
+impl StateSpace {
+    /// Create the state space for a memory-`n` model. Fails if `n` exceeds
+    /// [`MAX_MEMORY_STEPS`].
+    pub fn new(mem_steps: usize) -> Result<Self, StateError> {
+        if mem_steps > MAX_MEMORY_STEPS {
+            return Err(StateError::TooManyMemorySteps(mem_steps));
+        }
+        let num_states = 1usize << (2 * mem_steps);
+        Ok(StateSpace {
+            mem_steps,
+            num_states,
+            mask: (num_states - 1) as u16,
+        })
+    }
+
+    /// The number of memory steps *n*.
+    #[inline]
+    pub const fn mem_steps(&self) -> usize {
+        self.mem_steps
+    }
+
+    /// The number of distinct states, `4^n` (paper Table IV's state counts).
+    #[inline]
+    pub const fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Bit mask covering all valid state ids (`4^n − 1`).
+    #[inline]
+    pub const fn mask(&self) -> u16 {
+        self.mask
+    }
+
+    /// log2 of the number of *pure strategies*, i.e. `4^n` — the paper's
+    /// Table IV reports `2^(4^n)` strategies.
+    #[inline]
+    pub const fn log2_num_pure_strategies(&self) -> usize {
+        self.num_states
+    }
+
+    /// Pack one round's move pair into its 2-bit code: `(me << 1) | opp`.
+    #[inline]
+    pub fn round_bits(me: Move, opp: Move) -> u16 {
+        ((me.bit() as u16) << 1) | (opp.bit() as u16)
+    }
+
+    /// Unpack a 2-bit round code into `(me, opp)`.
+    #[inline]
+    pub fn unpack_round(bits: u16) -> (Move, Move) {
+        (
+            Move::from_bit(((bits >> 1) & 1) as u8),
+            Move::from_bit((bits & 1) as u8),
+        )
+    }
+
+    /// The initial state: all rounds of the view are mutual cooperation,
+    /// matching the paper's zero-initialised `current_view` (§IV-C).
+    #[inline]
+    pub const fn initial_state(&self) -> StateId {
+        0
+    }
+
+    /// Advance a state by one round: shift history up and insert the newest
+    /// round `(me, opp)` into the low bits, dropping the oldest round.
+    ///
+    /// This is the O(1) rolling update that replaces the paper's linear
+    /// `find_state` scan; both are exercised by the `state_lookup` ablation
+    /// benchmark.
+    #[inline]
+    pub fn advance(&self, state: StateId, me: Move, opp: Move) -> StateId {
+        if self.mem_steps == 0 {
+            return 0;
+        }
+        ((state << 2) | Self::round_bits(me, opp)) & self.mask
+    }
+
+    /// Swap perspective: the state as seen by the opponent, i.e. with the
+    /// `me`/`opp` bits exchanged in every round pair. The paper notes that
+    /// "each agent's current_view will be the opposite of its opponent"
+    /// (§IV-C).
+    #[inline]
+    pub fn swap_perspective(&self, state: StateId) -> StateId {
+        // Swap adjacent bit pairs: even bits (opp) move up, odd bits (me)
+        // move down, within the low 2n bits.
+        let odd = (state >> 1) & 0x5555; // my-move bits, moved to low position
+        let even = (state & 0x5555) << 1; // opp-move bits, moved to high position
+        (odd | even) & self.mask
+    }
+
+    /// Decode a state id into its rounds, most recent first:
+    /// `[(me, opp); n]` for round `t−1`, `t−2`, …, `t−n`.
+    pub fn decode(&self, state: StateId) -> Vec<(Move, Move)> {
+        (0..self.mem_steps)
+            .map(|i| Self::unpack_round((state >> (2 * i)) & 0b11))
+            .collect()
+    }
+
+    /// Encode rounds (most recent first) into a state id. Inverse of
+    /// [`StateSpace::decode`]. Panics if `rounds.len() != n`.
+    pub fn encode(&self, rounds: &[(Move, Move)]) -> StateId {
+        assert_eq!(
+            rounds.len(),
+            self.mem_steps,
+            "encode expects exactly n = {} rounds",
+            self.mem_steps
+        );
+        let mut state: StateId = 0;
+        for (i, &(me, opp)) in rounds.iter().enumerate() {
+            state |= Self::round_bits(me, opp) << (2 * i);
+        }
+        state
+    }
+
+    /// Human-readable rendering of a state, e.g. `"[CD|CC]"` for memory-two
+    /// (most recent round first, `me` then `opp` within a round).
+    pub fn render(&self, state: StateId) -> String {
+        if self.mem_steps == 0 {
+            return "[]".to_string();
+        }
+        let parts: Vec<String> = self
+            .decode(state)
+            .iter()
+            .map(|(me, opp)| format!("{}{}", me.label(), opp.label()))
+            .collect();
+        format!("[{}]", parts.join("|"))
+    }
+
+    /// Validate a state id against this space.
+    pub fn check(&self, state: StateId) -> Result<StateId, StateError> {
+        if (state as usize) < self.num_states {
+            Ok(state)
+        } else {
+            Err(StateError::StateOutOfRange {
+                state,
+                num_states: self.num_states,
+            })
+        }
+    }
+
+    /// Iterate over all state ids in the space.
+    pub fn iter(&self) -> impl Iterator<Item = StateId> {
+        (0..self.num_states as u16).map(|s| s as StateId)
+    }
+}
+
+/// The materialised table of all potential states, as the paper's global
+/// `states` array (§IV-C): each state id maps to the explicit move pairs of
+/// the last *n* rounds.
+///
+/// The paper's agents locate their current state by a **linear search** of
+/// this table against their `current_view`; the table's `4^n` growth is what
+/// drives the memory-step runtime growth in Fig 4. We keep this
+/// paper-faithful path (see [`StateTable::find_state`]) alongside the O(1)
+/// rolling index in [`StateSpace::advance`].
+#[derive(Debug, Clone)]
+pub struct StateTable {
+    space: StateSpace,
+    /// `rows[s]` = the move pairs of state `s`, most recent round first.
+    rows: Vec<Vec<(Move, Move)>>,
+}
+
+impl StateTable {
+    /// Materialise the full state table for a space. Memory cost is
+    /// `O(n · 4^n)` entries — 24,576 move pairs at memory-six, mirroring the
+    /// paper's observation that the state matrix "increases drastically with
+    /// the number of memory steps" (§VI-B1).
+    pub fn new(space: StateSpace) -> Self {
+        let rows = space.iter().map(|s| space.decode(s)).collect();
+        StateTable { space, rows }
+    }
+
+    /// The underlying state space.
+    #[inline]
+    pub fn space(&self) -> &StateSpace {
+        &self.space
+    }
+
+    /// The explicit rounds of a state, most recent first.
+    #[inline]
+    pub fn rounds(&self, state: StateId) -> &[(Move, Move)] {
+        &self.rows[state as usize]
+    }
+
+    /// Paper-faithful linear `find_state`: scan the table for the row whose
+    /// move pairs equal `view` (most recent round first). O(n · 4^n) per
+    /// call. Returns `None` when the view has the wrong length or matches no
+    /// state (impossible for well-formed views — the table is exhaustive).
+    pub fn find_state(&self, view: &[(Move, Move)]) -> Option<StateId> {
+        if view.len() != self.space.mem_steps() {
+            return None;
+        }
+        self.rows
+            .iter()
+            .position(|row| row.as_slice() == view)
+            .map(|idx| idx as StateId)
+    }
+
+    /// Number of rows (= number of states).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` only for the degenerate case of an empty table (never occurs:
+    /// memory-zero still has one state).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Move::{Cooperate as C, Defect as D};
+
+    #[test]
+    fn space_sizes_match_table_iv() {
+        // Paper Table IV: states = 4^n, strategies = 2^(4^n).
+        let expect = [1usize, 4, 16, 64, 256, 1024, 4096];
+        for (n, &states) in expect.iter().enumerate() {
+            let sp = StateSpace::new(n).unwrap();
+            assert_eq!(sp.num_states(), states, "memory-{n}");
+            assert_eq!(sp.log2_num_pure_strategies(), states);
+        }
+    }
+
+    #[test]
+    fn memory_seven_rejected() {
+        assert!(matches!(
+            StateSpace::new(7),
+            Err(StateError::TooManyMemorySteps(7))
+        ));
+    }
+
+    #[test]
+    fn memory_one_state_order_is_lexicographic() {
+        let sp = StateSpace::new(1).unwrap();
+        assert_eq!(sp.encode(&[(C, C)]), 0);
+        assert_eq!(sp.encode(&[(C, D)]), 1);
+        assert_eq!(sp.encode(&[(D, C)]), 2);
+        assert_eq!(sp.encode(&[(D, D)]), 3);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_memory_three() {
+        let sp = StateSpace::new(3).unwrap();
+        for s in sp.iter() {
+            let rounds = sp.decode(s);
+            assert_eq!(sp.encode(&rounds), s);
+        }
+    }
+
+    #[test]
+    fn advance_shifts_and_masks() {
+        let sp = StateSpace::new(2).unwrap();
+        // Start at CC,CC; play (D,C): newest round in low bits.
+        let s0 = sp.initial_state();
+        let s1 = sp.advance(s0, D, C);
+        assert_eq!(sp.decode(s1), vec![(D, C), (C, C)]);
+        // Play (C,D): (D,C) shifts to the older slot.
+        let s2 = sp.advance(s1, C, D);
+        assert_eq!(sp.decode(s2), vec![(C, D), (D, C)]);
+        // Oldest round drops off after n advances.
+        let s3 = sp.advance(s2, D, D);
+        assert_eq!(sp.decode(s3), vec![(D, D), (C, D)]);
+    }
+
+    #[test]
+    fn advance_memory_zero_is_constant() {
+        let sp = StateSpace::new(0).unwrap();
+        assert_eq!(sp.advance(0, D, D), 0);
+        assert_eq!(sp.num_states(), 1);
+    }
+
+    #[test]
+    fn swap_perspective_swaps_each_round() {
+        let sp = StateSpace::new(2).unwrap();
+        let s = sp.encode(&[(D, C), (C, D)]);
+        let swapped = sp.swap_perspective(s);
+        assert_eq!(sp.decode(swapped), vec![(C, D), (D, C)]);
+    }
+
+    #[test]
+    fn swap_perspective_is_involution() {
+        for n in 0..=3 {
+            let sp = StateSpace::new(n).unwrap();
+            for s in sp.iter() {
+                assert_eq!(sp.swap_perspective(sp.swap_perspective(s)), s);
+            }
+        }
+    }
+
+    #[test]
+    fn render_formats_moves() {
+        let sp = StateSpace::new(2).unwrap();
+        let s = sp.encode(&[(D, C), (C, C)]);
+        assert_eq!(sp.render(s), "[DC|CC]");
+        let sp0 = StateSpace::new(0).unwrap();
+        assert_eq!(sp0.render(0), "[]");
+    }
+
+    #[test]
+    fn check_rejects_out_of_range() {
+        let sp = StateSpace::new(1).unwrap();
+        assert!(sp.check(3).is_ok());
+        assert!(sp.check(4).is_err());
+    }
+
+    #[test]
+    fn table_find_state_agrees_with_encode() {
+        for n in 0..=3 {
+            let sp = StateSpace::new(n).unwrap();
+            let table = StateTable::new(sp);
+            assert_eq!(table.len(), sp.num_states());
+            for s in sp.iter() {
+                let view = sp.decode(s);
+                assert_eq!(table.find_state(&view), Some(s), "memory-{n} state {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_find_state_rejects_wrong_length() {
+        let sp = StateSpace::new(2).unwrap();
+        let table = StateTable::new(sp);
+        assert_eq!(table.find_state(&[(C, C)]), None);
+    }
+
+    #[test]
+    fn table_rounds_match_decode() {
+        let sp = StateSpace::new(3).unwrap();
+        let table = StateTable::new(sp);
+        for s in sp.iter() {
+            assert_eq!(table.rounds(s), sp.decode(s).as_slice());
+        }
+    }
+
+    #[test]
+    fn initial_state_is_all_cooperation() {
+        let sp = StateSpace::new(3).unwrap();
+        let rounds = sp.decode(sp.initial_state());
+        assert!(rounds.iter().all(|&(a, b)| a == C && b == C));
+    }
+}

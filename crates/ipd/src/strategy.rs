@@ -1,0 +1,622 @@
+//! Behavioural strategies over the memory-*n* state space (paper §III-C/D).
+//!
+//! A strategy prescribes a move for every state. With `4^n` states there are
+//! `2^(4^n)` *pure* strategies (Table IV) — at memory-six a pure strategy is
+//! a 4096-bit object, which we pack into 64 `u64` words. *Mixed* strategies
+//! prescribe a cooperation probability per state instead (§III-C), widening
+//! the space further; the paper's WSLS validation run (Fig 2) uses
+//! probabilistic memory-one strategies in the spirit of Nowak & Sigmund.
+
+use crate::payoff::Move;
+use crate::state::{StateId, StateSpace};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A pure strategy: one fixed move per state, bit-packed (bit = 1 means
+/// defect, matching the paper's 0/1 move encoding).
+///
+/// Equality, hashing, and ordering are defined on the packed bits, so pure
+/// strategies can be interned and used as map keys by the population engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PureStrategy {
+    space: StateSpace,
+    /// `ceil(4^n / 64)` words; bit `s` of the stream is the move in state `s`.
+    words: Vec<u64>,
+}
+
+impl PureStrategy {
+    /// Number of `u64` words needed for a space.
+    fn words_for(space: &StateSpace) -> usize {
+        space.num_states().div_ceil(64)
+    }
+
+    /// The all-cooperate strategy (every bit 0).
+    pub fn all_cooperate(space: StateSpace) -> Self {
+        PureStrategy {
+            space,
+            words: vec![0; Self::words_for(&space)],
+        }
+    }
+
+    /// The all-defect strategy (every bit 1).
+    pub fn all_defect(space: StateSpace) -> Self {
+        let mut s = Self::all_cooperate(space);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.clear_padding();
+        s
+    }
+
+    /// Build from an explicit move table, `moves[s]` = move in state `s`.
+    /// Panics if `moves.len() != 4^n`.
+    pub fn from_moves(space: StateSpace, moves: &[Move]) -> Self {
+        assert_eq!(
+            moves.len(),
+            space.num_states(),
+            "need one move per state ({} states)",
+            space.num_states()
+        );
+        let mut s = Self::all_cooperate(space);
+        for (i, m) in moves.iter().enumerate() {
+            if m.bit() == 1 {
+                s.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        s
+    }
+
+    /// Build from a closure mapping each state id to a move.
+    pub fn from_fn(space: StateSpace, mut f: impl FnMut(StateId) -> Move) -> Self {
+        let mut s = Self::all_cooperate(space);
+        for st in space.iter() {
+            if f(st).bit() == 1 {
+                s.words[(st as usize) / 64] |= 1u64 << ((st as usize) % 64);
+            }
+        }
+        s
+    }
+
+    /// Draw a uniformly random pure strategy — the paper's `gen_new_strat()`
+    /// used by the Nature Agent's mutation phase.
+    pub fn random<R: Rng + ?Sized>(space: StateSpace, rng: &mut R) -> Self {
+        let mut s = Self::all_cooperate(space);
+        for w in &mut s.words {
+            *w = rng.random();
+        }
+        s.clear_padding();
+        s
+    }
+
+    /// Decode a memory-one strategy index 0..16 in the enumeration order of
+    /// the paper's Table III-style listing (bit `i` of `index` = move in
+    /// state `i`). Panics unless the space is memory-one and `index < 16`.
+    pub fn from_memory_one_index(space: StateSpace, index: u8) -> Self {
+        assert_eq!(space.mem_steps(), 1, "memory-one index requires memory-one");
+        assert!(index < 16, "memory-one has exactly 16 pure strategies");
+        PureStrategy {
+            space,
+            words: vec![index as u64],
+        }
+    }
+
+    /// Zero out the padding bits above `4^n` so bitwise equality is canonical.
+    fn clear_padding(&mut self) {
+        let n = self.space.num_states();
+        let rem = n % 64;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    /// The state space this strategy is defined over.
+    #[inline]
+    pub fn space(&self) -> &StateSpace {
+        &self.space
+    }
+
+    /// The prescribed move in `state` — an O(1) bit lookup (the paper:
+    /// "agents are able to determine their strategy and next move simply via
+    /// a lookup based on the current state", §VI-B1).
+    #[inline]
+    pub fn move_for(&self, state: StateId) -> Move {
+        let i = state as usize;
+        debug_assert!(i < self.space.num_states());
+        Move::from_bit(((self.words[i / 64] >> (i % 64)) & 1) as u8)
+    }
+
+    /// Overwrite the move for one state.
+    pub fn set_move(&mut self, state: StateId, m: Move) {
+        let i = state as usize;
+        assert!(i < self.space.num_states());
+        let bit = 1u64 << (i % 64);
+        if m.bit() == 1 {
+            self.words[i / 64] |= bit;
+        } else {
+            self.words[i / 64] &= !bit;
+        }
+    }
+
+    /// The full move table, `4^n` entries.
+    pub fn to_moves(&self) -> Vec<Move> {
+        self.space.iter().map(|s| self.move_for(s)).collect()
+    }
+
+    /// The packed words (low bit of word 0 = state 0).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of states in which this strategy defects.
+    pub fn defection_count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of states in which this strategy cooperates.
+    pub fn cooperation_fraction(&self) -> f64 {
+        1.0 - self.defection_count() as f64 / self.space.num_states() as f64
+    }
+
+    /// Hamming distance to another pure strategy over the same space:
+    /// the number of states where the prescribed moves differ.
+    pub fn hamming(&self, other: &PureStrategy) -> usize {
+        assert_eq!(self.space, other.space, "strategies from different spaces");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Compact bit-string rendering, state 0 first: e.g. WSLS (memory-one,
+    /// our state order CC,CD,DC,DD) renders as `"0110"`.
+    pub fn bit_string(&self) -> String {
+        self.space
+            .iter()
+            .map(|s| if self.move_for(s).bit() == 1 { '1' } else { '0' })
+            .collect()
+    }
+}
+
+impl fmt::Display for PureStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.space.num_states() <= 64 {
+            write!(f, "{}", self.bit_string())
+        } else {
+            write!(
+                f,
+                "PureStrategy(memory-{}, {} defect states of {})",
+                self.space.mem_steps(),
+                self.defection_count(),
+                self.space.num_states()
+            )
+        }
+    }
+}
+
+/// Errors constructing mixed strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategyError {
+    /// A probability was outside `[0, 1]` or not finite.
+    InvalidProbability { state: usize, value: f64 },
+    /// The probability vector length did not match the state count.
+    WrongLength { expected: usize, got: usize },
+}
+
+impl fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyError::InvalidProbability { state, value } => {
+                write!(f, "cooperation probability {value} for state {state} not in [0,1]")
+            }
+            StrategyError::WrongLength { expected, got } => {
+                write!(f, "expected {expected} probabilities, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+/// A mixed (probabilistic) strategy: per-state probability of cooperating
+/// (paper §III-C). Probabilities are validated finite and within `[0, 1]`
+/// at construction; `-0.0` is normalised to `0.0` so that the bitwise
+/// equality/hash used for interning is canonical.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixedStrategy {
+    space: StateSpace,
+    /// `coop[s]` = probability of cooperating in state `s`.
+    coop: Vec<f64>,
+}
+
+impl PartialEq for MixedStrategy {
+    fn eq(&self, other: &Self) -> bool {
+        self.space == other.space
+            && self.coop.len() == other.coop.len()
+            && self
+                .coop
+                .iter()
+                .zip(&other.coop)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+impl Eq for MixedStrategy {}
+
+impl std::hash::Hash for MixedStrategy {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.space.hash(h);
+        for p in &self.coop {
+            p.to_bits().hash(h);
+        }
+    }
+}
+
+impl MixedStrategy {
+    /// Build from per-state cooperation probabilities. Fails on length
+    /// mismatch or out-of-range values.
+    pub fn new(space: StateSpace, mut coop: Vec<f64>) -> Result<Self, StrategyError> {
+        if coop.len() != space.num_states() {
+            return Err(StrategyError::WrongLength {
+                expected: space.num_states(),
+                got: coop.len(),
+            });
+        }
+        for (i, p) in coop.iter_mut().enumerate() {
+            if !p.is_finite() || *p < 0.0 || *p > 1.0 {
+                return Err(StrategyError::InvalidProbability { state: i, value: *p });
+            }
+            if *p == 0.0 {
+                *p = 0.0; // normalise -0.0
+            }
+        }
+        Ok(MixedStrategy { space, coop })
+    }
+
+    /// The memory-one reactive 4-vector `(p_cc, p_cd, p_dc, p_dd)` of Nowak
+    /// & Sigmund [11], in our CC,CD,DC,DD state order.
+    pub fn memory_one(space: StateSpace, p: [f64; 4]) -> Result<Self, StrategyError> {
+        assert_eq!(space.mem_steps(), 1);
+        Self::new(space, p.to_vec())
+    }
+
+    /// A uniformly random mixed strategy (each probability ~ U[0,1]) — used
+    /// for mutation when evolving probabilistic populations, as in the WSLS
+    /// validation study.
+    pub fn random<R: Rng + ?Sized>(space: StateSpace, rng: &mut R) -> Self {
+        let coop = (0..space.num_states()).map(|_| rng.random::<f64>()).collect();
+        MixedStrategy { space, coop }
+    }
+
+    /// Embed a pure strategy as the degenerate mixed strategy with
+    /// probabilities in {0, 1}.
+    pub fn from_pure(pure: &PureStrategy) -> Self {
+        let coop = pure
+            .space()
+            .iter()
+            .map(|s| if pure.move_for(s).is_cooperate() { 1.0 } else { 0.0 })
+            .collect();
+        MixedStrategy {
+            space: *pure.space(),
+            coop,
+        }
+    }
+
+    /// The state space this strategy is defined over.
+    #[inline]
+    pub fn space(&self) -> &StateSpace {
+        &self.space
+    }
+
+    /// Cooperation probability in `state`.
+    #[inline]
+    pub fn coop_prob(&self, state: StateId) -> f64 {
+        self.coop[state as usize]
+    }
+
+    /// The full probability vector.
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        &self.coop
+    }
+
+    /// Sample the move for `state` using `rng`.
+    #[inline]
+    pub fn decide<R: Rng + ?Sized>(&self, state: StateId, rng: &mut R) -> Move {
+        if rng.random::<f64>() < self.coop[state as usize] {
+            Move::Cooperate
+        } else {
+            Move::Defect
+        }
+    }
+
+    /// Round each probability to the nearer of {0, 1}, giving the closest
+    /// pure strategy (used when classifying evolved probabilistic
+    /// populations, e.g. "85% of SSets adopted WSLS").
+    pub fn nearest_pure(&self) -> PureStrategy {
+        PureStrategy::from_fn(self.space, |s| {
+            if self.coop[s as usize] >= 0.5 {
+                Move::Cooperate
+            } else {
+                Move::Defect
+            }
+        })
+    }
+
+    /// Mean cooperation probability across states.
+    pub fn mean_coop(&self) -> f64 {
+        self.coop.iter().sum::<f64>() / self.coop.len() as f64
+    }
+
+    /// Euclidean (L2) distance between probability vectors.
+    pub fn l2_distance(&self, other: &MixedStrategy) -> f64 {
+        assert_eq!(self.space, other.space);
+        self.coop
+            .iter()
+            .zip(&other.coop)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// A strategy of either kind; the population engine is generic over this.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Deterministic per-state moves.
+    Pure(PureStrategy),
+    /// Probabilistic per-state moves.
+    Mixed(MixedStrategy),
+}
+
+impl Strategy {
+    /// The state space this strategy is defined over.
+    pub fn space(&self) -> &StateSpace {
+        match self {
+            Strategy::Pure(p) => p.space(),
+            Strategy::Mixed(m) => m.space(),
+        }
+    }
+
+    /// Choose the move for `state`. Pure strategies ignore the RNG.
+    #[inline]
+    pub fn decide<R: Rng + ?Sized>(&self, state: StateId, rng: &mut R) -> Move {
+        match self {
+            Strategy::Pure(p) => p.move_for(state),
+            Strategy::Mixed(m) => m.decide(state, rng),
+        }
+    }
+
+    /// `true` if no randomness is involved in move selection (pure, or mixed
+    /// with all probabilities in {0,1}).
+    pub fn is_deterministic(&self) -> bool {
+        match self {
+            Strategy::Pure(_) => true,
+            Strategy::Mixed(m) => m.probs().iter().all(|&p| p == 0.0 || p == 1.0),
+        }
+    }
+
+    /// A feature vector for clustering/analysis: per-state cooperation
+    /// probability (pure strategies yield 0/1 coordinates). This is the
+    /// representation fed to the k-means step behind the paper's Fig 2.
+    pub fn feature_vector(&self) -> Vec<f64> {
+        match self {
+            Strategy::Pure(p) => p
+                .space()
+                .iter()
+                .map(|s| if p.move_for(s).is_cooperate() { 1.0 } else { 0.0 })
+                .collect(),
+            Strategy::Mixed(m) => m.probs().to_vec(),
+        }
+    }
+
+    /// Draw a random strategy of the given kind — the Nature Agent's
+    /// `gen_new_strat()`.
+    pub fn random<R: Rng + ?Sized>(space: StateSpace, mixed: bool, rng: &mut R) -> Self {
+        if mixed {
+            Strategy::Mixed(MixedStrategy::random(space, rng))
+        } else {
+            Strategy::Pure(PureStrategy::random(space, rng))
+        }
+    }
+}
+
+impl From<PureStrategy> for Strategy {
+    fn from(p: PureStrategy) -> Self {
+        Strategy::Pure(p)
+    }
+}
+
+impl From<MixedStrategy> for Strategy {
+    fn from(m: MixedStrategy) -> Self {
+        Strategy::Mixed(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sp(n: usize) -> StateSpace {
+        StateSpace::new(n).unwrap()
+    }
+
+    #[test]
+    fn all_cooperate_and_all_defect() {
+        for n in 0..=6 {
+            let s = sp(n);
+            let c = PureStrategy::all_cooperate(s);
+            let d = PureStrategy::all_defect(s);
+            for st in s.iter() {
+                assert_eq!(c.move_for(st), Move::Cooperate);
+                assert_eq!(d.move_for(st), Move::Defect);
+            }
+            assert_eq!(c.defection_count(), 0);
+            assert_eq!(d.defection_count(), s.num_states());
+            assert_eq!(c.hamming(&d), s.num_states());
+        }
+    }
+
+    #[test]
+    fn from_moves_roundtrip() {
+        let s = sp(2);
+        let moves: Vec<Move> = (0..16)
+            .map(|i| if i % 3 == 0 { Move::Defect } else { Move::Cooperate })
+            .collect();
+        let strat = PureStrategy::from_moves(s, &moves);
+        assert_eq!(strat.to_moves(), moves);
+    }
+
+    #[test]
+    fn memory_one_index_enumerates_all_sixteen() {
+        // Table III: 16 distinct memory-one pure strategies.
+        let s = sp(1);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..16 {
+            let strat = PureStrategy::from_memory_one_index(s, i);
+            assert!(seen.insert(strat.clone()));
+            // Bit i of the index is the move in state i.
+            for st in s.iter() {
+                assert_eq!(strat.move_for(st).bit(), ((i >> st) & 1) as u8);
+            }
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn set_move_flips_single_state() {
+        let s = sp(3);
+        let mut strat = PureStrategy::all_cooperate(s);
+        strat.set_move(17, Move::Defect);
+        assert_eq!(strat.defection_count(), 1);
+        assert_eq!(strat.move_for(17), Move::Defect);
+        strat.set_move(17, Move::Cooperate);
+        assert_eq!(strat, PureStrategy::all_cooperate(s));
+    }
+
+    #[test]
+    fn random_strategy_has_cleared_padding() {
+        // memory-1 has 4 states -> padding bits 4..64 must be zero so that
+        // equality is canonical.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let s = sp(1);
+        for _ in 0..50 {
+            let strat = PureStrategy::random(s, &mut rng);
+            assert_eq!(strat.words()[0] >> 4, 0, "padding bits must be cleared");
+        }
+    }
+
+    #[test]
+    fn memory_six_strategy_is_4096_bits() {
+        let s = sp(6);
+        let strat = PureStrategy::all_defect(s);
+        assert_eq!(strat.words().len(), 64);
+        assert_eq!(strat.defection_count(), 4096);
+    }
+
+    #[test]
+    fn bit_string_renders_state_zero_first() {
+        let s = sp(1);
+        let mut strat = PureStrategy::all_cooperate(s);
+        strat.set_move(1, Move::Defect);
+        strat.set_move(2, Move::Defect);
+        assert_eq!(strat.bit_string(), "0110");
+        assert_eq!(strat.to_string(), "0110");
+    }
+
+    #[test]
+    fn cooperation_fraction() {
+        let s = sp(1);
+        let strat = PureStrategy::from_memory_one_index(s, 0b0011);
+        assert_eq!(strat.cooperation_fraction(), 0.5);
+    }
+
+    #[test]
+    fn mixed_rejects_bad_probabilities() {
+        let s = sp(1);
+        assert!(MixedStrategy::new(s, vec![0.5; 3]).is_err());
+        assert!(MixedStrategy::new(s, vec![0.5, 1.1, 0.0, 0.0]).is_err());
+        assert!(MixedStrategy::new(s, vec![0.5, f64::NAN, 0.0, 0.0]).is_err());
+        assert!(MixedStrategy::new(s, vec![0.5, -0.1, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn mixed_normalises_negative_zero() {
+        let s = sp(1);
+        let a = MixedStrategy::new(s, vec![-0.0, 0.0, 1.0, 0.5]).unwrap();
+        let b = MixedStrategy::new(s, vec![0.0, -0.0, 1.0, 0.5]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_mixed_equals_pure_behaviour() {
+        let s = sp(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let pure = PureStrategy::random(s, &mut rng);
+        let mixed = MixedStrategy::from_pure(&pure);
+        assert!(Strategy::Mixed(mixed.clone()).is_deterministic());
+        for st in s.iter() {
+            assert_eq!(mixed.decide(st, &mut rng), pure.move_for(st));
+        }
+        assert_eq!(mixed.nearest_pure(), pure);
+    }
+
+    #[test]
+    fn mixed_decide_respects_probability() {
+        let s = sp(1);
+        let m = MixedStrategy::memory_one(s, [0.9, 0.0, 1.0, 0.5]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let trials = 20_000;
+        let mut coop = 0;
+        for _ in 0..trials {
+            if m.decide(0, &mut rng).is_cooperate() {
+                coop += 1;
+            }
+        }
+        let f = coop as f64 / trials as f64;
+        assert!((f - 0.9).abs() < 0.01, "observed {f}");
+        // Extremes are exact.
+        for _ in 0..100 {
+            assert_eq!(m.decide(1, &mut rng), Move::Defect);
+            assert_eq!(m.decide(2, &mut rng), Move::Cooperate);
+        }
+    }
+
+    #[test]
+    fn feature_vector_matches_moves() {
+        let s = sp(1);
+        let pure = PureStrategy::from_memory_one_index(s, 0b0110);
+        let fv = Strategy::Pure(pure).feature_vector();
+        assert_eq!(fv, vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn l2_distance_zero_iff_equal() {
+        let s = sp(1);
+        let a = MixedStrategy::memory_one(s, [0.1, 0.2, 0.3, 0.4]).unwrap();
+        let b = MixedStrategy::memory_one(s, [0.1, 0.2, 0.3, 0.9]).unwrap();
+        assert_eq!(a.l2_distance(&a), 0.0);
+        assert!((a.l2_distance(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_strategies_differ() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let s = sp(6);
+        let a = Strategy::random(s, false, &mut rng);
+        let b = Strategy::random(s, false, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mean_coop() {
+        let s = sp(1);
+        let m = MixedStrategy::memory_one(s, [1.0, 0.0, 1.0, 0.0]).unwrap();
+        assert_eq!(m.mean_coop(), 0.5);
+    }
+}

@@ -1,0 +1,383 @@
+//! Axelrod-style round-robin tournaments (paper §III-B).
+//!
+//! Axelrod's competitions played every submitted strategy against every
+//! other (and itself) for a fixed number of rounds and ranked strategies by
+//! total fitness; TFT "kept emerging as the winner". [`RoundRobin`] is a
+//! faithful implementation over this crate's strategies, used by the
+//! `axelrod_tournament` example and by validation tests.
+
+use crate::game::{play, GameConfig};
+use crate::state::StateSpace;
+use crate::strategy::Strategy;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A named tournament entrant.
+#[derive(Debug, Clone)]
+pub struct Entrant {
+    /// Display name (e.g. `"TFT"`).
+    pub name: String,
+    /// The strategy played.
+    pub strategy: Strategy,
+}
+
+/// One entrant's final standing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Standing {
+    /// Entrant name.
+    pub name: String,
+    /// Total fitness across all games (including self-play, per Axelrod).
+    pub total_fitness: f64,
+    /// Mean per-round fitness.
+    pub mean_fitness: f64,
+    /// Fraction of this entrant's moves that were cooperation.
+    pub cooperation_rate: f64,
+    /// Games played.
+    pub games: u32,
+}
+
+/// Full tournament results: standings sorted by total fitness (descending)
+/// and the dense pairwise fitness matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TournamentResult {
+    /// Standings, best first.
+    pub standings: Vec<Standing>,
+    /// `matrix[i][j]` = total fitness entrant `i` earned against entrant `j`
+    /// (summed over repetitions), indexed by the *input* entrant order.
+    pub matrix: Vec<Vec<f64>>,
+    /// Input-order entrant names (row/column labels for `matrix`).
+    pub names: Vec<String>,
+}
+
+impl TournamentResult {
+    /// The winner's name.
+    pub fn winner(&self) -> &str {
+        &self.standings[0].name
+    }
+
+    /// Standing of a named entrant.
+    pub fn standing(&self, name: &str) -> Option<&Standing> {
+        self.standings.iter().find(|s| s.name == name)
+    }
+
+    /// Render the standings as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("rank  name        total        mean   coop%  games\n");
+        for (i, s) in self.standings.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>4}  {:<10} {:>9.1}  {:>8.3}  {:>5.1}  {:>5}\n",
+                i + 1,
+                s.name,
+                s.total_fitness,
+                s.mean_fitness,
+                s.cooperation_rate * 100.0,
+                s.games
+            ));
+        }
+        out
+    }
+}
+
+/// Share trajectories of Axelrod's *ecological* analysis: the round-robin
+/// payoff matrix re-weighted generation after generation, so strategies
+/// that prey on losers fade once their prey is gone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EcologicalResult {
+    /// `shares[g][i]` = entrant `i`'s population share at generation `g`
+    /// (generation 0 = uniform).
+    pub shares: Vec<Vec<f64>>,
+    /// Entrant names, matching the share columns.
+    pub names: Vec<String>,
+}
+
+impl EcologicalResult {
+    /// Final share of each entrant.
+    pub fn final_shares(&self) -> &[f64] {
+        self.shares.last().expect("at least generation 0")
+    }
+
+    /// Name of the entrant with the largest final share.
+    pub fn winner(&self) -> &str {
+        let fin = self.final_shares();
+        let best = (0..fin.len())
+            .max_by(|&a, &b| fin[a].total_cmp(&fin[b]))
+            .expect("nonempty");
+        &self.names[best]
+    }
+
+    /// Peak share an entrant reached at any generation.
+    pub fn peak_share(&self, name: &str) -> f64 {
+        let idx = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .expect("unknown entrant");
+        self.shares
+            .iter()
+            .map(|g| g[idx])
+            .fold(0.0, f64::max)
+    }
+}
+
+impl TournamentResult {
+    /// Axelrod's ecological second stage: start from uniform shares and
+    /// iterate the discrete replicator map
+    /// `share'_i ∝ share_i · Σ_j share_j · M[i][j]` for `generations`
+    /// steps, where `M` is this tournament's pairwise fitness matrix.
+    /// Exploiters (ALLD-likes) surge while victims exist, then starve —
+    /// the dynamic that crowned TFT.
+    pub fn ecological(&self, generations: usize) -> EcologicalResult {
+        let n = self.names.len();
+        let mut shares = vec![vec![1.0 / n as f64; n]];
+        for _ in 0..generations {
+            let cur = shares.last().expect("nonempty");
+            let fitness: Vec<f64> = (0..n)
+                .map(|i| (0..n).map(|j| cur[j] * self.matrix[i][j]).sum())
+                .collect();
+            let total: f64 = (0..n).map(|i| cur[i] * fitness[i]).sum();
+            let next: Vec<f64> = if total <= 0.0 {
+                cur.clone()
+            } else {
+                (0..n).map(|i| cur[i] * fitness[i] / total).collect()
+            };
+            shares.push(next);
+        }
+        EcologicalResult {
+            shares,
+            names: self.names.clone(),
+        }
+    }
+}
+
+/// A round-robin tournament: every entrant plays every entrant (including
+/// itself) `repetitions` times.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    space: StateSpace,
+    config: GameConfig,
+    /// Games per ordered pair. Axelrod's second tournament used five.
+    pub repetitions: u32,
+}
+
+impl RoundRobin {
+    /// A tournament over `space` with per-game settings `config` and one
+    /// repetition per pair.
+    pub fn new(space: StateSpace, config: GameConfig) -> Self {
+        RoundRobin {
+            space,
+            config,
+            repetitions: 1,
+        }
+    }
+
+    /// Set the number of repetitions per pairing.
+    pub fn with_repetitions(mut self, reps: u32) -> Self {
+        self.repetitions = reps;
+        self
+    }
+
+    /// Run the tournament. Each unordered pair (and each self-pairing) is
+    /// played `repetitions` times; both players' fitness accrues from the
+    /// same games.
+    pub fn run<R: Rng + ?Sized>(&self, entrants: &[Entrant], rng: &mut R) -> TournamentResult {
+        let n = entrants.len();
+        assert!(n > 0, "tournament needs at least one entrant");
+        let mut matrix = vec![vec![0.0f64; n]; n];
+        let mut coop = vec![0u64; n];
+        let mut moves = vec![0u64; n];
+        for i in 0..n {
+            for j in i..n {
+                for _ in 0..self.repetitions {
+                    let o = play(
+                        &self.space,
+                        &entrants[i].strategy,
+                        &entrants[j].strategy,
+                        &self.config,
+                        rng,
+                    );
+                    matrix[i][j] += o.fitness_a;
+                    coop[i] += o.coop_a as u64;
+                    moves[i] += o.rounds as u64;
+                    if i != j {
+                        matrix[j][i] += o.fitness_b;
+                        coop[j] += o.coop_b as u64;
+                        moves[j] += o.rounds as u64;
+                    }
+                }
+            }
+        }
+        let games = (n as u32) * self.repetitions;
+        let mut standings: Vec<Standing> = (0..n)
+            .map(|i| {
+                let total: f64 = matrix[i].iter().sum();
+                Standing {
+                    name: entrants[i].name.clone(),
+                    total_fitness: total,
+                    mean_fitness: if moves[i] > 0 {
+                        total / moves[i] as f64
+                    } else {
+                        0.0
+                    },
+                    cooperation_rate: if moves[i] > 0 {
+                        coop[i] as f64 / moves[i] as f64
+                    } else {
+                        0.0
+                    },
+                    games,
+                }
+            })
+            .collect();
+        standings.sort_by(|a, b| b.total_fitness.total_cmp(&a.total_fitness));
+        TournamentResult {
+            standings,
+            matrix,
+            names: entrants.iter().map(|e| e.name.clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn entrants_memory_one() -> (StateSpace, Vec<Entrant>) {
+        let s = StateSpace::new(1).unwrap();
+        let e = classic::roster(&s)
+            .into_iter()
+            .map(|(name, strat)| Entrant {
+                name: name.to_string(),
+                strategy: Strategy::Pure(strat),
+            })
+            .collect();
+        (s, e)
+    }
+
+    #[test]
+    fn tournament_runs_and_ranks_all_entrants() {
+        let (s, entrants) = entrants_memory_one();
+        let t = RoundRobin::new(s, GameConfig::default()).with_repetitions(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let r = t.run(&entrants, &mut rng);
+        assert_eq!(r.standings.len(), entrants.len());
+        assert_eq!(r.matrix.len(), entrants.len());
+        // Standings are sorted descending.
+        for w in r.standings.windows(2) {
+            assert!(w[0].total_fitness >= w[1].total_fitness);
+        }
+    }
+
+    #[test]
+    fn noiseless_roster_favours_reciprocators_over_alld() {
+        // In a noiseless round robin over the classic roster, ALLD must not
+        // win: reciprocators earn mutual cooperation with each other.
+        let (s, entrants) = entrants_memory_one();
+        let t = RoundRobin::new(s, GameConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let r = t.run(&entrants, &mut rng);
+        assert_ne!(r.winner(), "ALLD");
+        let tft = r.standing("TFT").unwrap();
+        let alld = r.standing("ALLD").unwrap();
+        assert!(tft.total_fitness > alld.total_fitness);
+    }
+
+    #[test]
+    fn alld_beats_allc_head_to_head_in_matrix() {
+        let (s, entrants) = entrants_memory_one();
+        let t = RoundRobin::new(s, GameConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let r = t.run(&entrants, &mut rng);
+        let idx = |n: &str| r.names.iter().position(|x| x == n).unwrap();
+        let (i_allc, i_alld) = (idx("ALLC"), idx("ALLD"));
+        assert!(r.matrix[i_alld][i_allc] > r.matrix[i_allc][i_alld]);
+        // ALLD vs ALLC earns T=4 every round over 200 rounds.
+        assert_eq!(r.matrix[i_alld][i_allc], 800.0);
+        assert_eq!(r.matrix[i_allc][i_alld], 0.0);
+    }
+
+    #[test]
+    fn repetitions_scale_totals() {
+        let (s, entrants) = entrants_memory_one();
+        let mut rng1 = ChaCha8Rng::seed_from_u64(3);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(3);
+        let r1 = RoundRobin::new(s, GameConfig::default()).run(&entrants, &mut rng1);
+        let r5 = RoundRobin::new(s, GameConfig::default())
+            .with_repetitions(5)
+            .run(&entrants, &mut rng2);
+        // All strategies here are pure and noiseless, so 5 reps = 5x fitness.
+        for (a, b) in r1.names.iter().zip(&r5.names) {
+            assert_eq!(a, b);
+        }
+        for i in 0..r1.matrix.len() {
+            for j in 0..r1.matrix.len() {
+                assert!((5.0 * r1.matrix[i][j] - r5.matrix[i][j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_all_names() {
+        let (s, entrants) = entrants_memory_one();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let r = RoundRobin::new(s, GameConfig::default()).run(&entrants, &mut rng);
+        let text = r.render();
+        for e in &entrants {
+            assert!(text.contains(&e.name), "missing {}", e.name);
+        }
+    }
+
+    #[test]
+    fn ecological_shares_stay_on_the_simplex() {
+        let (s, entrants) = entrants_memory_one();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let r = RoundRobin::new(s, GameConfig::default()).run(&entrants, &mut rng);
+        let eco = r.ecological(200);
+        assert_eq!(eco.shares.len(), 201);
+        for gen in &eco.shares {
+            let total: f64 = gen.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(gen.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn ecological_dynamics_starve_the_exploiter() {
+        // Axelrod's observation: ALLD may hold its own early (feeding on
+        // ALLC/ALT), but declines as its victims disappear; a reciprocator
+        // carries the final population.
+        let (s, entrants) = entrants_memory_one();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let r = RoundRobin::new(s, GameConfig::default()).run(&entrants, &mut rng);
+        let eco = r.ecological(500);
+        let idx = |n: &str| eco.names.iter().position(|x| x == n).unwrap();
+        let alld_final = eco.final_shares()[idx("ALLD")];
+        let uniform = 1.0 / entrants.len() as f64;
+        assert!(
+            alld_final < uniform / 2.0,
+            "ALLD should wither ecologically, holds {alld_final}"
+        );
+        assert!(
+            eco.peak_share("ALLD") >= alld_final,
+            "ALLD's share peaks before its decline"
+        );
+        assert_ne!(eco.winner(), "ALLD");
+        assert_ne!(eco.winner(), "ALT");
+    }
+
+    #[test]
+    fn single_entrant_plays_itself() {
+        let s = StateSpace::new(1).unwrap();
+        let e = vec![Entrant {
+            name: "TFT".into(),
+            strategy: Strategy::Pure(classic::tft(&s)),
+        }];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let r = RoundRobin::new(s, GameConfig::default()).run(&e, &mut rng);
+        assert_eq!(r.standings.len(), 1);
+        // TFT self-play: mutual cooperation, R=3 x 200 rounds.
+        assert_eq!(r.standings[0].total_fitness, 600.0);
+        assert_eq!(r.standings[0].cooperation_rate, 1.0);
+    }
+}

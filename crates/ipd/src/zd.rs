@@ -1,0 +1,366 @@
+//! Zero-determinant (ZD) memory-one strategies — Press & Dyson (2012).
+//!
+//! The paper's conclusion asks whether "there are more complex strategies
+//! that lead to the emergence of cooperation"; the ZD family is the
+//! landmark answer discovered the same year. A ZD strategy unilaterally
+//! enforces a linear relation between the two players' long-run scores
+//! `s_X − l = χ (s_Y − l)`:
+//!
+//! - **extortionate** (baseline `l = P`, χ > 1): the ZD player claims a
+//!   χ-fold share of any surplus over mutual punishment;
+//! - **generous** (baseline `l = R`, χ > 1): the ZD player absorbs a
+//!   χ-fold share of any shortfall below mutual cooperation — the family
+//!   that wins in evolving populations (Stewart & Plotkin 2013);
+//! - **equalizer**: pins the opponent's score to a chosen value regardless
+//!   of what the opponent plays.
+//!
+//! All constructors validate that the requested (χ, φ) pair yields genuine
+//! probabilities and return the corresponding [`MixedStrategy`] in this
+//! crate's CC, CD, DC, DD state order.
+//!
+//! ```
+//! use ipd::prelude::*;
+//! use ipd::zd::{extortionate, phi_max};
+//!
+//! let space = StateSpace::new(1).unwrap();
+//! let payoff = PayoffMatrix::default();
+//! let chi = 2.0;
+//! let phi = phi_max(&payoff, payoff.punishment, chi) * 0.8;
+//! let zd = extortionate(&space, &payoff, chi, phi).unwrap();
+//! assert!(zd.coop_prob(0) < 1.0); // even mutual cooperation gets skimmed
+//! ```
+
+use crate::payoff::PayoffMatrix;
+use crate::state::StateSpace;
+use crate::strategy::{MixedStrategy, StrategyError};
+
+/// Errors constructing ZD strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZdError {
+    /// The extortion/generosity factor must satisfy χ ≥ 1.
+    BadChi(f64),
+    /// φ must be positive and small enough that all four probabilities are
+    /// in [0, 1]; the message carries the valid upper bound.
+    BadPhi { phi: f64, max: f64 },
+    /// The equalizer target score must lie in [P, R].
+    TargetOutOfRange { target: f64, lo: f64, hi: f64 },
+    /// ZD strategies are memory-one objects.
+    NotMemoryOne,
+}
+
+impl std::fmt::Display for ZdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZdError::BadChi(chi) => write!(f, "χ = {chi} must be ≥ 1"),
+            ZdError::BadPhi { phi, max } => {
+                write!(f, "φ = {phi} outside (0, {max}] for these payoffs")
+            }
+            ZdError::TargetOutOfRange { target, lo, hi } => {
+                write!(f, "equalizer target {target} outside [{lo}, {hi}]")
+            }
+            ZdError::NotMemoryOne => write!(f, "ZD strategies require a memory-one space"),
+        }
+    }
+}
+
+impl std::error::Error for ZdError {}
+
+/// The four cooperation probabilities of the ZD strategy
+/// `p(v) = 1_x(v) + φ[(s_x(v) − l) − χ(s_y(v) − l)]` in CC, CD, DC, DD
+/// order, where `1_x(v)` is 1 when the ZD player cooperated in `v`.
+fn zd_probs(payoff: &PayoffMatrix, l: f64, chi: f64, phi: f64) -> [f64; 4] {
+    let [r, s, t, p] = payoff.as_rstp();
+    let sx = [r, s, t, p]; // my payoff in CC, CD, DC, DD
+    let sy = [r, t, s, p]; // opponent's payoff
+    let base = [1.0, 1.0, 0.0, 0.0];
+    let mut out = [0.0; 4];
+    for v in 0..4 {
+        out[v] = base[v] + phi * ((sx[v] - l) - chi * (sy[v] - l));
+    }
+    out
+}
+
+/// Largest φ keeping all four probabilities of the (l, χ) ZD family within
+/// [0, 1]. Returns 0 when no positive φ works.
+pub fn phi_max(payoff: &PayoffMatrix, l: f64, chi: f64) -> f64 {
+    let [r, s, t, p] = payoff.as_rstp();
+    let sx = [r, s, t, p];
+    let sy = [r, t, s, p];
+    let base = [1.0, 1.0, 0.0, 0.0];
+    let mut max = f64::INFINITY;
+    for v in 0..4 {
+        let slope = (sx[v] - l) - chi * (sy[v] - l);
+        // base + φ·slope ∈ [0,1]: for slope > 0 bound by (1−base)/slope;
+        // slope < 0 bound by −base/slope = base/|slope|.
+        if slope > 0.0 {
+            max = max.min((1.0 - base[v]) / slope);
+        } else if slope < 0.0 {
+            max = max.min(base[v] / (-slope));
+        }
+    }
+    if max.is_finite() {
+        max.max(0.0)
+    } else {
+        0.0
+    }
+}
+
+fn build(
+    space: &StateSpace,
+    payoff: &PayoffMatrix,
+    l: f64,
+    chi: f64,
+    phi: f64,
+) -> Result<MixedStrategy, ZdError> {
+    if space.mem_steps() != 1 {
+        return Err(ZdError::NotMemoryOne);
+    }
+    if chi < 1.0 || !chi.is_finite() {
+        return Err(ZdError::BadChi(chi));
+    }
+    let max = phi_max(payoff, l, chi);
+    if !(phi > 0.0 && phi <= max + 1e-12) {
+        return Err(ZdError::BadPhi { phi, max });
+    }
+    let probs = zd_probs(payoff, l, chi, phi);
+    MixedStrategy::new(*space, probs.iter().map(|p| p.clamp(0.0, 1.0)).collect())
+        .map_err(|e: StrategyError| unreachable!("validated ZD probabilities: {e}"))
+}
+
+/// Extortionate ZD: enforces `s_X − P = χ (s_Y − P)`. With χ > 1 the ZD
+/// player extorts a χ-fold surplus share; no memory-one opponent can do
+/// better than capitulate.
+pub fn extortionate(
+    space: &StateSpace,
+    payoff: &PayoffMatrix,
+    chi: f64,
+    phi: f64,
+) -> Result<MixedStrategy, ZdError> {
+    build(space, payoff, payoff.punishment, chi, phi)
+}
+
+/// Generous ZD: enforces `s_X − R = χ (s_Y − R)`. The ZD player accepts a
+/// χ-fold share of any shortfall below mutual cooperation; generous ZD
+/// strategies dominate evolving populations.
+pub fn generous(
+    space: &StateSpace,
+    payoff: &PayoffMatrix,
+    chi: f64,
+    phi: f64,
+) -> Result<MixedStrategy, ZdError> {
+    build(space, payoff, payoff.reward, chi, phi)
+}
+
+/// Equalizer ZD: unilaterally sets the opponent's long-run score to
+/// `target ∈ [P, R]`, whatever the opponent plays. `weight ∈ (0, 1]` scales
+/// the strategy within its feasible region.
+pub fn equalizer(
+    space: &StateSpace,
+    payoff: &PayoffMatrix,
+    target: f64,
+    weight: f64,
+) -> Result<MixedStrategy, ZdError> {
+    if space.mem_steps() != 1 {
+        return Err(ZdError::NotMemoryOne);
+    }
+    let [r, s, t, p] = payoff.as_rstp();
+    if !(p..=r).contains(&target) {
+        return Err(ZdError::TargetOutOfRange {
+            target,
+            lo: p,
+            hi: r,
+        });
+    }
+    // Equalizer: p(v) = 1_x(v) + β (s_y(v) − target), β < 0. Feasibility
+    // bound on |β| from each coordinate, scaled by `weight`.
+    let sy = [r, t, s, p];
+    let base = [1.0, 1.0, 0.0, 0.0];
+    let mut beta_max = f64::INFINITY;
+    for v in 0..4 {
+        let slope = sy[v] - target;
+        // p(v) = base + β·slope with β negative: bound |β| per coordinate.
+        if slope > 0.0 {
+            beta_max = beta_max.min(base[v] / slope);
+        } else if slope < 0.0 {
+            beta_max = beta_max.min((1.0 - base[v]) / (-slope));
+        }
+    }
+    if !(weight > 0.0 && weight <= 1.0) || !beta_max.is_finite() || beta_max <= 0.0 {
+        return Err(ZdError::BadPhi {
+            phi: weight,
+            max: 1.0,
+        });
+    }
+    let beta = -beta_max * weight;
+    let probs: Vec<f64> = (0..4)
+        .map(|v| (base[v] + beta * (sy[v] - target)).clamp(0.0, 1.0))
+        .collect();
+    MixedStrategy::new(*space, probs).map_err(|_| unreachable!("validated"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::{play, GameConfig};
+    use crate::strategy::Strategy;
+    use crate::{classic, MixedStrategy};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sp() -> StateSpace {
+        StateSpace::new(1).unwrap()
+    }
+
+    /// Long-run per-round scores of two strategies.
+    fn long_run(a: &Strategy, b: &Strategy, seed: u64) -> (f64, f64) {
+        let cfg = GameConfig {
+            rounds: 200,
+            ..GameConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let games = 400;
+        let mut sa = 0.0;
+        let mut sb = 0.0;
+        for _ in 0..games {
+            let o = play(&sp(), a, b, &cfg, &mut rng);
+            sa += o.mean_fitness_a();
+            sb += o.mean_fitness_b();
+        }
+        (sa / games as f64, sb / games as f64)
+    }
+
+    #[test]
+    fn press_dyson_worked_example() {
+        // Press & Dyson's published extortionate example for payoffs
+        // (R,S,T,P) = (3,0,5,1), χ = 3, φ = 1/26: p = (11/13, 1/2, 7/26, 0).
+        let payoff = PayoffMatrix::from_rstp(3.0, 0.0, 5.0, 1.0);
+        let z = extortionate(&sp(), &payoff, 3.0, 1.0 / 26.0).unwrap();
+        let expect = [11.0 / 13.0, 0.5, 7.0 / 26.0, 0.0];
+        for (i, &e) in expect.iter().enumerate() {
+            assert!(
+                (z.coop_prob(i as u16) - e).abs() < 1e-12,
+                "state {i}: {} vs {e}",
+                z.coop_prob(i as u16)
+            );
+        }
+    }
+
+    #[test]
+    fn phi_max_bounds_are_tight() {
+        let payoff = PayoffMatrix::default();
+        for chi in [1.5, 2.0, 5.0] {
+            let max = phi_max(&payoff, payoff.punishment, chi);
+            assert!(max > 0.0);
+            assert!(extortionate(&sp(), &payoff, chi, max).is_ok());
+            assert!(extortionate(&sp(), &payoff, chi, max * 1.05).is_err());
+            assert!(extortionate(&sp(), &payoff, chi, 0.0).is_err());
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let payoff = PayoffMatrix::default();
+        assert!(matches!(
+            extortionate(&sp(), &payoff, 0.5, 0.01),
+            Err(ZdError::BadChi(_))
+        ));
+        let mem2 = StateSpace::new(2).unwrap();
+        assert!(matches!(
+            extortionate(&mem2, &payoff, 2.0, 0.01),
+            Err(ZdError::NotMemoryOne)
+        ));
+        assert!(matches!(
+            equalizer(&sp(), &payoff, 5.0, 0.5),
+            Err(ZdError::TargetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn extortion_enforces_linear_relation_vs_allc() {
+        // Against unconditional cooperation the score relation
+        // s_X − P = χ (s_Y − P) must hold in the long run.
+        let payoff = PayoffMatrix::default();
+        let chi = 2.0;
+        let z = Strategy::Mixed(
+            extortionate(&sp(), &payoff, chi, phi_max(&payoff, 1.0, chi) * 0.8).unwrap(),
+        );
+        let allc = Strategy::Pure(classic::all_c(&sp()));
+        let (sx, sy) = long_run(&z, &allc, 1);
+        let lhs = sx - payoff.punishment;
+        let rhs = chi * (sy - payoff.punishment);
+        assert!(
+            (lhs - rhs).abs() / rhs.abs() < 0.05,
+            "extortion relation violated: {lhs} vs {rhs}"
+        );
+        assert!(sx > sy, "the extortioner must come out ahead");
+    }
+
+    #[test]
+    fn extortion_vs_tft_collapses_to_punishment() {
+        // TFT equalises scores; combined with s_X − P = χ(s_Y − P) and
+        // χ > 1, both scores are forced to ≈ P.
+        let payoff = PayoffMatrix::default();
+        let z = Strategy::Mixed(
+            extortionate(&sp(), &payoff, 3.0, phi_max(&payoff, 1.0, 3.0) * 0.9).unwrap(),
+        );
+        let tft = Strategy::Pure(classic::tft(&sp()));
+        let (sx, sy) = long_run(&z, &tft, 2);
+        assert!((sx - payoff.punishment).abs() < 0.25, "s_X = {sx}");
+        assert!((sy - payoff.punishment).abs() < 0.25, "s_Y = {sy}");
+    }
+
+    #[test]
+    fn generous_enforces_relation_and_full_cooperation_with_wsls() {
+        let payoff = PayoffMatrix::default();
+        let chi = 2.0;
+        let phi = phi_max(&payoff, payoff.reward, chi) * 0.8;
+        let g = generous(&sp(), &payoff, chi, phi).unwrap();
+        // Generous ZD always cooperates after mutual cooperation.
+        assert_eq!(g.coop_prob(0), 1.0);
+        // Against ALLD the generous player's shortfall is χ-fold.
+        let gs = Strategy::Mixed(g);
+        let alld = Strategy::Pure(classic::all_d(&sp()));
+        let (sx, sy) = long_run(&gs, &alld, 3);
+        let lhs = sx - payoff.reward;
+        let rhs = chi * (sy - payoff.reward);
+        assert!(
+            (lhs - rhs).abs() / rhs.abs() < 0.05,
+            "generosity relation violated: {lhs} vs {rhs}"
+        );
+        assert!(sx < sy, "the generous player absorbs the loss");
+        // Against a cooperator both reach R.
+        let allc = Strategy::Pure(classic::all_c(&sp()));
+        let (sx, sy) = long_run(&gs, &allc, 4);
+        assert!((sx - payoff.reward).abs() < 0.05);
+        assert!((sy - payoff.reward).abs() < 0.05);
+    }
+
+    #[test]
+    fn equalizer_pins_opponent_score() {
+        let payoff = PayoffMatrix::default();
+        for target in [1.5, 2.0, 2.5] {
+            let e = Strategy::Mixed(equalizer(&sp(), &payoff, target, 0.9).unwrap());
+            for opp in [
+                Strategy::Pure(classic::all_c(&sp())),
+                Strategy::Pure(classic::all_d(&sp())),
+                Strategy::Mixed(MixedStrategy::memory_one(sp(), [0.7, 0.2, 0.9, 0.4]).unwrap()),
+            ] {
+                let (_, sy) = long_run(&e, &opp, 5);
+                assert!(
+                    (sy - target).abs() < 0.15,
+                    "target {target}: opponent scored {sy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zd_strategies_are_valid_mixed_strategies() {
+        let payoff = PayoffMatrix::default();
+        let z = extortionate(&sp(), &payoff, 2.0, 0.05).unwrap();
+        for s in 0..4u16 {
+            let p = z.coop_prob(s);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! An Axelrod-style round-robin tournament (paper §III-B).
+//!
+//! Recreates the setting of Axelrod's famous computer tournaments: classic
+//! strategies play five repeated-game matches against every entrant
+//! (themselves included) and are ranked by total fitness. Run twice — once
+//! noiseless, once with 3% execution errors — to see the paper's §III-E
+//! point: errors are "fatal for the TFT strategy" while Win-Stay Lose-Shift
+//! stays robust.
+//!
+//! Run with: `cargo run --release --example axelrod_tournament`
+
+use evogame::ipd::classic;
+use evogame::ipd::tournament::{Entrant, RoundRobin};
+use evogame::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn entrants(space: &StateSpace) -> Vec<Entrant> {
+    let mut list: Vec<Entrant> = classic::roster(space)
+        .into_iter()
+        .map(|(name, s)| Entrant {
+            name: name.to_string(),
+            strategy: Strategy::Pure(s),
+        })
+        .collect();
+    // Add the mixed classics.
+    list.push(Entrant {
+        name: "GTFT".into(),
+        strategy: Strategy::Mixed(classic::gtft(space, &PayoffMatrix::default())),
+    });
+    list.push(Entrant {
+        name: "RANDOM".into(),
+        strategy: Strategy::Mixed(classic::random_mixed(space)),
+    });
+    list
+}
+
+fn run(noise: f64, seed: u64) {
+    let space = StateSpace::new(2).expect("memory-two");
+    let config = GameConfig {
+        rounds: 200,
+        noise,
+        ..GameConfig::default()
+    };
+    let tournament = RoundRobin::new(space, config).with_repetitions(5);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let result = tournament.run(&entrants(&space), &mut rng);
+    println!(
+        "-- memory-two roster, 5 repetitions, noise = {:.0}% --",
+        noise * 100.0
+    );
+    print!("{}", result.render());
+    println!("winner: {}\n", result.winner());
+}
+
+fn main() {
+    println!("Axelrod round-robin: every strategy plays every strategy.\n");
+    run(0.0, 1);
+    run(0.03, 1);
+    println!(
+        "Note how reciprocators dominate without noise, while errors erode \
+         TFT's mutual cooperation (echo effects) far more than WSLS's — the \
+         motivation for studying deeper-memory strategies at scale."
+    );
+}

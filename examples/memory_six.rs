@@ -1,0 +1,83 @@
+//! Memory-six strategies — the paper's headline capability.
+//!
+//! A memory-six model has 4^6 = 4,096 states and 2^4096 potential pure
+//! strategies (paper Table IV), far beyond exhaustive analysis. This
+//! example evolves a memory-six population, checks how classic shallow
+//! strategies fare inside it, and demonstrates the state-lookup cost that
+//! Fig 4 identifies as the memory-depth bottleneck.
+//!
+//! Run with: `cargo run --release --example memory_six`
+
+use evogame::cluster::perf::measure_game_cost;
+use evogame::ipd::classic;
+use evogame::prelude::*;
+
+fn main() {
+    let space = StateSpace::new(6).expect("memory-six");
+    println!(
+        "Memory-six: {} states, 2^{} pure strategies.\n",
+        space.num_states(),
+        space.log2_num_pure_strategies()
+    );
+
+    // 1. Deep-memory classics still behave: WSLS lifted to memory-six
+    //    cooperates with itself and punishes ALLD.
+    let wsls = classic::wsls(&space);
+    let alld = classic::all_d(&space);
+    let cfg = GameConfig::default();
+    let self_play = play_deterministic(&space, &wsls, &wsls, &cfg);
+    let vs_defector = play_deterministic(&space, &wsls, &alld, &cfg);
+    println!("WSLS(mem-6) self-play fitness: {} (mutual cooperation = 600)", self_play.fitness_a);
+    println!(
+        "WSLS(mem-6) vs ALLD: {} vs {} (alternates C/D, refuses exploitation)\n",
+        vs_defector.fitness_a, vs_defector.fitness_b
+    );
+
+    // 2. Evolve a small memory-six population. Each mutation draws one of
+    //    the 2^4096 strategies uniformly — the space the paper opened up.
+    let params = Params {
+        mem_steps: 6,
+        num_ssets: 16,
+        generations: 1_500,
+        seed: 7,
+        game: GameConfig { rounds: 200, ..GameConfig::default() },
+        ..Params::default()
+    };
+    let mut pop = Population::new(params).expect("valid parameters");
+    pop.fitness_policy = FitnessPolicy::OnDemand;
+    let t0 = std::time::Instant::now();
+    let stats = pop.run_to_end();
+    println!(
+        "Evolved 16 memory-six SSets for {} generations in {:.1}s \
+         ({} PC events, {} mutations).",
+        stats.generations,
+        t0.elapsed().as_secs_f64(),
+        stats.pc_events,
+        stats.mutations
+    );
+    let snap = pop.snapshot();
+    println!(
+        "Population cooperativity {:.3}, {} distinct strategies remain.\n",
+        mean_cooperativity(&snap),
+        pop.distinct_strategies()
+    );
+
+    // 3. The Fig 4 effect: cost of a 200-round game by memory depth.
+    println!("Game cost by memory depth (200 rounds, this machine):");
+    println!("memory  O(1) lookup  paper's linear scan");
+    for mem in 1..=6 {
+        let fast = measure_game_cost(mem, 200, false);
+        let slow = measure_game_cost(mem, 200, true);
+        println!(
+            "{:>6}  {:>9.1} us  {:>17.1} us",
+            mem,
+            fast * 1e6,
+            slow * 1e6
+        );
+    }
+    println!(
+        "\nThe linear scan grows with the 4^n state table — the paper's \
+         explanation for Fig 4 — while the rolling index stays flat, \
+         which is this reproduction's main kernel-level improvement."
+    );
+}

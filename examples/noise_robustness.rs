@@ -1,0 +1,84 @@
+//! Noise robustness sweep — quantifying §III-E.
+//!
+//! "An error … would be fatal for the TFT strategy" while "Win-Stay
+//! Lose-Shift has been shown to outperform TFT in the presence of errors".
+//! This example sweeps the execution-error rate ε and reports self-play and
+//! cross-play scores for the classic strategies, plus the population-level
+//! consequence: the evolved cooperativity of a noisy population.
+//!
+//! Run with: `cargo run --release --example noise_robustness`
+
+use evogame::ipd::classic;
+use evogame::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn self_play_score(s: &Strategy, space: &StateSpace, noise: f64, games: u32) -> f64 {
+    let cfg = GameConfig { noise, ..GameConfig::default() };
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    (0..games)
+        .map(|_| play(space, s, s, &cfg, &mut rng).mean_fitness_a())
+        .sum::<f64>()
+        / games as f64
+}
+
+fn main() {
+    let space = StateSpace::new(1).expect("memory-one");
+    let strategies = [
+        ("TFT", Strategy::Pure(classic::tft(&space))),
+        ("WSLS", Strategy::Pure(classic::wsls(&space))),
+        ("GRIM", Strategy::Pure(classic::grim(&space))),
+        ("GTFT", Strategy::Mixed(classic::gtft(&space, &PayoffMatrix::default()))),
+        ("ALLC", Strategy::Pure(classic::all_c(&space))),
+    ];
+    let noises = [0.0, 0.005, 0.01, 0.02, 0.05, 0.10];
+
+    println!("Self-play per-round score under execution noise ε");
+    println!("(mutual cooperation = 3.0; mutual defection = 1.0)\n");
+    print!("{:<8}", "ε");
+    for (name, _) in &strategies {
+        print!("{name:>8}");
+    }
+    println!();
+    for &noise in &noises {
+        print!("{noise:<8.3}");
+        for (_, s) in &strategies {
+            print!("{:>8.2}", self_play_score(s, &space, noise, 200));
+        }
+        println!();
+    }
+    println!(
+        "\nTFT and GRIM crater as errors echo; WSLS and GTFT repair themselves — \
+         the paper's motivation for exploring error-robust deeper-memory \
+         strategies.\n"
+    );
+
+    // Population-level: the WSLS share over a long probabilistic run. Small
+    // populations *cycle* — cooperation (WSLS-like) regimes rise, get
+    // undermined by mutant defectors, collapse, and re-emerge; the paper's
+    // 5,000-SSet, 10^7-generation run averages over exactly this churn.
+    println!("WSLS share over one 200,000-generation run (24 SSets, mixed strategies):");
+    let mut params = Params::wsls_validation(24, 0);
+    params.seed = 7;
+    let mut pop = Population::new(params).expect("valid");
+    pop.fitness_policy = FitnessPolicy::OnDemand;
+    let traj = record_run(
+        &mut pop,
+        200_000,
+        20_000,
+        Some((vec![1.0, 0.0, 0.0, 1.0], 0.499)),
+    );
+    println!("{:>11} {:>7} {:>14}", "generation", "WSLS%", "cooperativity");
+    let mut peak = 0.0f64;
+    for p in traj.points() {
+        let w = p.target_fraction.unwrap_or(0.0);
+        peak = peak.max(w);
+        println!("{:>11} {:>6.0}% {:>14.3}", p.generation, w * 100.0, p.cooperativity);
+    }
+    println!(
+        "\nPeak WSLS share {:.0}%: cooperative WSLS regimes rise and collapse \
+         cyclically at this tiny scale — the paper's production population \
+         (5,000 SSets, 10^7 generations) is what stabilises the 85% figure.",
+        peak * 100.0
+    );
+}

@@ -1,0 +1,70 @@
+//! Quickstart: evolve a small population and watch cooperation dynamics.
+//!
+//! Runs 64 SSets of memory-one strategies for 2,000 generations with the
+//! paper's default parameters (payoff [3,0,4,1], 200 rounds, PC rate 10%,
+//! μ = 0.05) and prints a compact trajectory of the population's
+//! cooperativity and diversity.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use evogame::prelude::*;
+
+fn main() {
+    let params = Params {
+        mem_steps: 1,
+        num_ssets: 64,
+        generations: 2_000,
+        seed: 42,
+        ..Params::default()
+    };
+    println!(
+        "Evolving {} SSets (memory-{}, {} potential pure strategies) for {} generations",
+        params.num_ssets,
+        params.mem_steps,
+        1u64 << (1 << (2 * params.mem_steps)),
+        params.generations
+    );
+    println!(
+        "Population: {} agents ({} games per generation)\n",
+        params.total_agents(),
+        params.games_per_generation()
+    );
+
+    let mut pop = Population::new(params).expect("valid parameters");
+    pop.fitness_policy = FitnessPolicy::OnDemand; // skip unused evaluations
+
+    println!("generation  cooperativity  distinct  adoptions  mutations");
+    let checkpoints = 10;
+    let per = pop.params().generations / checkpoints;
+    for _ in 0..checkpoints {
+        pop.run(per);
+        let s = pop.stats();
+        println!(
+            "{:>10}  {:>13.3}  {:>8}  {:>9}  {:>9}",
+            pop.generation(),
+            pop.mean_cooperativity(),
+            pop.distinct_strategies(),
+            s.adoptions,
+            s.mutations
+        );
+    }
+
+    let snap = pop.snapshot();
+    let (dominant_id, fraction) = dominant_strategy(&snap);
+    let feature = pop.pool().get(dominant_id).feature_vector();
+    println!(
+        "\nDominant strategy: id {dominant_id} held by {:.0}% of SSets",
+        fraction * 100.0
+    );
+    println!(
+        "Its move table [CC CD DC DD] (1 = cooperate): {:?}",
+        feature
+    );
+    let wsls = [1.0, 0.0, 0.0, 1.0];
+    let tft = [1.0, 0.0, 1.0, 0.0];
+    if feature == wsls {
+        println!("-> that is Win-Stay Lose-Shift, the paper's Fig 2 endpoint.");
+    } else if feature == tft {
+        println!("-> that is Tit-For-Tat.");
+    }
+}

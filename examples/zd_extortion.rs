@@ -1,0 +1,83 @@
+//! Zero-determinant strategies: extortion, generosity, and their
+//! evolutionary fate.
+//!
+//! The paper's conclusion asks whether "more complex strategies … lead to
+//! the emergence of cooperation"; Press & Dyson's zero-determinant family
+//! (published the same year) is the canonical probe. This example
+//! demonstrates, with this library's machinery:
+//!
+//! 1. an extortioner unilaterally enforcing `s_X − P = χ(s_Y − P)` against
+//!    assorted opponents;
+//! 2. TFT neutralising extortion (both scores collapse to P);
+//! 3. a round-robin tournament where extortion looks strong head-to-head
+//!    yet generous ZD earns more overall — the seed of its evolutionary
+//!    advantage.
+//!
+//! Run with: `cargo run --release --example zd_extortion`
+
+use evogame::ipd::tournament::{Entrant, RoundRobin};
+use evogame::ipd::zd::{extortionate, generous, phi_max};
+use evogame::ipd::classic;
+use evogame::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn mean_scores(a: &Strategy, b: &Strategy, space: &StateSpace, games: u32) -> (f64, f64) {
+    let cfg = GameConfig::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let (mut sa, mut sb) = (0.0, 0.0);
+    for _ in 0..games {
+        let o = play(space, a, b, &cfg, &mut rng);
+        sa += o.mean_fitness_a();
+        sb += o.mean_fitness_b();
+    }
+    (sa / games as f64, sb / games as f64)
+}
+
+fn main() {
+    let space = StateSpace::new(1).expect("memory-one");
+    let payoff = PayoffMatrix::default();
+    let chi = 2.0;
+
+    let extort = extortionate(&space, &payoff, chi, phi_max(&payoff, payoff.punishment, chi) * 0.8)
+        .expect("valid ZD parameters");
+    let gen =
+        generous(&space, &payoff, chi, phi_max(&payoff, payoff.reward, chi) * 0.8).expect("valid");
+    println!("Extort-{chi} cooperation probabilities [CC CD DC DD]: {:?}", extort.probs());
+    println!("Generous-{chi} cooperation probabilities:            {:?}\n", gen.probs());
+
+    println!("Extortioner vs assorted opponents (per-round scores; baseline P = 1):");
+    println!("{:<10} {:>8} {:>8}  enforced: s_X - P = {chi} (s_Y - P)", "opponent", "s_X", "s_Y");
+    let ex = Strategy::Mixed(extort);
+    for (name, opp) in [
+        ("ALLC", Strategy::Pure(classic::all_c(&space))),
+        ("WSLS", Strategy::Pure(classic::wsls(&space))),
+        ("TFT", Strategy::Pure(classic::tft(&space))),
+        ("RANDOM", Strategy::Mixed(classic::random_mixed(&space))),
+    ] {
+        let (sx, sy) = mean_scores(&ex, &opp, &space, 300);
+        println!("{name:<10} {sx:>8.3} {sy:>8.3}  ratio {:.2}", (sx - 1.0) / (sy - 1.0).max(1e-9));
+    }
+    println!("\nAgainst TFT both scores collapse toward P = 1: reciprocity defuses extortion.\n");
+
+    // Tournament: extortion vs the classic roster + generous ZD.
+    let mut entrants: Vec<Entrant> = classic::roster(&space)
+        .into_iter()
+        .map(|(n, s)| Entrant { name: n.into(), strategy: Strategy::Pure(s) })
+        .collect();
+    entrants.push(Entrant { name: "EXTORT2".into(), strategy: ex });
+    entrants.push(Entrant { name: "GENZD2".into(), strategy: Strategy::Mixed(gen) });
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let result = RoundRobin::new(space, GameConfig::default())
+        .with_repetitions(5)
+        .run(&entrants, &mut rng);
+    println!("Round robin with both ZD flavours entered:");
+    print!("{}", result.render());
+    let extort_rank = result.standings.iter().position(|s| s.name == "EXTORT2").unwrap() + 1;
+    let gen_rank = result.standings.iter().position(|s| s.name == "GENZD2").unwrap() + 1;
+    println!(
+        "\nGenerous ZD finishes #{gen_rank}, the extortioner #{extort_rank}: extortion wins \
+         its pairwise battles but starves against itself and reciprocators — \
+         why generosity, not extortion, survives evolution."
+    );
+}

@@ -1,0 +1,299 @@
+//! `evogame-cli` — drive the library from the command line.
+//!
+//! ```text
+//! evogame-cli run         --ssets 64 --generations 5000 [--mem 1] [--mixed]
+//!                         [--seed S] [--pc-rate 0.1] [--mu 0.05] [--beta 1]
+//!                         [--noise 0] [--rule pc|moran|best] [--on-demand]
+//!                         [--sample-every N] [--heatmap]
+//! evogame-cli tournament  [--mem 2] [--noise 0.0] [--reps 5] [--rounds 200]
+//! evogame-cli predict     --procs 262144 [--ssets 4194304] [--mem 6]
+//!                         [--generations 1000] [--profile bgp|bgl]
+//! evogame-cli distributed --ranks 4 --ssets 16 --generations 200 [...]
+//! ```
+//!
+//! Every subcommand prints human-readable output; `run` can also emit the
+//! sampled trajectory as CSV.
+
+use evogame::analysis::heatmap::{render_ascii, HeatmapOptions};
+use evogame::analysis::timeseries::record_run;
+use evogame::cluster::dist::{run_distributed, DistConfig};
+use evogame::engine::params::UpdateRule;
+use evogame::ipd::classic;
+use evogame::ipd::tournament::{Entrant, RoundRobin};
+use evogame::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::process::ExitCode;
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--key` switches.
+struct Args {
+    rest: Vec<String>,
+}
+
+impl Args {
+    fn new(raw: &[String]) -> Self {
+        Args { rest: raw.to_vec() }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.rest.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.rest
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value {v:?} for {name}")),
+        }
+    }
+}
+
+fn build_params(args: &Args) -> Result<Params, String> {
+    let mut p = Params {
+        mem_steps: args.parse("--mem", 1usize)?,
+        num_ssets: args.parse("--ssets", 64usize)?,
+        generations: args.parse("--generations", 1_000u64)?,
+        seed: args.parse("--seed", 0u64)?,
+        pc_rate: args.parse("--pc-rate", 0.10f64)?,
+        mutation_rate: args.parse("--mu", 0.05f64)?,
+        beta: args.parse("--beta", 1.0f64)?,
+        ..Params::default()
+    };
+    p.game.rounds = args.parse("--rounds", 200u32)?;
+    p.game.noise = args.parse("--noise", 0.0f64)?;
+    if args.flag("--mixed") {
+        p.kind = StrategyKind::Mixed;
+    }
+    p.rule = match args.value("--rule").unwrap_or("pc") {
+        "pc" => UpdateRule::PairwiseComparison,
+        "moran" => UpdateRule::Moran,
+        "best" => UpdateRule::ImitateBest,
+        other => return Err(format!("unknown rule {other:?} (pc|moran|best)")),
+    };
+    p.validate().map_err(|e| e.to_string())?;
+    Ok(p)
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let params = build_params(args)?;
+    let generations = params.generations;
+    let mut pop = Population::new(params).map_err(|e| e.to_string())?;
+    if args.flag("--on-demand") {
+        pop.fitness_policy = FitnessPolicy::OnDemand;
+    }
+    let every = args.parse("--sample-every", (generations / 10).max(1))?;
+    let target = (pop.space().mem_steps() == 1).then(|| (vec![1.0, 0.0, 0.0, 1.0], 0.499));
+    let t0 = std::time::Instant::now();
+    let (traj, records_written) = if let Some(path) = args.value("--records") {
+        // Stream every generation record to a JSONL file (the Nature
+        // Agent's file-I/O role) while sampling the trajectory.
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut writer = evogame::engine::record::RecordWriter::new(file);
+        let mut traj = match &target {
+            Some((t, tol)) => evogame::analysis::timeseries::Trajectory::with_target(
+                t.clone(),
+                *tol,
+            ),
+            None => evogame::analysis::timeseries::Trajectory::new(),
+        };
+        traj.observe(&pop);
+        for g in 0..generations {
+            let rec = pop.step();
+            writer
+                .write_generation(&rec)
+                .map_err(|e| format!("writing records: {e}"))?;
+            if (g + 1) % every == 0 || g + 1 == generations {
+                traj.observe(&pop);
+            }
+        }
+        let lines = writer.lines();
+        writer.finish().map_err(|e| format!("flushing records: {e}"))?;
+        (traj, Some((path.to_string(), lines)))
+    } else {
+        (record_run(&mut pop, generations, every, target), None)
+    };
+    let elapsed = t0.elapsed().as_secs_f64();
+    if let Some((path, lines)) = records_written {
+        eprintln!("wrote {lines} generation records to {path}");
+    }
+
+    print!("{}", traj.to_csv());
+    let stats = pop.stats();
+    eprintln!(
+        "\n{} generations in {elapsed:.2}s | PC events {} | adoptions {} | mutations {} | \
+         games {}",
+        stats.generations, stats.pc_events, stats.adoptions, stats.mutations, stats.games_played
+    );
+    if args.flag("--heatmap") {
+        eprintln!("\nfinal population (clustered):");
+        eprint!("{}", render_ascii(&pop.snapshot(), &HeatmapOptions::default()));
+    }
+    Ok(())
+}
+
+fn cmd_tournament(args: &Args) -> Result<(), String> {
+    let mem = args.parse("--mem", 2usize)?;
+    let space = StateSpace::new(mem).map_err(|e| e.to_string())?;
+    let cfg = GameConfig {
+        rounds: args.parse("--rounds", 200u32)?,
+        noise: args.parse("--noise", 0.0f64)?,
+        ..GameConfig::default()
+    };
+    let reps = args.parse("--reps", 5u32)?;
+    let mut entrants: Vec<Entrant> = classic::roster(&space)
+        .into_iter()
+        .map(|(n, s)| Entrant {
+            name: n.into(),
+            strategy: Strategy::Pure(s),
+        })
+        .collect();
+    if mem >= 1 {
+        entrants.push(Entrant {
+            name: "GTFT".into(),
+            strategy: Strategy::Mixed(classic::gtft(&space, &cfg.payoff)),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(args.parse("--seed", 0u64)?);
+    let result = RoundRobin::new(space, cfg).with_repetitions(reps).run(&entrants, &mut rng);
+    print!("{}", result.render());
+    println!("winner: {}", result.winner());
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let procs: u64 = args.parse("--procs", 262_144u64)?;
+    let profile = match args.value("--profile").unwrap_or("bgp") {
+        "bgp" => MachineProfile::bluegene_p(),
+        "bgl" => MachineProfile::bluegene_l(),
+        other => return Err(format!("unknown profile {other:?} (bgp|bgl)")),
+    };
+    let w = Workload {
+        num_ssets: args.parse("--ssets", 4_194_304u64)?,
+        mem_steps: args.parse("--mem", 6usize)?,
+        generations: args.parse("--generations", 1_000u64)?,
+        pc_rate: args.parse("--pc-rate", 0.01f64)?,
+        mutation_rate: args.parse("--mu", 0.05f64)?,
+        policy: if args.flag("--every-generation") {
+            FitnessPolicy::EveryGeneration
+        } else {
+            FitnessPolicy::OnDemand
+        },
+    };
+    let model = PerfModel::new(profile);
+    let b = model.breakdown(&w, procs);
+    println!("profile:  {}", model.profile.name);
+    println!(
+        "workload: {} SSets, memory-{}, {} generations, {:.0e} games/generation",
+        w.num_ssets,
+        w.mem_steps,
+        w.generations,
+        w.games_per_generation()
+    );
+    println!("procs:    {procs}");
+    println!("predicted total:   {:.2} s", b.total);
+    println!("  compute/gen:     {:.3} ms", b.compute * 1e3);
+    println!("  comm/gen:        {:.3} ms", b.comm * 1e3);
+    println!("  mapping penalty: {:.2}x", b.penalty);
+    let base = args.parse("--base", 1_024u64)?;
+    println!(
+        "efficiency vs {base} procs: {:.1}%",
+        model.efficiency(&w, base, procs) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_distributed(args: &Args) -> Result<(), String> {
+    let params = build_params(args)?;
+    let ranks = args.parse("--ranks", 4usize)?;
+    if ranks < 2 {
+        return Err("--ranks must be ≥ 2 (Nature Agent + compute)".into());
+    }
+    let t0 = std::time::Instant::now();
+    let out = run_distributed(&DistConfig {
+        params,
+        ranks,
+        policy: if args.flag("--every-generation") {
+            FitnessPolicy::EveryGeneration
+        } else {
+            FitnessPolicy::OnDemand
+        },
+    });
+    println!(
+        "distributed run on {ranks} ranks: {} generations in {:.2}s",
+        out.stats.generations,
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "PC events {} | adoptions {} | mutations {} | messages {}",
+        out.stats.pc_events, out.stats.adoptions, out.stats.mutations, out.messages_sent
+    );
+    Ok(())
+}
+
+fn cmd_classify(args: &Args) -> Result<(), String> {
+    let Some(code) = args.rest.first() else {
+        return Err("usage: evogame-cli classify <m<n>:...> (see ipd::codec)".into());
+    };
+    let strategy = evogame::ipd::codec::decode(code).map_err(|e| e.to_string())?;
+    let space = *strategy.space();
+    let fv = strategy.feature_vector();
+    let (name, distance) = evogame::analysis::classify::nearest_named(&fv, &space);
+    println!("input:    {code}");
+    println!("memory:   {} ({} states)", space.mem_steps(), space.num_states());
+    if space.num_states() <= 16 {
+        println!("coop probabilities: {fv:?}");
+    }
+    println!("nearest classic: {name} (rms distance {distance:.3})");
+    if distance < 1e-9 {
+        println!("-> exactly {name}");
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: evogame-cli <run|tournament|predict|distributed|classify> [flags]
+  run          evolve a population, print the sampled trajectory as CSV
+  tournament   Axelrod round robin over the classic roster
+  predict      Blue Gene-scale runtime/efficiency from the perf model
+  distributed  run the virtual-cluster engine
+  classify     name a strategy given its compact code (e.g. 'classify m1:6')
+run flags:     --ssets N --generations G --mem M --seed S --pc-rate R --mu R
+               --beta B --noise E --rounds N --mixed --rule pc|moran|best
+               --on-demand --sample-every N --heatmap
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = Args::new(&raw[1..]);
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "tournament" => cmd_tournament(&args),
+        "predict" => cmd_predict(&args),
+        "distributed" => cmd_distributed(&args),
+        "classify" => cmd_classify(&args),
+        "-h" | "--help" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # evogame — massively parallel evolutionary game dynamics
+//!
+//! A from-scratch Rust reproduction of *"Massively Parallel Model of
+//! Evolutionary Game Dynamics"* (Randles et al., SC 2012): Iterated
+//! Prisoner's Dilemma with memory-*n* strategies (up to memory-six, 2^4096
+//! pure strategies), evolved over Strategy Sets by a Nature Agent through
+//! Fermi pairwise-comparison learning and mutation, with shared-memory
+//! (rayon) and simulated-distributed execution plus a calibrated
+//! performance model reproducing the paper's Blue Gene scaling results.
+//!
+//! This crate is a facade re-exporting the workspace's libraries:
+//!
+//! - [`ipd`] — game substrate: payoffs, memory-*n* states, strategies,
+//!   the iterated game engine, tournaments.
+//! - [`engine`] (crate `evo-core`) — the population engine: SSets, Nature
+//!   Agent, Fermi rule, deterministic parallel generations.
+//! - [`cluster`] — virtual message-passing cluster, collectives, torus
+//!   topology, distributed engine, Blue Gene performance model.
+//! - [`analysis`] — k-means strategy clustering, population statistics,
+//!   Fig 2-style heatmaps.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use evogame::prelude::*;
+//!
+//! // Evolve 32 SSets of memory-one strategies for 500 generations.
+//! let params = Params {
+//!     mem_steps: 1,
+//!     num_ssets: 32,
+//!     generations: 500,
+//!     seed: 42,
+//!     ..Params::default()
+//! };
+//! let mut population = Population::new(params).unwrap();
+//! let stats = population.run_to_end();
+//! assert_eq!(stats.generations, 500);
+//! println!("adoptions: {}, mutations: {}", stats.adoptions, stats.mutations);
+//! ```
+//!
+//! See `examples/` for runnable scenarios (WSLS emergence, Axelrod
+//! tournaments, memory-six populations, scaling studies) and
+//! `crates/bench/src/bin/` for the regenerators of every table and figure
+//! in the paper's evaluation.
+
+pub use analysis;
+pub use cluster;
+pub use evo_core as engine;
+pub use ipd;
+
+/// The most commonly used items across all workspace crates.
+pub mod prelude {
+    pub use analysis::prelude::*;
+    pub use cluster::prelude::*;
+    pub use evo_core::prelude::*;
+    pub use ipd::prelude::*;
+}

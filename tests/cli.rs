@@ -1,0 +1,149 @@
+//! End-to-end tests of the `evogame-cli` binary, exactly as a user would
+//! drive it.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_evogame-cli"))
+}
+
+fn run_ok(args: &[&str]) -> (String, String) {
+    let out = cli().args(args).output().expect("spawn cli");
+    assert!(
+        out.status.success(),
+        "{:?} failed: {}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = cli().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_command_fails_gracefully() {
+    let out = cli().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn run_emits_csv_trajectory() {
+    let (stdout, stderr) = run_ok(&[
+        "run",
+        "--ssets",
+        "8",
+        "--generations",
+        "40",
+        "--rounds",
+        "10",
+        "--sample-every",
+        "20",
+        "--on-demand",
+    ]);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(lines[0].starts_with("generation,cooperativity"));
+    assert_eq!(lines.len(), 1 + 3, "gen 0, 20, 40");
+    assert!(stderr.contains("40 generations"));
+}
+
+#[test]
+fn run_is_deterministic_per_seed() {
+    let args = [
+        "run", "--ssets", "10", "--generations", "60", "--rounds", "8", "--seed", "5",
+    ];
+    let (a, _) = run_ok(&args);
+    let (b, _) = run_ok(&args);
+    assert_eq!(a, b);
+    let (c, _) = run_ok(&[
+        "run", "--ssets", "10", "--generations", "60", "--rounds", "8", "--seed", "6",
+    ]);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn run_writes_records_file() {
+    let path = std::env::temp_dir().join("evogame_cli_test_records.jsonl");
+    let _ = std::fs::remove_file(&path);
+    run_ok(&[
+        "run",
+        "--ssets",
+        "6",
+        "--generations",
+        "25",
+        "--rounds",
+        "8",
+        "--records",
+        path.to_str().unwrap(),
+    ]);
+    let text = std::fs::read_to_string(&path).expect("records written");
+    assert_eq!(text.lines().count(), 25);
+    // Every line parses as a generation record.
+    let recs = evogame::engine::record::read_generations(&text).expect("valid JSONL");
+    assert_eq!(recs.len(), 25);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn run_rejects_bad_rule() {
+    let out = cli()
+        .args(["run", "--rule", "telepathy"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown rule"));
+}
+
+#[test]
+fn tournament_prints_standings() {
+    let (stdout, _) = run_ok(&["tournament", "--mem", "1", "--reps", "2", "--rounds", "50"]);
+    assert!(stdout.contains("rank"));
+    assert!(stdout.contains("TFT"));
+    assert!(stdout.contains("winner:"));
+}
+
+#[test]
+fn predict_reports_paper_headline() {
+    let (stdout, _) = run_ok(&["predict", "--procs", "262144"]);
+    assert!(stdout.contains("predicted total"));
+    assert!(stdout.contains("efficiency vs 1024 procs: 82"));
+}
+
+#[test]
+fn distributed_runs_and_reports() {
+    let (stdout, _) = run_ok(&[
+        "distributed",
+        "--ranks",
+        "3",
+        "--ssets",
+        "6",
+        "--generations",
+        "30",
+        "--rounds",
+        "8",
+    ]);
+    assert!(stdout.contains("distributed run on 3 ranks"));
+    assert!(stdout.contains("messages"));
+}
+
+#[test]
+fn classify_names_wsls() {
+    let (stdout, _) = run_ok(&["classify", "m1:6"]);
+    assert!(stdout.contains("exactly WSLS"));
+    let (gtft, _) = run_ok(&["classify", "m1:p:1,0.6666666666666666,1,0.6666666666666666"]);
+    assert!(gtft.contains("GTFT"));
+}
+
+#[test]
+fn classify_rejects_malformed_codes() {
+    let out = cli().args(["classify", "m1:zz"]).output().expect("spawn");
+    assert!(!out.status.success());
+}

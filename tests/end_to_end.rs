@@ -1,0 +1,162 @@
+//! End-to-end integration tests across the workspace crates, driven through
+//! the public `evogame` facade exactly as a downstream user would.
+
+use evogame::cluster::dist::{run_distributed, DistConfig};
+use evogame::ipd::classic;
+use evogame::ipd::tournament::{Entrant, RoundRobin};
+use evogame::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn small_params(seed: u64) -> Params {
+    Params {
+        mem_steps: 1,
+        num_ssets: 16,
+        generations: 120,
+        seed,
+        game: GameConfig {
+            rounds: 24,
+            ..GameConfig::default()
+        },
+        ..Params::default()
+    }
+}
+
+#[test]
+fn facade_quickstart_compiles_and_runs() {
+    let mut pop = Population::new(small_params(1)).unwrap();
+    let stats = pop.run_to_end();
+    assert_eq!(stats.generations, 120);
+    assert!(pop.mean_cooperativity() >= 0.0);
+}
+
+#[test]
+fn shared_memory_and_distributed_agree_end_to_end() {
+    let params = small_params(5);
+    let mut shared = Population::new(params.clone()).unwrap();
+    shared.run_to_end();
+    for ranks in [2usize, 4, 7] {
+        let dist = run_distributed(&DistConfig {
+            params: params.clone(),
+            ranks,
+            policy: FitnessPolicy::EveryGeneration,
+        });
+        assert_eq!(
+            dist.assignments,
+            shared.assignments(),
+            "{ranks} ranks diverged from shared-memory run"
+        );
+    }
+}
+
+#[test]
+fn snapshot_feeds_kmeans_and_heatmap() {
+    let mut pop = Population::new(small_params(9)).unwrap();
+    pop.run(50);
+    let snap = pop.snapshot();
+    let clusters = kmeans(
+        &snap.features,
+        &KMeansConfig {
+            k: 4,
+            seed: 0,
+            ..KMeansConfig::default()
+        },
+    );
+    assert_eq!(clusters.assignments.len(), 16);
+    let ascii = render_ascii(&snap, &HeatmapOptions::default());
+    assert_eq!(ascii.lines().count(), 16);
+    let ppm = render_ppm(&snap, &HeatmapOptions::default());
+    assert!(ppm.starts_with(b"P6\n"));
+}
+
+#[test]
+fn wsls_gains_ground_in_probabilistic_population() {
+    // A scaled-down §VI-A validation: after a modest number of generations
+    // the WSLS-rounding share should grow well beyond its ~1/16 random
+    // baseline. (The full 85% figure needs the fig2 regenerator's longer
+    // runs.)
+    let mut params = Params::wsls_validation(24, 150_000);
+    params.seed = 7;
+    let mut pop = Population::new(params).unwrap();
+    pop.fitness_policy = FitnessPolicy::OnDemand;
+    let wsls = [1.0, 0.0, 0.0, 1.0];
+    let start = fraction_matching(&pop.snapshot(), &wsls, 0.499);
+    pop.run_to_end();
+    let end = fraction_matching(&pop.snapshot(), &wsls, 0.499);
+    assert!(
+        end > start.max(0.3),
+        "WSLS share should grow: start {start:.3}, end {end:.3}"
+    );
+}
+
+#[test]
+fn tournament_through_facade() {
+    let space = StateSpace::new(1).unwrap();
+    let entrants: Vec<Entrant> = classic::roster(&space)
+        .into_iter()
+        .map(|(name, s)| Entrant {
+            name: name.into(),
+            strategy: Strategy::Pure(s),
+        })
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let result = RoundRobin::new(space, GameConfig::default())
+        .with_repetitions(3)
+        .run(&entrants, &mut rng);
+    assert_eq!(result.standings.len(), entrants.len());
+    assert_ne!(result.winner(), "ALLD", "defection cannot win a reciprocal roster");
+}
+
+#[test]
+fn perf_model_reproduces_paper_headlines() {
+    let model = PerfModel::new(MachineProfile::bluegene_p());
+    let w = Workload::large_study(4_096 * 1_024, 1_000);
+    let e = model.efficiency(&w, 1_024, 262_144);
+    assert!((e - 0.82).abs() < 0.05, "262K-proc efficiency {e} vs paper 0.82");
+    let weak = model.weak_scaling(&Workload::large_study(0, 1_000), 4_096, &[1_024, 262_144]);
+    assert!((weak[0].1 - weak[1].1).abs() < 1.0, "weak scaling must stay flat");
+}
+
+#[test]
+fn memory_six_population_full_stack() {
+    // The headline capability: a memory-six population (2^4096 strategy
+    // space) evolving end-to-end with snapshot analysis.
+    let params = Params {
+        mem_steps: 6,
+        num_ssets: 8,
+        generations: 60,
+        seed: 4,
+        game: GameConfig {
+            rounds: 50,
+            ..GameConfig::default()
+        },
+        ..Params::default()
+    };
+    let mut pop = Population::new(params).unwrap();
+    pop.fitness_policy = FitnessPolicy::OnDemand;
+    pop.run_to_end();
+    let snap = pop.snapshot();
+    assert_eq!(snap.num_states(), 4_096);
+    let c = mean_cooperativity(&snap);
+    assert!((0.0..=1.0).contains(&c));
+    // Random memory-six strategies hover near half cooperation.
+    assert!((0.3..=0.7).contains(&c), "cooperativity {c}");
+}
+
+#[test]
+fn dedup_accelerates_fixated_population_without_changing_results() {
+    let mut params = small_params(11);
+    params.generations = 200;
+    let mut plain = Population::new(params.clone()).unwrap();
+    let mut fast = Population::new(params).unwrap();
+    fast.dedup = true;
+    plain.run_to_end();
+    fast.run_to_end();
+    assert_eq!(plain.assignments(), fast.assignments());
+    assert!(
+        fast.stats().games_played < plain.stats().games_played,
+        "dedup should skip duplicate-strategy games ({} vs {})",
+        fast.stats().games_played,
+        plain.stats().games_played
+    );
+}

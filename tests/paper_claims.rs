@@ -1,0 +1,141 @@
+//! Integration tests pinning the paper's qualitative claims, one per
+//! section of the evaluation — the reproduction's acceptance suite.
+
+use evogame::ipd::classic;
+use evogame::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// §III-A: with T > R > P > S, defection dominates the one-shot game.
+#[test]
+fn one_shot_defection_dominates() {
+    let m = PayoffMatrix::default();
+    assert!(m.is_prisoners_dilemma());
+    // Whatever the opponent does, defecting pays at least as much.
+    for opp in [Move::Cooperate, Move::Defect] {
+        assert!(m.payoff(Move::Defect, opp) > m.payoff(Move::Cooperate, opp));
+    }
+}
+
+/// §III-B: direct reciprocity — TFT sustains cooperation against itself
+/// and cannot be exploited repeatedly.
+#[test]
+fn tft_reciprocity() {
+    let space = StateSpace::new(1).unwrap();
+    let tft = classic::tft(&space);
+    let cfg = GameConfig::default();
+    let self_play = play_deterministic(&space, &tft, &tft, &cfg);
+    assert_eq!(self_play.cooperation_rate(), 1.0);
+    let vs_alld = play_deterministic(&space, &tft, &classic::all_d(&space), &cfg);
+    // Loses only the first round.
+    assert_eq!(vs_alld.coop_a, 1);
+}
+
+/// §III-E: "an error … would be fatal for the TFT strategy" but WSLS
+/// recovers — WSLS self-play outscores TFT self-play under noise.
+#[test]
+fn wsls_beats_tft_under_errors() {
+    let space = StateSpace::new(1).unwrap();
+    let cfg = GameConfig {
+        noise: 0.03,
+        ..GameConfig::default()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let wsls = Strategy::Pure(classic::wsls(&space));
+    let tft = Strategy::Pure(classic::tft(&space));
+    let reps = 300;
+    let mut wsls_total = 0.0;
+    let mut tft_total = 0.0;
+    for _ in 0..reps {
+        wsls_total += play(&space, &wsls, &wsls, &cfg, &mut rng).fitness_a;
+        tft_total += play(&space, &tft, &tft, &cfg, &mut rng).fitness_a;
+    }
+    assert!(wsls_total > tft_total * 1.1, "WSLS {wsls_total} vs TFT {tft_total}");
+}
+
+/// §III-D / Table IV: the strategy space sizes the paper reports.
+#[test]
+fn strategy_space_sizes_match_table_iv() {
+    // Number of pure strategies is 2^(4^n): 16, 65,536, 1.84e19, 1.16e77,
+    // 2^2048, 2^4096.
+    let log2_sizes: Vec<usize> = (1..=6)
+        .map(|n| StateSpace::new(n).unwrap().log2_num_pure_strategies())
+        .collect();
+    assert_eq!(log2_sizes, vec![4, 16, 64, 256, 1_024, 4_096]);
+    assert_eq!(2f64.powi(4), 16.0);
+    assert_eq!(2f64.powi(16), 65_536.0);
+    assert!((2f64.powi(64) - 1.84e19).abs() / 1.84e19 < 0.01);
+    assert!((2f64.powi(256) - 1.16e77).abs() / 1.16e77 < 0.01);
+}
+
+/// §IV-B / Eq. 1: Fermi learning — β sweeps from random drift to
+/// deterministic imitation.
+#[test]
+fn fermi_selection_intensity_sweep() {
+    assert_eq!(fermi_probability(0.0, 10.0, 0.0), 0.5);
+    let mild = fermi_probability(0.1, 10.0, 0.0);
+    let strong = fermi_probability(10.0, 10.0, 0.0);
+    assert!(0.5 < mild && mild < strong && strong < 1.0 + 1e-12);
+    assert_eq!(fermi_probability(f64::INFINITY, 10.0, 0.0), 1.0);
+}
+
+/// §V-C: the paper's standard parameters are this library's defaults.
+#[test]
+fn default_parameters_match_section_v_c() {
+    let p = Params::default();
+    assert_eq!(p.game.payoff.as_rstp(), [3.0, 0.0, 4.0, 1.0]);
+    assert_eq!(p.game.rounds, 200);
+    assert_eq!(p.pc_rate, 0.10);
+    assert_eq!(p.mutation_rate, 0.05);
+}
+
+/// §VI-C: the headline population arithmetic — 4,096 SSets/proc on 64
+/// racks gives 2^30 SSets and O(10^18) agents.
+#[test]
+fn headline_population_arithmetic() {
+    let p = Params {
+        num_ssets: 4_096 * 262_144,
+        ..Params::default()
+    };
+    assert_eq!(p.num_ssets, 1_073_741_824);
+    assert!(p.total_agents() >= 1_000_000_000_000_000_000);
+}
+
+/// §VI-A: once WSLS takes over a probabilistic population, mean payoff
+/// sits well above the random-strategy baseline (mutual cooperation pays
+/// R = 3 per round; random-vs-random play averages 2).
+#[test]
+fn wsls_takeover_raises_population_payoff() {
+    let mut params = Params::wsls_validation(24, 150_000);
+    params.seed = 7;
+    let mut pop = Population::new(params).unwrap();
+    pop.fitness_policy = FitnessPolicy::OnDemand;
+    // Window-averaged mean per-round fitness before and after evolution
+    // (single-generation fitness of stochastic games is noisy).
+    let window = |pop: &mut Population| -> f64 {
+        let mut total = 0.0;
+        let s = pop.params().num_ssets as f64;
+        let per_round = pop.params().game.rounds as f64 * s;
+        for g in 0..20u64 {
+            let f = evo_core::fitness::evaluate(
+                pop.space(),
+                pop.assignments(),
+                pop.pool(),
+                &pop.params().game,
+                pop.params().seed,
+                pop.generation() + g,
+                ExecMode::Sequential,
+            );
+            total += f.iter().sum::<f64>() / s / per_round;
+        }
+        total / 20.0
+    };
+    let before = window(&mut pop);
+    pop.run_to_end();
+    let after = window(&mut pop);
+    assert!(
+        after > before,
+        "WSLS takeover should raise mean payoff: {before:.3} -> {after:.3}"
+    );
+    assert!(after > 2.2, "cooperative regime pays near R = 3, got {after:.3}");
+}
