@@ -1,7 +1,7 @@
 //! Classify evolved strategies against the named classics.
 //!
 //! The paper identifies its Fig 2 winner by eyeballing the clustered
-//! population ("the strategy of [0101], which is WSLS"). This module does
+//! population ("the strategy of \[0101\], which is WSLS"). This module does
 //! that mechanically: match a strategy's feature vector against the
 //! classic roster for its memory depth and report the nearest name with
 //! its distance, plus population-level rollups.

@@ -1,7 +1,7 @@
 //! Lloyd's k-means clustering over strategy feature vectors.
 //!
 //! The paper clusters the final population's strategies with "Lloyd k-means
-//! clustering [36], allowing strategies that are more prevalent to be more
+//! clustering \[36\], allowing strategies that are more prevalent to be more
 //! easily identified" before rendering Fig 2(b). Points here are per-SSet
 //! feature vectors (per-state cooperation probabilities, so pure strategies
 //! are 0/1 vertices of the hypercube). Seeding uses k-means++ for

@@ -1,7 +1,7 @@
 //! Population statistics over snapshots.
 //!
 //! Supports the paper's §VI-A claims — "85% of all SSets have adopted the
-//! strategy of [0101], which is WSLS" — and general diagnostics of evolved
+//! strategy of \[0101\], which is WSLS" — and general diagnostics of evolved
 //! populations.
 
 use evo_core::pool::StratId;

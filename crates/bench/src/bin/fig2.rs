@@ -15,7 +15,7 @@ use analysis::heatmap::{render_ascii, HeatmapOptions};
 use analysis::kmeans::{kmeans, KMeansConfig};
 use analysis::stats::{fraction_matching, mean_cooperativity, shannon_diversity};
 use bench::paper_data::{FIG2_GENERATIONS, FIG2_SSETS, FIG2_WSLS_FRACTION};
-use bench::write_csv;
+use bench::{write_csv, write_manifest};
 use evo_core::fitness::FitnessPolicy;
 use evo_core::params::Params;
 use evo_core::population::Population;
@@ -45,6 +45,7 @@ fn main() {
     let mut params = Params::wsls_validation(ssets, generations);
     params.seed = seed;
     params.game.noise = noise;
+    obs::set_enabled(true); // span + per-generation timings for the manifest
     let mut pop = Population::new(params).expect("valid parameters");
     pop.fitness_policy = FitnessPolicy::OnDemand;
     if std::env::args().any(|a| a == "--expected") {
@@ -101,4 +102,15 @@ fn main() {
     ];
     let path = write_csv("fig2", "generation,wsls_fraction,mean_coop,shannon", &rows);
     println!("CSV written to {}", path.display());
+
+    let manifest = pop.manifest(elapsed);
+    println!(
+        "telemetry: {} games, {} rounds, {} RNG streams, {} fermi updates",
+        manifest.counters.games_played,
+        manifest.counters.rounds_simulated,
+        manifest.counters.rng_streams,
+        manifest.counters.fermi_updates
+    );
+    let mpath = write_manifest("fig2", &manifest);
+    println!("run manifest written to {}", mpath.display());
 }

@@ -3,7 +3,7 @@
 //! The paper attributes the growth to *state identification*: "during each
 //! round, each agent must determine the current state of the game by
 //! comparing it with its current view. As the number of memory steps
-//! increases, the size of the state description … also increase[s]". This
+//! increases, the size of the state description … also increase\[s\]". This
 //! binary measures the real Rust kernel both ways — the paper's linear
 //! `find_state` scan and our O(1) rolling index — per memory step, showing
 //! that the growth lives in the lookup, exactly as the paper argues

@@ -3,7 +3,7 @@
 //! The paper fixes the problem at the 1,024-processor weak-scaling point
 //! (4,096 SSets/processor ⇒ 4,194,304 SSets, memory-six) and scales to
 //! 262,144 processors: "99% linear scaling is maintained" through 16,384
-//! processors and "82% scaling efficiency [is] exhibited at 262,144
+//! processors and "82% scaling efficiency \[is\] exhibited at 262,144
 //! processors". §VI-D adds that the full non-power-of-two 294,912-core
 //! machine pays ≈15% more. The calibrated model regenerates all of it.
 

@@ -33,6 +33,16 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
+/// Write a run manifest to `target/experiments/<name>_manifest.json` and
+/// return the path. Regenerators call this next to their CSV output so
+/// every regenerated figure carries the telemetry of the run that produced
+/// it (schema in docs/OBSERVABILITY.md).
+pub fn write_manifest(name: &str, manifest: &obs::RunManifest) -> PathBuf {
+    let path = experiments_dir().join(format!("{name}_manifest.json"));
+    fs::write(&path, manifest.to_json()).expect("write manifest");
+    path
+}
+
 /// Write CSV rows (with a header) to `target/experiments/<name>.csv` and
 /// return the path.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {

@@ -76,6 +76,9 @@ impl<'a, M: Messenger> Collective<'a, M> {
     }
 
     fn next_tag(&self) -> Tag {
+        // Every collective claims exactly one tag per participating rank,
+        // so this is the natural single point to count collective ops.
+        obs::counters().add_collective_op();
         let t = self.next.get();
         self.next
             .set(t.checked_add(1).expect("collective tag space exhausted"));

@@ -101,6 +101,10 @@ impl<T: Send + 'static> Comm<T> {
             return Err(ClusterError::RankDead(dst));
         }
         self.shared.messages_sent.fetch_add(1, Ordering::Relaxed);
+        // comm_bytes uses the in-memory size of the payload type — a
+        // deliberate lower-bound approximation for heap-owning payloads
+        // (docs/OBSERVABILITY.md documents the contract).
+        obs::counters().add_comm_message(std::mem::size_of::<T>() as u64);
         self.shared.senders[dst]
             .send(Envelope {
                 src: self.rank,

@@ -80,6 +80,10 @@ pub struct DistOutcome {
     pub messages_sent: u64,
     /// Events per generation, in order (for trajectory comparison).
     pub events: Vec<Vec<Event>>,
+    /// Per-generation wall times (ns) observed by the Nature Agent.
+    /// Empty unless the observability timing layer ([`obs::set_enabled`])
+    /// was on; capped at [`obs::GENERATION_TIMING_CAP`] entries.
+    pub generation_ns: Vec<u64>,
 }
 
 /// Owner rank of `sset` under a balanced block distribution over compute
@@ -106,6 +110,7 @@ pub fn owned_range(rank: usize, num_ssets: usize, ranks: usize) -> std::ops::Ran
 /// virtual ranks; intended for functional validation at small scale (the
 /// performance model, not this, extrapolates to 262,144 processors).
 pub fn run_distributed(config: &DistConfig) -> DistOutcome {
+    let _span = obs::span("dist.run");
     assert!(
         matches!(
             config.params.rule,
@@ -182,8 +187,13 @@ fn run_rank(
     let owned = owned_range(rank, num_ssets, ranks);
     let mut stats = RunStats::default();
     let mut all_events: Vec<Vec<Event>> = Vec::new();
+    let mut generation_ns: Vec<u64> = Vec::new();
 
     for generation in 0..generations {
+        // Only the Nature Agent times generations: its view spans the full
+        // bcast → compute → resolve → bcast cycle, matching what the
+        // shared-memory engine's per-step timing measures.
+        let timer = (is_nature && obs::enabled()).then(std::time::Instant::now);
         // (1) Nature broadcasts the schedule.
         let schedule = if is_nature {
             Some(DistMsg::Schedule(nature.schedule(num_ssets as u32, generation)))
@@ -319,6 +329,13 @@ fn run_rank(
             }
             all_events.push(events);
         }
+        if let Some(t0) = timer {
+            let ns = t0.elapsed().as_nanos() as u64;
+            obs::generation_histogram().record(ns);
+            if generation_ns.len() < obs::GENERATION_TIMING_CAP {
+                generation_ns.push(ns);
+            }
+        }
     }
 
     coll.barrier(DistMsg::Scalar(0.0)).expect("teardown barrier");
@@ -333,6 +350,7 @@ fn run_rank(
             stats,
             messages_sent: comm.cluster_messages_sent(),
             events: all_events,
+            generation_ns,
         })
     } else {
         // Compute ranks return their table for the consistency check.
@@ -342,6 +360,7 @@ fn run_rank(
             stats: RunStats::default(),
             messages_sent: 0,
             events: Vec::new(),
+            generation_ns: Vec::new(),
         })
     }
 }

@@ -206,6 +206,8 @@ impl PerfModel {
 
     /// Full per-generation breakdown and run total for `procs` processors.
     pub fn breakdown(&self, w: &Workload, procs: u64) -> Breakdown {
+        let _span = obs::span("perf.breakdown");
+        obs::counters().add_perf_model_eval();
         assert!(procs >= 1);
         let p = &self.profile;
         let depth = CollectiveTree::new(procs as usize).depth() as f64;

@@ -9,10 +9,10 @@
 //!
 //! where `π_T`, `π_L` are the two SSets' relative fitnesses and `β` is the
 //! intensity of selection: "a small β leads to almost random strategy
-//! selection, while [for] large values of β the rate of selecting the
+//! selection, while \[for\] large values of β the rate of selecting the
 //! strategy with the higher relative fitness increases. As β approaches
 //! infinity, the better strategy will always be adopted." (§IV-B, after
-//! Traulsen, Pacheco & Nowak [15].)
+//! Traulsen, Pacheco & Nowak \[15\].)
 
 /// Adoption probability for the Fermi rule with selection intensity `beta`,
 /// teacher payoff `pi_t`, learner payoff `pi_l`.

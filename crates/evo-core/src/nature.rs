@@ -141,6 +141,7 @@ impl NatureAgent {
         fitness_learner: f64,
         generation: u64,
     ) -> (f64, bool) {
+        obs::counters().add_fermi_update();
         let p = fermi_probability(self.beta, fitness_teacher, fitness_learner);
         if self.teacher_must_be_fitter && fitness_teacher <= fitness_learner {
             return (p, false);
@@ -197,6 +198,7 @@ impl NatureAgent {
         generation: u64,
         current: &Strategy,
     ) -> Strategy {
+        obs::counters().add_mutation();
         let mut rng = stream(self.seed, Domain::Mutation, 1, generation);
         match self.mutation_kind {
             MutationKind::Fresh => {

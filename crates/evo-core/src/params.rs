@@ -75,7 +75,7 @@ pub struct Params {
     /// Gate learning on the teacher being strictly fitter, per the paper's
     /// Nature-Agent pseudocode (`if fitness_teacher > fitness_learner`).
     /// Setting this `false` gives the standard ungated Fermi process of
-    /// Traulsen et al. [15] — an ablation the tests exercise.
+    /// Traulsen et al. \[15\] — an ablation the tests exercise.
     pub teacher_must_be_fitter: bool,
     /// The evolutionary update rule; the PC-rate parameter sets the event
     /// frequency for every rule.
@@ -194,7 +194,7 @@ impl Params {
     }
 
     /// The paper's WSLS validation configuration (§VI-A): memory-one,
-    /// probabilistic strategies, PC rate 10%, μ = 0.05, payoff [3,0,4,1].
+    /// probabilistic strategies, PC rate 10%, μ = 0.05, payoff \[3,0,4,1\].
     /// `num_ssets` and `generations` are left to the caller's scale.
     pub fn wsls_validation(num_ssets: usize, generations: u64) -> Params {
         Params {

@@ -44,6 +44,13 @@ pub struct Population {
     nature: NatureAgent,
     generation: u64,
     stats: RunStats,
+    /// Counter state when this population was created; [`Population::manifest`]
+    /// reports deltas against it so concurrent populations (or earlier runs
+    /// in the same process) don't pollute each other's numbers.
+    obs_baseline: obs::CounterSnapshot,
+    /// Per-generation wall times (ns), recorded only while [`obs::enabled`];
+    /// capped at [`obs::GENERATION_TIMING_CAP`] entries.
+    gen_timings: Vec<u64>,
     /// Execution mode for the game-dynamics phase.
     pub exec_mode: ExecMode,
     /// When fitness is evaluated.
@@ -97,6 +104,8 @@ impl Population {
             assignments,
             generation: 0,
             stats: RunStats::default(),
+            obs_baseline: obs::counters().snapshot(),
+            gen_timings: Vec::new(),
             exec_mode: ExecMode::Rayon,
             fitness_policy: FitnessPolicy::EveryGeneration,
             dedup: false,
@@ -160,6 +169,7 @@ impl Population {
     /// Evaluate the fitness of every SSet for the current generation,
     /// honouring `exec_mode` and `dedup`.
     fn evaluate_fitness(&mut self) {
+        let _span = obs::span("population.fitness");
         if self.expected_fitness {
             self.fitness = evaluate_expected(
                 &self.space,
@@ -208,7 +218,16 @@ impl Population {
     }
 
     /// Run one generation; returns its record.
+    ///
+    /// When the observability timing layer is on ([`obs::set_enabled`])
+    /// each step also records its wall time — retrievable through
+    /// [`Population::generation_timings`] and summarised into the
+    /// [`Population::manifest`]. Timing reads clocks and atomics only; it
+    /// never touches the RNG streams, so trajectories are identical with
+    /// observability on or off.
     pub fn step(&mut self) -> GenerationRecord {
+        let _span = obs::span("population.generation");
+        let timer = obs::enabled().then(std::time::Instant::now);
         let gen = self.generation;
         let schedule = self.nature.schedule(self.assignments.len() as u32, gen);
         let full_fitness = matches!(self.fitness_policy, FitnessPolicy::EveryGeneration);
@@ -315,6 +334,13 @@ impl Population {
         } else {
             (None, None)
         };
+        if let Some(t0) = timer {
+            let ns = t0.elapsed().as_nanos() as u64;
+            obs::generation_histogram().record(ns);
+            if self.gen_timings.len() < obs::GENERATION_TIMING_CAP {
+                self.gen_timings.push(ns);
+            }
+        }
         GenerationRecord {
             generation: gen,
             events,
@@ -404,6 +430,35 @@ impl Population {
         pop.stats = cp.stats;
         pop.fitness_generation = None;
         Ok(pop)
+    }
+
+    /// Per-generation wall times (nanoseconds) recorded so far, in
+    /// generation order. Empty unless the observability timing layer was
+    /// enabled while stepping; capped at [`obs::GENERATION_TIMING_CAP`].
+    pub fn generation_timings(&self) -> &[u64] {
+        &self.gen_timings
+    }
+
+    /// Capture the run manifest for this population: params, seed, thread
+    /// count, generations executed, per-generation timings, and the
+    /// counter activity since this population was constructed (a delta
+    /// against the construction-time baseline, so earlier runs in the same
+    /// process are excluded). `elapsed_seconds` is the caller's wall-clock
+    /// measurement for the whole run.
+    ///
+    /// The JSON schema (`RunManifest::to_json`) is documented in
+    /// `docs/OBSERVABILITY.md`.
+    pub fn manifest(&self, elapsed_seconds: f64) -> obs::RunManifest {
+        use serde::Serialize;
+        obs::RunManifest::capture(
+            self.params.to_value(),
+            self.params.seed,
+            rayon::current_num_threads(),
+            self.generation,
+            elapsed_seconds,
+            &self.obs_baseline,
+            &self.gen_timings,
+        )
     }
 
     /// Population mean of per-state cooperation probability — a scalar

@@ -63,6 +63,11 @@ fn derive_key(seed: u64, domain: Domain, entity: u64, generation: u64) -> [u8; 3
 /// platform-stable output (unlike `StdRng`, whose algorithm may change
 /// between `rand` releases) and cheap arbitrary keying.
 pub fn stream(seed: u64, domain: Domain, entity: u64, generation: u64) -> ChaCha8Rng {
+    // Telemetry counts streams *opened*, not raw draws: counting per draw
+    // would cost an atomic op in the innermost loop for a number with no
+    // extra analytical value. The counter cannot perturb the stream itself
+    // (docs/OBSERVABILITY.md, "Determinism guarantee").
+    obs::counters().add_rng_stream();
     ChaCha8Rng::from_seed(derive_key(seed, domain, entity, generation))
 }
 

@@ -1,5 +1,5 @@
 //! Spatial evolutionary games on a lattice — the spatialised Prisoner's
-//! Dilemma lineage the paper builds on (its reference [30], and the
+//! Dilemma lineage the paper builds on (its reference \[30\], and the
 //! cellular-automata models of §II).
 //!
 //! Agents sit on a `width × height` torus grid, each holding a strategy.

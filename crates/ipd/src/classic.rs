@@ -91,7 +91,7 @@ pub fn grim(space: &StateSpace) -> PureStrategy {
 /// Win-Stay Lose-Shift (Pavlov), the paper's Table V strategy: repeat your
 /// previous move after a *good* outcome (R: mutual cooperation, or T:
 /// successful defection), switch after a *bad* one (S or P). Outperforms
-/// TFT under noise (Nowak & Sigmund [11]). Requires memory ≥ 1.
+/// TFT under noise (Nowak & Sigmund \[11\]). Requires memory ≥ 1.
 ///
 /// In our CC,CD,DC,DD state order the memory-one table is `[C,D,D,C]`
 /// (bit string `0110`); the paper's `[0101]` is the same strategy under its
@@ -115,7 +115,7 @@ pub fn wsls(space: &StateSpace) -> PureStrategy {
 
 /// Generous Tit-For-Tat: cooperate after the opponent cooperates; after a
 /// defection, still cooperate with the forgiveness probability
-/// `g = min(1 − (T−R)/(R−S), (R−P)/(T−P))` (Nowak & Sigmund [13]). With the
+/// `g = min(1 − (T−R)/(R−S), (R−P)/(T−P))` (Nowak & Sigmund \[13\]). With the
 /// paper's payoffs `[3,0,4,1]`, `g = 2/3`. Mixed, memory ≥ 1.
 pub fn gtft(space: &StateSpace, payoff: &PayoffMatrix) -> MixedStrategy {
     assert!(space.mem_steps() >= 1, "GTFT needs at least memory-one");
@@ -127,7 +127,7 @@ pub fn gtft(space: &StateSpace, payoff: &PayoffMatrix) -> MixedStrategy {
     MixedStrategy::new(*space, coop).expect("g is a valid probability")
 }
 
-/// The GTFT forgiveness probability for a payoff matrix, clamped to [0,1].
+/// The GTFT forgiveness probability for a payoff matrix, clamped to \[0,1\].
 pub fn gtft_generosity(payoff: &PayoffMatrix) -> f64 {
     let a = 1.0 - (payoff.temptation - payoff.reward) / (payoff.reward - payoff.sucker);
     let b = (payoff.reward - payoff.punishment) / (payoff.temptation - payoff.punishment);

@@ -158,6 +158,7 @@ pub fn play_with_lookup<R: Rng + ?Sized>(
         view_a.record(move_a, move_b);
         view_b.record(move_b, move_a);
     }
+    obs::counters().add_game(config.rounds);
     out
 }
 
@@ -192,6 +193,7 @@ pub fn play_deterministic(
         state_a = space.advance(state_a, move_a, move_b);
         state_b = space.advance(state_b, move_b, move_a);
     }
+    obs::counters().add_game(config.rounds);
     out
 }
 
@@ -279,6 +281,7 @@ pub fn play_transcript<R: Rng + ?Sized>(
         view_a.record(move_a, move_b);
         view_b.record(move_b, move_a);
     }
+    obs::counters().add_game(config.rounds);
     Transcript { moves, outcome: out }
 }
 
@@ -343,6 +346,9 @@ pub fn play_deterministic_cycle(
             out.fitness_b = cum[r].1 + full as f64 * delta.1 + partial.1;
             out.coop_a = cum[r].2 + full as u32 * delta.2 + partial.2;
             out.coop_b = cum[r].3 + full as u32 * delta.3 + partial.3;
+            // Counts the *logical* rounds paid out, so the telemetry of a
+            // cycle-accelerated run matches the naive kernel's.
+            obs::counters().add_game(config.rounds);
             return out;
         }
         first_seen.insert(key, r);
@@ -364,6 +370,7 @@ pub fn play_deterministic_cycle(
     out.fitness_b = last.1;
     out.coop_a = last.2;
     out.coop_b = last.3;
+    obs::counters().add_game(config.rounds);
     out
 }
 

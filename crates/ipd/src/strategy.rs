@@ -277,13 +277,13 @@ impl MixedStrategy {
     }
 
     /// The memory-one reactive 4-vector `(p_cc, p_cd, p_dc, p_dd)` of Nowak
-    /// & Sigmund [11], in our CC,CD,DC,DD state order.
+    /// & Sigmund \[11\], in our CC,CD,DC,DD state order.
     pub fn memory_one(space: StateSpace, p: [f64; 4]) -> Result<Self, StrategyError> {
         assert_eq!(space.mem_steps(), 1);
         Self::new(space, p.to_vec())
     }
 
-    /// A uniformly random mixed strategy (each probability ~ U[0,1]) — used
+    /// A uniformly random mixed strategy (each probability ~ U\[0,1\]) — used
     /// for mutation when evolving probabilistic populations, as in the WSLS
     /// validation study.
     pub fn random<R: Rng + ?Sized>(space: StateSpace, rng: &mut R) -> Self {

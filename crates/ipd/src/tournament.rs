@@ -180,6 +180,7 @@ impl RoundRobin {
     /// played `repetitions` times; both players' fitness accrues from the
     /// same games.
     pub fn run<R: Rng + ?Sized>(&self, entrants: &[Entrant], rng: &mut R) -> TournamentResult {
+        let _span = obs::span("tournament.round_robin");
         let n = entrants.len();
         assert!(n > 0, "tournament needs at least one entrant");
         let mut matrix = vec![vec![0.0f64; n]; n];

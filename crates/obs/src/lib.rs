@@ -1,0 +1,641 @@
+//! Observability for the evolution engine: counters, spans, histograms,
+//! and the machine-readable **run manifest**.
+//!
+//! The paper's evaluation (§VI) is entirely about *measured* behaviour —
+//! per-generation wall time, game-kernel throughput, communication volume.
+//! This crate gives the reproduction the same visibility. It sits at the
+//! bottom of the dependency graph (below `ipd`, `evo-core`, and `cluster`)
+//! and exposes three layers, all documented as a stable contract in
+//! `docs/OBSERVABILITY.md`:
+//!
+//! 1. **Counters** ([`counters`]) — process-global relaxed atomics that are
+//!    *always on*. The instrumented crates increment them at well-defined
+//!    points: games played, rounds simulated, Fermi updates, mutations,
+//!    RNG streams opened, messages/bytes through the virtual cluster.
+//! 2. **Spans** ([`span`]) — named wall-clock timings through the hot
+//!    paths (generation loop, fitness evaluation, collectives, the
+//!    distributed engine). Gated by [`set_enabled`]: when disabled a span
+//!    is a single relaxed atomic load.
+//! 3. **The run manifest** ([`RunManifest`]) — a JSON document capturing
+//!    params, seed, thread count, per-generation timings, and counter
+//!    snapshots. The CLI (`--manifest-out`), the quickstart example, and
+//!    the `bench` fig/table regenerators all emit this one format.
+//!
+//! # Determinism guarantee
+//!
+//! Nothing in this crate ever constructs, advances, or otherwise touches
+//! the engine's counter-based RNG streams (`evo_core::rngstream`). Metrics
+//! read wall clocks and atomics only, so enabling or disabling
+//! observability **cannot change a simulation trajectory** — results stay
+//! bit-identical at any thread count. `tests/observability.rs` in the
+//! workspace root enforces this.
+//!
+//! # Examples
+//!
+//! Counters are always live; read them with a snapshot:
+//!
+//! ```
+//! let before = obs::counters().snapshot();
+//! obs::counters().add_game(200); // what ipd::game::play does per game
+//! let after = obs::counters().snapshot();
+//! assert!(after.monotone_since(&before));
+//! assert!(after.games_played >= before.games_played + 1);
+//! assert!(after.rounds_simulated >= before.rounds_simulated + 200);
+//! ```
+//!
+//! Spans time a scope when observability is enabled:
+//!
+//! ```
+//! obs::set_enabled(true);
+//! {
+//!     let _span = obs::span("example.work");
+//!     std::hint::black_box(40 + 2);
+//! }
+//! let spans = obs::span_snapshots();
+//! let s = spans.iter().find(|s| s.name == "example.work").unwrap();
+//! assert!(s.count >= 1);
+//! obs::set_enabled(false);
+//! ```
+//!
+//! A manifest round-trips through JSON:
+//!
+//! ```
+//! use serde::Serialize;
+//! let manifest = obs::RunManifest::capture(
+//!     42u64.to_value(),               // any serialisable params
+//!     42,                             // seed
+//!     1,                              // threads
+//!     2,                              // generations
+//!     0.5,                            // elapsed seconds
+//!     &obs::CounterSnapshot::default(),
+//!     &[1_000, 2_000],                // per-generation nanoseconds
+//! );
+//! let json = manifest.to_json();
+//! let back = obs::RunManifest::from_json(&json).unwrap();
+//! assert_eq!(manifest, back);
+//! ```
+
+#![deny(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Version of the [`RunManifest`] JSON schema. Bump on any
+/// backwards-incompatible change and update `docs/OBSERVABILITY.md`.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+// --------------------------------------------------------------- counters
+
+/// The process-global event counters. All increments use relaxed atomics —
+/// cheap enough to stay **always on**, independent of [`enabled`].
+///
+/// Counters only ever increase within a process (there is deliberately no
+/// reset), so concurrent readers can rely on monotonicity. Attribute
+/// counts to a region of interest by taking a [`Counters::snapshot`]
+/// before and after and diffing with [`CounterSnapshot::delta_since`].
+#[derive(Debug)]
+pub struct Counters {
+    games_played: AtomicU64,
+    rounds_simulated: AtomicU64,
+    fermi_updates: AtomicU64,
+    mutations: AtomicU64,
+    rng_streams: AtomicU64,
+    comm_messages: AtomicU64,
+    comm_bytes: AtomicU64,
+    collective_ops: AtomicU64,
+    perf_model_evals: AtomicU64,
+}
+
+static COUNTERS: Counters = Counters {
+    games_played: AtomicU64::new(0),
+    rounds_simulated: AtomicU64::new(0),
+    fermi_updates: AtomicU64::new(0),
+    mutations: AtomicU64::new(0),
+    rng_streams: AtomicU64::new(0),
+    comm_messages: AtomicU64::new(0),
+    comm_bytes: AtomicU64::new(0),
+    collective_ops: AtomicU64::new(0),
+    perf_model_evals: AtomicU64::new(0),
+};
+
+/// The process-global [`Counters`] instance.
+pub fn counters() -> &'static Counters {
+    &COUNTERS
+}
+
+impl Counters {
+    /// One iterated game finished, `rounds` rounds long. Incremented by
+    /// every game kernel in `ipd::game` (sampled, deterministic, cycle,
+    /// transcript); the cycle kernel counts the *logical* rounds it pays
+    /// out arithmetically.
+    #[inline]
+    pub fn add_game(&self, rounds: u32) {
+        self.games_played.fetch_add(1, Ordering::Relaxed);
+        self.rounds_simulated
+            .fetch_add(rounds as u64, Ordering::Relaxed);
+    }
+
+    /// One Fermi pairwise comparison resolved
+    /// (`NatureAgent::resolve_pc`).
+    #[inline]
+    pub fn add_fermi_update(&self) {
+        self.fermi_updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One mutation strategy drawn (`NatureAgent::mutation_strategy`).
+    #[inline]
+    pub fn add_mutation(&self) {
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One counter-based RNG stream opened (`evo_core::rngstream::stream`).
+    #[inline]
+    pub fn add_rng_stream(&self) {
+        self.rng_streams.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One point-to-point message of `bytes` payload bytes sent through
+    /// `cluster::comm` (collective traffic included — collectives are
+    /// built from point-to-point sends).
+    #[inline]
+    pub fn add_comm_message(&self, bytes: u64) {
+        self.comm_messages.fetch_add(1, Ordering::Relaxed);
+        self.comm_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// One collective operation (bcast/reduce/gather/barrier) initiated on
+    /// one rank (`cluster::collective`).
+    #[inline]
+    pub fn add_collective_op(&self) {
+        self.collective_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One analytic performance-model evaluation
+    /// (`cluster::perf::PerfModel::breakdown`).
+    #[inline]
+    pub fn add_perf_model_eval(&self) {
+        self.perf_model_evals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of every counter (each load
+    /// is individually atomic; the set is not a cross-counter transaction).
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            games_played: self.games_played.load(Ordering::Relaxed),
+            rounds_simulated: self.rounds_simulated.load(Ordering::Relaxed),
+            fermi_updates: self.fermi_updates.load(Ordering::Relaxed),
+            mutations: self.mutations.load(Ordering::Relaxed),
+            rng_streams: self.rng_streams.load(Ordering::Relaxed),
+            comm_messages: self.comm_messages.load(Ordering::Relaxed),
+            comm_bytes: self.comm_bytes.load(Ordering::Relaxed),
+            collective_ops: self.collective_ops.load(Ordering::Relaxed),
+            perf_model_evals: self.perf_model_evals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the [`Counters`] — the `counters` field of the
+/// run manifest. Field meanings and increment points are documented on the
+/// corresponding [`Counters`] methods and in `docs/OBSERVABILITY.md`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Iterated games completed ([`Counters::add_game`]).
+    pub games_played: u64,
+    /// Game rounds simulated, summed over games.
+    pub rounds_simulated: u64,
+    /// Fermi pairwise comparisons resolved.
+    pub fermi_updates: u64,
+    /// Mutation strategies drawn.
+    pub mutations: u64,
+    /// Counter-based RNG streams opened.
+    pub rng_streams: u64,
+    /// Point-to-point messages sent through the virtual cluster.
+    pub comm_messages: u64,
+    /// Payload bytes moved through the virtual cluster (in-memory
+    /// `size_of` of each message's payload type — a lower bound for
+    /// heap-owning payloads).
+    pub comm_bytes: u64,
+    /// Collective operations initiated, summed over ranks.
+    pub collective_ops: u64,
+    /// Analytic performance-model evaluations.
+    pub perf_model_evals: u64,
+}
+
+impl CounterSnapshot {
+    /// `true` if every counter in `self` is ≥ its value in `earlier` —
+    /// the monotonicity the process-global counters guarantee.
+    pub fn monotone_since(&self, earlier: &CounterSnapshot) -> bool {
+        self.games_played >= earlier.games_played
+            && self.rounds_simulated >= earlier.rounds_simulated
+            && self.fermi_updates >= earlier.fermi_updates
+            && self.mutations >= earlier.mutations
+            && self.rng_streams >= earlier.rng_streams
+            && self.comm_messages >= earlier.comm_messages
+            && self.comm_bytes >= earlier.comm_bytes
+            && self.collective_ops >= earlier.collective_ops
+            && self.perf_model_evals >= earlier.perf_model_evals
+    }
+
+    /// Per-counter difference `self − baseline` (saturating), attributing
+    /// activity to the window between two snapshots. In a process with
+    /// concurrent instrumented work the delta includes that work too;
+    /// single-run tools (the CLI, the regenerators) run one engine at a
+    /// time so the delta is exactly the run's activity.
+    pub fn delta_since(&self, baseline: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            games_played: self.games_played.saturating_sub(baseline.games_played),
+            rounds_simulated: self
+                .rounds_simulated
+                .saturating_sub(baseline.rounds_simulated),
+            fermi_updates: self.fermi_updates.saturating_sub(baseline.fermi_updates),
+            mutations: self.mutations.saturating_sub(baseline.mutations),
+            rng_streams: self.rng_streams.saturating_sub(baseline.rng_streams),
+            comm_messages: self.comm_messages.saturating_sub(baseline.comm_messages),
+            comm_bytes: self.comm_bytes.saturating_sub(baseline.comm_bytes),
+            collective_ops: self.collective_ops.saturating_sub(baseline.collective_ops),
+            perf_model_evals: self
+                .perf_model_evals
+                .saturating_sub(baseline.perf_model_evals),
+        }
+    }
+}
+
+// ------------------------------------------------------------ enable flag
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn the *timing* layer (spans, per-generation timings) on or off.
+/// Counters are unaffected — they are always on. Off by default.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the timing layer is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// ------------------------------------------------------------------ spans
+
+struct SpanStat {
+    name: &'static str,
+    count: u64,
+    total_ns: u64,
+}
+
+static SPANS: Mutex<Vec<SpanStat>> = Mutex::new(Vec::new());
+
+fn spans_lock() -> std::sync::MutexGuard<'static, Vec<SpanStat>> {
+    SPANS.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Start timing a named scope. The returned guard records elapsed wall
+/// time into the process-global span registry when dropped — but only if
+/// observability was [`enabled`] when the span was opened; otherwise both
+/// construction and drop are no-ops (one relaxed atomic load).
+///
+/// `name` should be a stable dotted path (`"population.generation"`); the
+/// instrumented set is listed in `docs/OBSERVABILITY.md`.
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+/// Guard returned by [`span`]; see there.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ns = start.elapsed().as_nanos() as u64;
+        let mut spans = spans_lock();
+        match spans.iter_mut().find(|s| s.name == self.name) {
+            Some(s) => {
+                s.count += 1;
+                s.total_ns += ns;
+            }
+            None => spans.push(SpanStat {
+                name: self.name,
+                count: 1,
+                total_ns: ns,
+            }),
+        }
+    }
+}
+
+/// Aggregated timing of one named span — the `spans` entries of the run
+/// manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    /// The span's stable dotted name.
+    pub name: String,
+    /// Completed executions recorded.
+    pub count: u64,
+    /// Total wall time across executions, nanoseconds.
+    pub total_ns: u64,
+}
+
+impl SpanSnapshot {
+    /// Mean wall time per execution, nanoseconds (0 if never executed).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / self.count
+        }
+    }
+}
+
+/// Snapshot of every span recorded so far in this process, in
+/// first-recorded order.
+pub fn span_snapshots() -> Vec<SpanSnapshot> {
+    spans_lock()
+        .iter()
+        .map(|s| SpanSnapshot {
+            name: s.name.to_string(),
+            count: s.count,
+            total_ns: s.total_ns,
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- histogram
+
+/// Number of buckets in a [`Histogram`] (one per power of two of `u64`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A lock-free log₂ histogram: bucket `i` counts recorded values `v` with
+/// `⌊log₂ v⌋ = i − 1` (bucket 0 counts `v = 0`). Cheap enough for hot
+/// paths — one relaxed atomic increment per record.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Bucket index for a value.
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`] — the
+/// `generation_ns_histogram` field of the run manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// `buckets[i]` counts values whose log₂ bucket is `i`; see
+    /// [`Histogram`].
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Build a histogram snapshot directly from a slice of values (used at
+    /// manifest-capture time to summarise a timing series).
+    pub fn from_values(values: &[u64]) -> Self {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    /// Total values recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+}
+
+/// The process-global histogram of per-generation wall times
+/// (nanoseconds). The generation loops (`Population::step` and the
+/// distributed engine) record into it when observability is [`enabled`].
+pub fn generation_histogram() -> &'static Histogram {
+    static GEN_HIST: Histogram = Histogram::new();
+    &GEN_HIST
+}
+
+// --------------------------------------------------------------- manifest
+
+/// The machine-readable record of one instrumented run — the single
+/// telemetry format shared by `evogame-cli --manifest-out`, the quickstart
+/// example, and the `bench` fig/table regenerators. Serialises to the JSON
+/// schema documented in `docs/OBSERVABILITY.md`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Schema version ([`MANIFEST_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The run's full parameter set, as the producer serialised it
+    /// (`evo_core::Params` for engine runs).
+    pub params: Value,
+    /// The run's RNG seed (also inside `params`; duplicated for cheap
+    /// indexing).
+    pub seed: u64,
+    /// Worker threads the run was configured with
+    /// (`rayon::current_num_threads()` for the shared-memory engine; rank
+    /// count for distributed runs).
+    pub threads: usize,
+    /// Generations the run executed.
+    pub generations: u64,
+    /// Total wall time of the run, seconds.
+    pub elapsed_seconds: f64,
+    /// Per-generation wall time, nanoseconds, in generation order. Empty
+    /// when the timing layer was disabled; producers may cap the series
+    /// (the engine keeps the first [`GENERATION_TIMING_CAP`] entries) —
+    /// the histogram always covers every generation.
+    pub per_generation_ns: Vec<u64>,
+    /// Log₂ histogram summarising `per_generation_ns`.
+    pub generation_ns_histogram: HistogramSnapshot,
+    /// Counter activity attributed to the run
+    /// ([`CounterSnapshot::delta_since`] a baseline taken at run start).
+    pub counters: CounterSnapshot,
+    /// Process-wide span timings at capture time (totals, not deltas).
+    pub spans: Vec<SpanSnapshot>,
+}
+
+/// Maximum `per_generation_ns` entries the engine retains verbatim; runs
+/// longer than this are summarised by the histogram beyond the cap.
+pub const GENERATION_TIMING_CAP: usize = 100_000;
+
+impl RunManifest {
+    /// Capture a manifest for a finished run.
+    ///
+    /// `counters_at_start` is the [`Counters::snapshot`] taken when the
+    /// run began; the manifest stores the delta so the numbers describe
+    /// this run, not the whole process. `per_generation_ns` is the
+    /// producer's timing series (empty when timing was disabled).
+    pub fn capture(
+        params: Value,
+        seed: u64,
+        threads: usize,
+        generations: u64,
+        elapsed_seconds: f64,
+        counters_at_start: &CounterSnapshot,
+        per_generation_ns: &[u64],
+    ) -> Self {
+        RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            params,
+            seed,
+            threads,
+            generations,
+            elapsed_seconds,
+            per_generation_ns: per_generation_ns.to_vec(),
+            generation_ns_histogram: HistogramSnapshot::from_values(per_generation_ns),
+            counters: counters().snapshot().delta_since(counters_at_start),
+            spans: span_snapshots(),
+        }
+    }
+
+    /// Render as pretty-printed JSON (the `--manifest-out` file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self)
+            .expect("RunManifest serialisation is infallible")
+    }
+
+    /// Parse a manifest back from its JSON rendering.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_increment_and_stay_monotone() {
+        let before = counters().snapshot();
+        counters().add_game(200);
+        counters().add_fermi_update();
+        counters().add_mutation();
+        counters().add_rng_stream();
+        counters().add_comm_message(64);
+        counters().add_collective_op();
+        counters().add_perf_model_eval();
+        let after = counters().snapshot();
+        assert!(after.monotone_since(&before));
+        let delta = after.delta_since(&before);
+        assert!(delta.games_played >= 1);
+        assert!(delta.rounds_simulated >= 200);
+        assert!(delta.comm_bytes >= 64);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing_new() {
+        set_enabled(false);
+        let name = "obs.test.disabled";
+        let before = span_snapshots()
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(0, |s| s.count);
+        drop(span(name));
+        let after = span_snapshots()
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(0, |s| s.count);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn enabled_spans_aggregate() {
+        set_enabled(true);
+        for _ in 0..3 {
+            let _s = span("obs.test.enabled");
+        }
+        set_enabled(false);
+        let snaps = span_snapshots();
+        let s = snaps.iter().find(|s| s.name == "obs.test.enabled").unwrap();
+        assert!(s.count >= 3);
+        assert_eq!(s.mean_ns(), s.total_ns / s.count);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[2], 2);
+        assert_eq!(snap.buckets[11], 1);
+        assert_eq!(snap.count(), 5);
+        assert_eq!(snap, HistogramSnapshot::from_values(&[0, 1, 2, 3, 1024]));
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(0), 0);
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(3), 7);
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_diffs_counters() {
+        let baseline = counters().snapshot();
+        counters().add_game(10);
+        let m = RunManifest::capture(
+            Value::Map(vec![("seed".into(), Value::UInt(7))]),
+            7,
+            4,
+            2,
+            1.25,
+            &baseline,
+            &[500, 700],
+        );
+        assert_eq!(m.schema_version, MANIFEST_SCHEMA_VERSION);
+        assert!(m.counters.games_played >= 1);
+        assert_eq!(m.generation_ns_histogram.count(), 2);
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+    }
+}

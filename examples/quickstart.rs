@@ -6,10 +6,26 @@
 //! cooperativity and diversity.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Pass `--manifest-out run.json` to enable the observability timing layer
+//! and write the JSON run manifest (params, seed, per-generation timings,
+//! event counters — schema in docs/OBSERVABILITY.md). Observability never
+//! changes the simulation: the printed trajectory is bit-identical with
+//! and without the flag, at any thread count.
 
 use evogame::prelude::*;
 
 fn main() {
+    let manifest_out = {
+        let argv: Vec<String> = std::env::args().collect();
+        argv.iter()
+            .position(|a| a == "--manifest-out")
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    if manifest_out.is_some() {
+        evogame::obs::set_enabled(true);
+    }
+    let t0 = std::time::Instant::now();
     let params = Params {
         mem_steps: 1,
         num_ssets: 64,
@@ -66,5 +82,14 @@ fn main() {
         println!("-> that is Win-Stay Lose-Shift, the paper's Fig 2 endpoint.");
     } else if feature == tft {
         println!("-> that is Tit-For-Tat.");
+    }
+
+    if let Some(path) = manifest_out {
+        let manifest = pop.manifest(t0.elapsed().as_secs_f64());
+        std::fs::write(&path, manifest.to_json()).expect("write manifest");
+        eprintln!(
+            "wrote run manifest to {path} ({} games, {} rounds simulated)",
+            manifest.counters.games_played, manifest.counters.rounds_simulated
+        );
     }
 }

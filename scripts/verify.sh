@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Full verification gate for the repository.
+#
+# The tier-1 gate (ROADMAP.md) is the first two commands; the doc gates
+# additionally hold rustdoc to zero warnings and run every doc-example,
+# so the examples in the observability contract (docs/OBSERVABILITY.md,
+# crates/obs rustdoc) can never rot silently.
+#
+# Usage: sh scripts/verify.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== docs: rustdoc, warnings are errors =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "== docs: doc-examples =="
+cargo test -q --doc --workspace
+
+echo "verify: OK"

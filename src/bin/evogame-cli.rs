@@ -4,15 +4,19 @@
 //! evogame-cli run         --ssets 64 --generations 5000 [--mem 1] [--mixed]
 //!                         [--seed S] [--pc-rate 0.1] [--mu 0.05] [--beta 1]
 //!                         [--noise 0] [--rule pc|moran|best] [--on-demand]
-//!                         [--sample-every N] [--heatmap]
+//!                         [--sample-every N] [--heatmap] [--records F.jsonl]
+//!                         [--manifest-out run.json]
 //! evogame-cli tournament  [--mem 2] [--noise 0.0] [--reps 5] [--rounds 200]
 //! evogame-cli predict     --procs 262144 [--ssets 4194304] [--mem 6]
 //!                         [--generations 1000] [--profile bgp|bgl]
 //! evogame-cli distributed --ranks 4 --ssets 16 --generations 200 [...]
+//!                         [--manifest-out run.json]
 //! ```
 //!
 //! Every subcommand prints human-readable output; `run` can also emit the
-//! sampled trajectory as CSV.
+//! sampled trajectory as CSV. `--manifest-out` additionally enables the
+//! observability timing layer and writes the machine-readable JSON run
+//! manifest described in `docs/OBSERVABILITY.md`.
 
 use evogame::analysis::heatmap::{render_ascii, HeatmapOptions};
 use evogame::analysis::timeseries::record_run;
@@ -83,9 +87,22 @@ fn build_params(args: &Args) -> Result<Params, String> {
     Ok(p)
 }
 
+/// Write `manifest` as pretty JSON to `path`.
+fn write_manifest(path: &str, manifest: &evogame::obs::RunManifest) -> Result<(), String> {
+    std::fs::write(path, manifest.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("wrote run manifest to {path}");
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let params = build_params(args)?;
     let generations = params.generations;
+    let manifest_out = args.value("--manifest-out").map(str::to_string);
+    if manifest_out.is_some() {
+        // Timing layer on: spans and per-generation wall times. Counters
+        // are always on; this cannot change the trajectory.
+        evogame::obs::set_enabled(true);
+    }
     let mut pop = Population::new(params).map_err(|e| e.to_string())?;
     if args.flag("--on-demand") {
         pop.fitness_policy = FitnessPolicy::OnDemand;
@@ -136,6 +153,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if args.flag("--heatmap") {
         eprintln!("\nfinal population (clustered):");
         eprint!("{}", render_ascii(&pop.snapshot(), &HeatmapOptions::default()));
+    }
+    if let Some(path) = manifest_out {
+        write_manifest(&path, &pop.manifest(elapsed))?;
     }
     Ok(())
 }
@@ -217,6 +237,16 @@ fn cmd_distributed(args: &Args) -> Result<(), String> {
     if ranks < 2 {
         return Err("--ranks must be ≥ 2 (Nature Agent + compute)".into());
     }
+    let manifest_out = args.value("--manifest-out").map(str::to_string);
+    if manifest_out.is_some() {
+        evogame::obs::set_enabled(true);
+    }
+    let baseline = evogame::obs::counters().snapshot();
+    let (seed, generations) = (params.seed, params.generations);
+    let params_value = {
+        use serde::Serialize;
+        params.to_value()
+    };
     let t0 = std::time::Instant::now();
     let out = run_distributed(&DistConfig {
         params,
@@ -236,6 +266,18 @@ fn cmd_distributed(args: &Args) -> Result<(), String> {
         "PC events {} | adoptions {} | mutations {} | messages {}",
         out.stats.pc_events, out.stats.adoptions, out.stats.mutations, out.messages_sent
     );
+    if let Some(path) = manifest_out {
+        let manifest = evogame::obs::RunManifest::capture(
+            params_value,
+            seed,
+            ranks,
+            generations,
+            t0.elapsed().as_secs_f64(),
+            &baseline,
+            &out.generation_ns,
+        );
+        write_manifest(&path, &manifest)?;
+    }
     Ok(())
 }
 
@@ -267,7 +309,10 @@ const USAGE: &str = "usage: evogame-cli <run|tournament|predict|distributed|clas
   classify     name a strategy given its compact code (e.g. 'classify m1:6')
 run flags:     --ssets N --generations G --mem M --seed S --pc-rate R --mu R
                --beta B --noise E --rounds N --mixed --rule pc|moran|best
-               --on-demand --sample-every N --heatmap
+               --on-demand --sample-every N --heatmap --records FILE.jsonl
+               --manifest-out FILE.json   (JSON run manifest, see
+                                           docs/OBSERVABILITY.md; also
+                                           accepted by `distributed`)
 ";
 
 fn main() -> ExitCode {

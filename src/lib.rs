@@ -18,6 +18,10 @@
 //!   topology, distributed engine, Blue Gene performance model.
 //! - [`analysis`] — k-means strategy clustering, population statistics,
 //!   Fig 2-style heatmaps.
+//! - [`obs`] — observability: always-on event counters, opt-in span
+//!   timings, and the JSON run manifest (contract in
+//!   `docs/OBSERVABILITY.md`). Enabling it never changes simulation
+//!   results.
 //!
 //! # Quickstart
 //!
@@ -47,6 +51,7 @@ pub use analysis;
 pub use cluster;
 pub use evo_core as engine;
 pub use ipd;
+pub use obs;
 
 /// The most commonly used items across all workspace crates.
 pub mod prelude {

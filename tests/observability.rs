@@ -1,0 +1,161 @@
+//! Tier-1 tests of the observability contract (docs/OBSERVABILITY.md):
+//! the run manifest round-trips through serde, counters are monotone, and
+//! — the load-bearing guarantee — enabling observability never changes
+//! simulation results, at any thread count.
+//!
+//! Note on globals: the counters are process-global and these tests run in
+//! parallel, so assertions use baseline deltas and `monotone_since`, never
+//! exact process-wide values. `obs::set_enabled` is only ever set to
+//! `true` here (the off-state run happens before that, inside the one test
+//! that needs it) so tests cannot race each other's timing expectations.
+
+use evogame::obs;
+use evogame::prelude::*;
+
+fn small_params(seed: u64) -> Params {
+    Params {
+        mem_steps: 1,
+        num_ssets: 16,
+        generations: 80,
+        seed,
+        game: GameConfig {
+            rounds: 24,
+            ..GameConfig::default()
+        },
+        ..Params::default()
+    }
+}
+
+#[test]
+fn two_generation_manifest_roundtrips_through_serde() {
+    obs::set_enabled(true);
+    let mut pop = Population::new(small_params(3)).unwrap();
+    let t0 = std::time::Instant::now();
+    pop.step();
+    pop.step();
+    let manifest = pop.manifest(t0.elapsed().as_secs_f64());
+
+    assert_eq!(manifest.schema_version, obs::MANIFEST_SCHEMA_VERSION);
+    assert_eq!(manifest.seed, 3);
+    assert_eq!(manifest.generations, 2);
+    assert!(manifest.threads >= 1);
+    // Two generations under EveryGeneration evaluate 16x16 games each.
+    assert!(manifest.counters.games_played >= 2 * 16 * 16);
+    assert!(manifest.counters.rounds_simulated >= manifest.counters.games_played * 24);
+    assert!(manifest.counters.rng_streams > 0);
+    assert_eq!(manifest.per_generation_ns.len(), 2);
+    assert_eq!(manifest.generation_ns_histogram.count(), 2);
+    assert!(manifest
+        .spans
+        .iter()
+        .any(|s| s.name == "population.generation" && s.count >= 2));
+
+    let json = manifest.to_json();
+    let back = obs::RunManifest::from_json(&json).expect("manifest parses back");
+    assert_eq!(manifest, back);
+
+    // The params travel verbatim: re-serialising the embedded params value
+    // matches serialising the population's params directly.
+    use serde::Serialize;
+    assert_eq!(back.params, pop.params().to_value());
+}
+
+#[test]
+fn counters_are_monotone_across_a_run() {
+    let before = obs::counters().snapshot();
+    let mut pop = Population::new(small_params(5)).unwrap();
+    pop.run(40);
+    let mid = obs::counters().snapshot();
+    pop.run(40);
+    let after = obs::counters().snapshot();
+
+    assert!(mid.monotone_since(&before));
+    assert!(after.monotone_since(&mid));
+    let delta = after.delta_since(&before);
+    assert!(delta.games_played >= 80 * 16 * 16, "games {delta:?}");
+    assert!(delta.rng_streams > 0);
+}
+
+#[test]
+fn observability_on_and_off_give_bit_identical_results() {
+    // Off first (the flag may already be on from a concurrently running
+    // test — that is fine: the assertion below holds either way, which is
+    // exactly the guarantee under test).
+    let mut off = Population::new(small_params(7)).unwrap();
+    off.run_to_end();
+
+    obs::set_enabled(true);
+    let mut on = Population::new(small_params(7)).unwrap();
+    on.run_to_end();
+
+    assert_eq!(off.assignments(), on.assignments());
+    assert_eq!(off.stats(), on.stats());
+    assert_eq!(off.fitness(), on.fitness());
+    assert_eq!(
+        off.snapshot().features,
+        on.snapshot().features,
+        "observability must never perturb the simulation"
+    );
+}
+
+#[test]
+fn manifests_are_thread_count_invariant_in_results() {
+    // The engine is schedule-invariant, and observability must not break
+    // that: the same run at 1 and 4 worker threads produces identical
+    // trajectories (only the manifest's `threads` field may differ).
+    obs::set_enabled(true);
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let mut single = Population::new(small_params(11)).unwrap();
+    single.run_to_end();
+    let m1 = single.manifest(0.0);
+
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let mut multi = Population::new(small_params(11)).unwrap();
+    multi.run_to_end();
+    let m4 = multi.manifest(0.0);
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert_eq!(single.assignments(), multi.assignments());
+    assert_eq!(single.stats(), multi.stats());
+    // Both runs open the same RNG streams and play the same games.
+    assert_eq!(m1.counters.games_played, m4.counters.games_played);
+    assert_eq!(m1.counters.rounds_simulated, m4.counters.rounds_simulated);
+    assert_eq!(m1.counters.rng_streams, m4.counters.rng_streams);
+    assert_eq!(m1.counters.fermi_updates, m4.counters.fermi_updates);
+    assert_eq!(m1.counters.mutations, m4.counters.mutations);
+    assert_eq!(m1.generations, m4.generations);
+}
+
+#[test]
+fn distributed_run_reports_comm_counters_and_timings() {
+    obs::set_enabled(true);
+    let baseline = obs::counters().snapshot();
+    let mut params = small_params(13);
+    params.generations = 30;
+    let out = evogame::cluster::dist::run_distributed(&evogame::cluster::dist::DistConfig {
+        params,
+        ranks: 4,
+        policy: FitnessPolicy::EveryGeneration,
+    });
+    let delta = obs::counters().snapshot().delta_since(&baseline);
+
+    // Every generation broadcasts at least a schedule over 4 ranks.
+    assert!(delta.comm_messages >= out.messages_sent);
+    assert!(delta.comm_bytes > 0);
+    assert!(delta.collective_ops >= 30);
+    assert_eq!(out.generation_ns.len(), 30);
+    // The Nature Agent's timings feed a manifest directly.
+    use serde::Serialize;
+    let manifest = obs::RunManifest::capture(
+        out.stats.generations.to_value(),
+        13,
+        4,
+        out.stats.generations,
+        0.0,
+        &baseline,
+        &out.generation_ns,
+    );
+    assert_eq!(manifest.generation_ns_histogram.count(), 30);
+    let back = obs::RunManifest::from_json(&manifest.to_json()).unwrap();
+    assert_eq!(manifest, back);
+}

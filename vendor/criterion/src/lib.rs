@@ -1,0 +1,274 @@
+//! Offline vendored `criterion` subset: a minimal wall-clock benchmark
+//! harness with the upstream API shape (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `Bencher::iter`).
+//!
+//! Statistics are deliberately simple — warm-up, then a timed loop
+//! reporting mean ns/iter to stdout. When invoked by `cargo test` (which
+//! passes `--test` to `harness = false` bench binaries) every benchmark
+//! body runs exactly once so the tier-1 suite stays fast.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` for benches that import it from
+/// criterion rather than std.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries once with
+        // `--test`; `cargo bench` passes `--bench`. Any `--test` argument
+        // switches to single-iteration smoke mode.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the target number of measured iterations (lower bound).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the warm-up duration before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a displayable parameter value.
+    pub fn from_parameter<D: Display>(param: D) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+
+    /// Build a `name/param` id.
+    pub fn new<D: Display>(name: &str, param: D) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the minimum iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            test_mode: self.criterion.test_mode,
+            result: None,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Run one benchmark parameterised by an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (upstream renders summaries here; we report per
+    /// benchmark, so this is a no-op hook).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time repeated calls of `f`, retaining the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std_black_box(f());
+            self.result = Some((Duration::ZERO, 1));
+            return;
+        }
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            std_black_box(f());
+        }
+        let mut iters: u64 = 0;
+        let timer = Instant::now();
+        while timer.elapsed() < self.measurement || iters < self.sample_size as u64 {
+            std_black_box(f());
+            iters += 1;
+        }
+        self.result = Some((timer.elapsed(), iters));
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        match self.result {
+            Some((_, n)) if self.test_mode => {
+                println!("test-mode {group}/{id}: ran {n} iteration");
+            }
+            Some((elapsed, n)) => {
+                let ns = elapsed.as_nanos() as f64 / n as f64;
+                println!("bench {group}/{id}: {ns:.1} ns/iter ({n} iterations)");
+            }
+            None => println!("bench {group}/{id}: no measurement recorded"),
+        }
+    }
+}
+
+/// Define a benchmark group function from config + target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_end_to_end() {
+        let mut c = Criterion {
+            sample_size: 2,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(2),
+            test_mode: false,
+        };
+        tiny_target(&mut c);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_secs(100), // must be skipped
+            measurement: Duration::from_secs(100),
+            test_mode: true,
+        };
+        let mut group = c.benchmark_group("t");
+        let mut calls = 0u32;
+        group.bench_function("once", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+}

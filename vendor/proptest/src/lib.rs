@@ -1,0 +1,510 @@
+//! Offline vendored `proptest` subset.
+//!
+//! Provides the slice of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro, [`Strategy`] with `prop_map`, [`Just`],
+//! [`prop_oneof!`], [`any`], range and tuple strategies, and
+//! `prop::collection::vec`. Case generation is deterministic — derived from
+//! the test's module path, name, and case index — so failures reproduce
+//! across runs. There is **no shrinking**: a failing case panics with its
+//! case index instead of a minimised input.
+//!
+//! Case count defaults to 32 and can be overridden per block with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` or globally with
+//! the `PROPTEST_CASES` environment variable (which wins over both).
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ------------------------------------------------------------------ RNG
+
+/// Deterministic splitmix64-based generator used for case generation.
+pub struct TestRng {
+    state: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Build the generator for one `(test, case)` pair. Same pair, same
+    /// stream — failures are replayable by rerunning the test binary.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut state = h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // Warm up so nearby case indices decorrelate.
+        let _ = splitmix64(&mut state);
+        TestRng { state }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift reduction; bias is < 2^-64 per draw, irrelevant
+        // for test-case generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ------------------------------------------------------------- Strategy
+
+/// A recipe for generating values of one type.
+///
+/// Vendored subset: generation only, no shrink trees.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Box a strategy for storage in heterogeneous collections
+/// (used by [`prop_oneof!`]).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies; built by [`prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Wrap a non-empty set of alternatives.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+// Integer range strategies.
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128 - lo as u128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let x = self.start + (rng.unit_f64() as $t) * (self.end - self.start);
+                // Guard against rounding up to the excluded endpoint.
+                if x >= self.end { self.start } else { x }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+// Tuple strategies: a tuple of strategies yields a tuple of values.
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+
+// ------------------------------------------------------------ Arbitrary
+
+/// Types with a canonical full-domain strategy, reachable via [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for a primitive; see [`any`].
+pub struct AnyPrim<T>(PhantomData<T>);
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> Self::Strategy { AnyPrim(PhantomData) }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim(PhantomData)
+    }
+}
+
+impl Strategy for AnyPrim<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite values only: proptest tests here do arithmetic with them.
+        rng.unit_f64() * 2e6 - 1e6
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrim<f64>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim(PhantomData)
+    }
+}
+
+/// The canonical strategy for `T`, e.g. `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ----------------------------------------------------------- collection
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`fn@vec`]: a fixed size or a range.
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy's values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// --------------------------------------------------------------- config
+
+/// Per-block configuration for [`proptest!`].
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+}
+
+impl ProptestConfig {
+    /// Config running `n` cases (unless `PROPTEST_CASES` overrides it).
+    pub fn with_cases(n: u32) -> Self {
+        ProptestConfig {
+            cases: env_cases().unwrap_or(n),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig::with_cases(32)
+    }
+}
+
+// --------------------------------------------------------------- macros
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = <$crate::ProptestConfig as ::std::default::Default>::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(__path, __case);
+                let ($($pat,)+) =
+                    ($($crate::Strategy::generate(&($strat), &mut __rng),)+);
+                // A failing prop_assert! panics; the harness reports it.
+                $body
+            }
+        }
+    )*};
+}
+
+/// Property assertion; panics (failing the case) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Property equality assertion; panics when the sides differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion; panics when the sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::boxed($s)),+])
+    };
+}
+
+/// Everything tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// Namespace alias so `prop::collection::vec(..)` resolves as upstream.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(3usize..10), &mut rng);
+            assert!((3..10).contains(&x));
+            let y = Strategy::generate(&(0.0f64..=1.0), &mut rng);
+            assert!((0.0..=1.0).contains(&y));
+            let z = Strategy::generate(&(5u16..6), &mut rng);
+            assert_eq!(z, 5);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = (0u64..1000, 0.0f64..1.0).prop_map(|(a, b)| (a, b));
+        let mut r1 = crate::TestRng::for_case("det", 7);
+        let mut r2 = crate::TestRng::for_case("det", 7);
+        assert_eq!(
+            Strategy::generate(&strat, &mut r1).0,
+            Strategy::generate(&strat, &mut r2).0
+        );
+    }
+
+    #[test]
+    fn oneof_covers_all_options() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::TestRng::for_case("oneof", 0);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[Strategy::generate(&strat, &mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: patterns, collections, and assertions.
+        #[test]
+        fn macro_roundtrip(xs in prop::collection::vec(0u32..100, 0..16), flag in any::<bool>()) {
+            prop_assert!(xs.len() < 16);
+            let doubled: Vec<u32> = xs.iter().map(|&x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            let _ = flag;
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline vendored ChaCha8 random number generator.
+//!
+//! A real ChaCha stream cipher core (IETF layout, 8 rounds, 64-bit block
+//! counter) exposed through the vendored [`rand`] traits. The keystream is
+//! a faithful ChaCha8 implementation, but no bit-compatibility with the
+//! upstream `rand_chacha` crate is promised — the repository pins its own
+//! stream outputs in `evo_core::rngstream` tests instead.
+
+use rand::{RngCore, SeedableRng};
+
+/// Compatibility alias for `use rand_chacha::rand_core::SeedableRng`.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+const CHACHA_ROUNDS: usize = 8;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha8 stream cipher as a deterministic RNG.
+///
+/// Seeded from 32 bytes of key material; the nonce is fixed at zero and the
+/// 64-bit block counter advances per 16-word block, giving a 2^70-byte
+/// period — far beyond any simulation's appetite.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key words 0..8 of the initial state (constants and counter are
+    /// reconstructed per block).
+    key: [u32; 8],
+    /// Block counter of the *next* block to generate.
+    counter: u64,
+    /// Current block's output words.
+    buf: [u32; 16],
+    /// Next unread index into `buf`; 16 means exhausted.
+    idx: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let input = state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buf.iter_mut().zip(state.iter().zip(input.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..64).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.random()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn chacha_rfc8439_block_function() {
+        // RFC 8439 §2.3.2 test vector, adapted: with 20 rounds the
+        // reference state is fixed; here we only check the 8-round core is
+        // a permutation-with-feedforward that changes with the counter.
+        let mut r = ChaCha8Rng::from_seed([7u8; 32]);
+        let first: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        assert_ne!(first, second, "blocks must differ as the counter advances");
+    }
+
+    #[test]
+    fn mean_of_bytes_is_uniformish() {
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        let mean: f64 =
+            (0..20_000).map(|_| r.random::<u8>() as f64).sum::<f64>() / 20_000.0;
+        assert!((mean - 127.5).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn clone_continues_identically() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

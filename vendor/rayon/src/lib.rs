@@ -1,0 +1,131 @@
+//! Offline vendored `rayon` subset.
+//!
+//! The workspace only uses the `(0..n).into_par_iter().map(f).collect()`
+//! shape, so that is what this crate provides: an ordered parallel map over
+//! a `Range<usize>`, executed on `std::thread::scope` worker threads with
+//! contiguous chunking. Results are returned in index order, so callers see
+//! output identical to a sequential map — which is exactly the
+//! schedule-invariance contract the engine's tests pin down.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (like upstream rayon's
+//! default pool) or falls back to `std::thread::available_parallelism`.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Resolve the worker-thread count: `RAYON_NUM_THREADS` if set and positive,
+/// else the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Everything call sites need: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Conversion into a parallel iterator (vendored subset: `Range<usize>`).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type produced.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// A parallel iterator over `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Map each index through `f` in parallel, preserving index order.
+    pub fn map<T, F>(self, f: F) -> ParMap<T, F>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        ParMap {
+            range: self.range,
+            f,
+            _out: PhantomData,
+        }
+    }
+}
+
+/// The pending parallel map; realised by [`ParMap::collect`].
+pub struct ParMap<T, F> {
+    range: Range<usize>,
+    f: F,
+    _out: PhantomData<T>,
+}
+
+impl<T, F> ParMap<T, F>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    /// Execute the map on worker threads and collect results in index order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        let Range { start, end } = self.range;
+        let n = end.saturating_sub(start);
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return (start..end).map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = start + t * chunk;
+                    let hi = (lo + chunk).min(end);
+                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("rayon worker panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let par: Vec<u64> = (0..1000).into_par_iter().map(|i| (i as u64) * 3).collect();
+        let seq: Vec<u64> = (0..1000).map(|i| (i as u64) * 3).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let par: Vec<u8> = (0..0).into_par_iter().map(|_| 1u8).collect();
+        assert!(par.is_empty());
+    }
+
+    #[test]
+    fn captures_environment_by_reference() {
+        let weights = vec![2.0f64; 64];
+        let par: Vec<f64> = (0..64).into_par_iter().map(|i| weights[i] * i as f64).collect();
+        assert_eq!(par[3], 6.0);
+    }
+}

@@ -1,0 +1,470 @@
+//! Offline vendored `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! implemented with a dependency-free hand-rolled token parser (no `syn` /
+//! `quote` available offline).
+//!
+//! Supported input shapes — exactly what this workspace uses:
+//!
+//! - structs with named fields (`#[serde(default)]` honoured per field);
+//! - enums with unit variants (discriminants allowed), newtype/tuple
+//!   variants, and struct variants, serialised with external tagging:
+//!   `"Variant"`, `{"Variant": value}`, `{"Variant": [..]}`,
+//!   `{"Variant": {..}}` — the upstream `serde` JSON representation.
+//!
+//! Generics, tuple structs, and other `#[serde(...)]` attributes are not
+//! supported and produce a compile-time panic naming the offending type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name plus whether `#[serde(default)]` was present.
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+/// One parsed enum variant.
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Input {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consume a leading `#[...]` attribute run; return whether any of the
+    /// consumed attributes was `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut serde_default = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            // Inner attribute marker `!` never appears on fields/variants,
+            // but tolerate it.
+            if matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                self.next();
+            }
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(name)) = inner.first() {
+                        if name.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                let has_default = args.stream().into_iter().any(|t| {
+                                    matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")
+                                });
+                                let only_default = args.stream().into_iter().all(|t| {
+                                    matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")
+                                        || matches!(&t, TokenTree::Punct(p) if p.as_char() == ',')
+                                });
+                                if !only_default {
+                                    panic!(
+                                        "vendored serde_derive supports only #[serde(default)], got #[serde({})]",
+                                        args.stream()
+                                    );
+                                }
+                                serde_default |= has_default;
+                            }
+                        }
+                    }
+                }
+                other => panic!("malformed attribute near {other:?}"),
+            }
+        }
+        serde_default
+    }
+
+    /// Consume `pub` / `pub(...)` visibility if present.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected {what}, found {other:?}"),
+        }
+    }
+
+    fn expect_punct(&mut self, ch: char) {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ch => {}
+            other => panic!("expected `{ch}`, found {other:?}"),
+        }
+    }
+
+    /// Skip a type (or discriminant expression): everything up to a
+    /// top-level `,`, tracking `<`/`>` nesting so generic-argument commas
+    /// don't terminate early. Consumes the trailing comma if present.
+    fn skip_until_toplevel_comma(&mut self) {
+        let mut angle_depth: i64 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+/// Parse the named fields of a brace-delimited body.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let has_default = cur.skip_attrs();
+        cur.skip_vis();
+        let name = cur.expect_ident("field name");
+        cur.expect_punct(':');
+        cur.skip_until_toplevel_comma();
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+/// Count the fields of a tuple variant's parenthesised body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth: i64 = 0;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    commas + 1 - usize::from(trailing_comma)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attrs();
+        let name = cur.expect_ident("variant name");
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                cur.next();
+                VariantShape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                cur.next();
+                VariantShape::Struct(parse_named_fields(g))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Discriminant (`= 0`) and/or trailing comma.
+        if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            cur.next();
+            cur.skip_until_toplevel_comma();
+        } else if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            cur.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(stream: TokenStream) -> Input {
+    let mut cur = Cursor::new(stream);
+    cur.skip_attrs();
+    cur.skip_vis();
+    let kw = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("type name");
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    let body = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected braced body for `{name}` (tuple structs unsupported), found {other:?}"),
+    };
+    match kw.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("cannot derive for `{other} {name}`"),
+    }
+}
+
+// --------------------------------------------------------------- codegen
+
+fn serialize_fields_expr(owner: &str, fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({p}{n}))",
+                n = f.name,
+                p = access_prefix
+            )
+        })
+        .collect();
+    let _ = owner;
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn deserialize_fields_expr(ty: &str, fields: &[Field], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let fallback = if f.has_default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{n}\", \"{ty}\"))",
+                    n = f.name
+                )
+            };
+            format!(
+                "{n}: match {source}.get(\"{n}\") {{ \
+                     ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?, \
+                     ::std::option::Option::None => {fallback}, \
+                 }}",
+                n = f.name
+            )
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn derive_serialize_impl(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = serialize_fields_expr(name, fields, "&self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantShape::Tuple(k) => {
+                            let binds: Vec<String> = (0..*k).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({b}) => ::serde::Value::Map(::std::vec![(\
+                                     ::std::string::String::from(\"{vn}\"), \
+                                     ::serde::Value::Seq(::std::vec![{v}]))]),",
+                                b = binds.join(", "),
+                                v = vals.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = serialize_fields_expr(name, fields, "");
+                            format!(
+                                "{name}::{vn} {{ {b} }} => ::serde::Value::Map(::std::vec![(\
+                                     ::std::string::String::from(\"{vn}\"), {inner})]),",
+                                b = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join("\n")
+            )
+        }
+    }
+}
+
+fn derive_deserialize_impl(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let inits = deserialize_fields_expr(name, fields, "v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if v.as_map().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::expected(\"object\", \"{name}\", v));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let map_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(inner)?)),"
+                        ),
+                        VariantShape::Tuple(k) => {
+                            let gets: Vec<String> = (0..*k)
+                                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let seq = inner.as_seq().ok_or_else(|| \
+                                         ::serde::DeError::expected(\"array\", \"{name}::{vn}\", inner))?;\n\
+                                     if seq.len() != {k} {{\n\
+                                         return ::std::result::Result::Err(::serde::DeError::new(\
+                                             \"wrong tuple arity for {name}::{vn}\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({g}))\n\
+                                 }}",
+                                g = gets.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits = deserialize_fields_expr(&format!("{name}::{vn}"), fields, "inner");
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     if inner.as_map().is_none() {{\n\
+                                         return ::std::result::Result::Err(\
+                                             ::serde::DeError::expected(\"object\", \"{name}::{vn}\", inner));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                                 }}"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                             }},\n\
+                             ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                                 let (k, inner) = &m[0];\n\
+                                 match k.as_str() {{\n\
+                                     {map_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                                 \"string or single-key object\", \"{name}\", v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                map_arms = map_arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Derive `serde::Serialize` (vendored value-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    derive_serialize_impl(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (vendored value-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    derive_deserialize_impl(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
