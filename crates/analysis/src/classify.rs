@@ -11,7 +11,7 @@ use ipd::classic;
 use ipd::payoff::PayoffMatrix;
 use ipd::state::StateSpace;
 use ipd::strategy::Strategy;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The named references for a memory depth: the pure classics plus GTFT
 /// and the uniform random strategy.
@@ -59,7 +59,7 @@ pub fn composition(
     space: &StateSpace,
     max_distance: f64,
 ) -> Vec<(String, usize)> {
-    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     for f in &snapshot.features {
         let (name, d) = nearest_named(f, space);
         let key = if d <= max_distance { name } else { "OTHER".into() };

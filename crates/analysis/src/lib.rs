@@ -13,6 +13,8 @@
 //! - [`heatmap`] — text and PPM renderings of population snapshots, rows
 //!   optionally grouped by cluster (the Fig 2 view).
 
+#![forbid(unsafe_code)]
+
 pub mod classify;
 pub mod heatmap;
 pub mod kmeans;

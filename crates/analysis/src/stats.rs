@@ -6,12 +6,12 @@
 
 use evo_core::pool::StratId;
 use evo_core::record::PopulationSnapshot;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Abundance of each strategy id: `(id, count)` sorted by descending count
 /// (ties by ascending id).
 pub fn abundance(snapshot: &PopulationSnapshot) -> Vec<(StratId, usize)> {
-    let mut counts: HashMap<StratId, usize> = HashMap::new();
+    let mut counts: BTreeMap<StratId, usize> = BTreeMap::new();
     for &id in &snapshot.assignments {
         *counts.entry(id).or_insert(0) += 1;
     }

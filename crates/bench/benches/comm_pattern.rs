@@ -55,10 +55,10 @@ fn bench_patterns(c: &mut Criterion) {
     let mut group = c.benchmark_group("comm_pattern/fitness_return");
     group.sample_size(10);
     group.bench_function(BenchmarkId::from_parameter("selective_p2p"), |b| {
-        b.iter(|| black_box(VirtualCluster::run(RANKS, |comm| selective_roundtrips(&comm))))
+        b.iter(|| black_box(VirtualCluster::run(RANKS, |comm| selective_roundtrips(&comm))));
     });
     group.bench_function(BenchmarkId::from_parameter("gather_all"), |b| {
-        b.iter(|| black_box(VirtualCluster::run(RANKS, |comm| gather_everything(&comm))))
+        b.iter(|| black_box(VirtualCluster::run(RANKS, |comm| gather_everything(&comm))));
     });
     group.finish();
 }
@@ -76,7 +76,7 @@ fn bench_primitives(c: &mut Criterion) {
                 }
                 acc
             }))
-        })
+        });
     });
     group.bench_function("allreduce", |b| {
         b.iter(|| {
@@ -88,7 +88,7 @@ fn bench_primitives(c: &mut Criterion) {
                 }
                 acc
             }))
-        })
+        });
     });
     group.bench_function("barrier", |b| {
         b.iter(|| {
@@ -98,7 +98,7 @@ fn bench_primitives(c: &mut Criterion) {
                     coll.barrier(0).unwrap();
                 }
             }))
-        })
+        });
     });
     group.finish();
 }

@@ -29,7 +29,7 @@ fn bench_deterministic(c: &mut Criterion) {
                     black_box(&b),
                     &cfg,
                 ))
-            })
+            });
         });
     }
     group.finish();
@@ -57,7 +57,7 @@ fn bench_stochastic(c: &mut Criterion) {
                     &cfg,
                     &mut game_rng,
                 ))
-            })
+            });
         });
     }
     group.finish();
@@ -75,10 +75,10 @@ fn bench_cycle_kernel(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("game_kernel/cycle_vs_naive/memory-{mem}"));
         group.sample_size(20);
         group.bench_function("naive_200_rounds", |bencher| {
-            bencher.iter(|| black_box(play_deterministic(&space, &a, &b, &cfg)))
+            bencher.iter(|| black_box(play_deterministic(&space, &a, &b, &cfg)));
         });
         group.bench_function("cycle_detection", |bencher| {
-            bencher.iter(|| black_box(play_deterministic_cycle(&space, &a, &b, &cfg)))
+            bencher.iter(|| black_box(play_deterministic_cycle(&space, &a, &b, &cfg)));
         });
         group.finish();
     }
@@ -99,11 +99,11 @@ fn bench_expected_vs_sampled(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("game_kernel/expected_vs_sampled/memory-{mem}"));
         group.sample_size(20);
         group.bench_function("markov_exact", |bencher| {
-            bencher.iter(|| black_box(expected_outcome(&space, &a, &b, &cfg)))
+            bencher.iter(|| black_box(expected_outcome(&space, &a, &b, &cfg)));
         });
         group.bench_function("monte_carlo_one_sample", |bencher| {
             let mut r = ChaCha8Rng::seed_from_u64(7);
-            bencher.iter(|| black_box(play(&space, &a, &b, &cfg, &mut r)))
+            bencher.iter(|| black_box(play(&space, &a, &b, &cfg, &mut r)));
         });
         group.finish();
     }

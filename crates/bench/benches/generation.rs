@@ -31,7 +31,7 @@ fn bench_population_size(c: &mut Criterion) {
     for ssets in [16usize, 32, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(ssets), &ssets, |bencher, &s| {
             let mut pop = Population::new(params(s)).unwrap();
-            bencher.iter(|| black_box(pop.step()))
+            bencher.iter(|| black_box(pop.step()));
         });
     }
     group.finish();
@@ -44,7 +44,7 @@ fn bench_exec_modes(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(label), |bencher| {
             let mut pop = Population::new(params(48)).unwrap();
             pop.exec_mode = mode;
-            bencher.iter(|| black_box(pop.step()))
+            bencher.iter(|| black_box(pop.step()));
         });
     }
     group.finish();
@@ -62,7 +62,7 @@ fn bench_dedup(c: &mut Criterion) {
             let mut pop = Population::new(p).unwrap();
             pop.dedup = dedup;
             pop.run(300); // fixation warm-up
-            bencher.iter(|| black_box(pop.step()))
+            bencher.iter(|| black_box(pop.step()));
         });
     }
     group.finish();
@@ -80,7 +80,7 @@ fn bench_fitness_policy(c: &mut Criterion) {
             p.pc_rate = 0.01; // the scaling studies' rate
             let mut pop = Population::new(p).unwrap();
             pop.fitness_policy = policy;
-            bencher.iter(|| black_box(pop.step()))
+            bencher.iter(|| black_box(pop.step()));
         });
     }
     group.finish();
@@ -96,7 +96,7 @@ fn bench_game_kernel_choice(c: &mut Criterion) {
             p.game.rounds = 200;
             let mut pop = Population::new(p).unwrap();
             pop.kernel = kernel;
-            bencher.iter(|| black_box(pop.step()))
+            bencher.iter(|| black_box(pop.step()));
         });
     }
     group.finish();

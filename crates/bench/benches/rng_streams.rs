@@ -21,14 +21,14 @@ fn bench_stream_creation(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(1);
             black_box(stream(42, Domain::GamePlay, i, i >> 3))
-        })
+        });
     });
     group.bench_function("game_stream", |b| {
         let mut i = 0u32;
         b.iter(|| {
             i = i.wrapping_add(1);
             black_box(game_stream(42, i % 1_024, (i / 7) % 1_024, 1_024, (i as u64) >> 4))
-        })
+        });
     });
     group.finish();
 }
@@ -48,7 +48,7 @@ fn bench_draw_patterns(c: &mut Criterion) {
                 acc += r.random::<f64>();
             }
             black_box(acc)
-        })
+        });
     });
     group.bench_function(BenchmarkId::from_parameter("shared_rng"), |b| {
         let mut r = ChaCha8Rng::seed_from_u64(42);
@@ -58,7 +58,7 @@ fn bench_draw_patterns(c: &mut Criterion) {
                 acc += r.random::<f64>();
             }
             black_box(acc)
-        })
+        });
     });
     group.finish();
 }

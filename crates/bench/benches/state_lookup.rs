@@ -33,7 +33,7 @@ fn bench_lookup_modes(c: &mut Criterion) {
                     StateLookup::Rolling,
                     &mut r,
                 ))
-            })
+            });
         });
         group.bench_function(BenchmarkId::from_parameter("linear_scan"), |bencher| {
             let mut r = ChaCha8Rng::seed_from_u64(5);
@@ -46,7 +46,7 @@ fn bench_lookup_modes(c: &mut Criterion) {
                     StateLookup::LinearScan(&table),
                     &mut r,
                 ))
-            })
+            });
         });
         group.finish();
     }

@@ -49,7 +49,7 @@ fn bench_lookup(c: &mut Criterion) {
                 acc += packed.move_for(black_box(s)).bit() as u32;
             }
             black_box(acc)
-        })
+        });
     });
     group.bench_function(BenchmarkId::from_parameter("byte_per_state"), |b| {
         b.iter(|| {
@@ -58,7 +58,7 @@ fn bench_lookup(c: &mut Criterion) {
                 acc += bytes.move_for(black_box(s)).bit() as u32;
             }
             black_box(acc)
-        })
+        });
     });
     group.finish();
 }
@@ -71,14 +71,14 @@ fn bench_bulk_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("strategy_repr/bulk");
     group.sample_size(30);
     group.bench_function("hamming_4096", |bench| {
-        bench.iter(|| black_box(a.hamming(black_box(&b_side))))
+        bench.iter(|| black_box(a.hamming(black_box(&b_side))));
     });
     group.bench_function("random_memory_six", |bench| {
         let mut r = ChaCha8Rng::seed_from_u64(11);
-        bench.iter(|| black_box(PureStrategy::random(space, &mut r)))
+        bench.iter(|| black_box(PureStrategy::random(space, &mut r)));
     });
     group.bench_function("defection_count", |bench| {
-        bench.iter(|| black_box(a.defection_count()))
+        bench.iter(|| black_box(a.defection_count()));
     });
     group.finish();
 }

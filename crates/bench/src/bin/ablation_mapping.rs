@@ -8,6 +8,8 @@
 //! patterns the engine generates: the binomial collective tree and a
 //! rank-order ring exchange.
 
+#![forbid(unsafe_code)]
+
 use bench::{render_table, write_csv};
 use cluster::topology::{RankMapping, Torus3D};
 

@@ -11,6 +11,8 @@
 //! Usage: `cargo run --release -p bench --bin fig2 -- [--ssets N]
 //! [--generations G] [--seed S] [--noise E]`
 
+#![forbid(unsafe_code)]
+
 use analysis::heatmap::{render_ascii, HeatmapOptions};
 use analysis::kmeans::{kmeans, KMeansConfig};
 use analysis::stats::{fraction_matching, mean_cooperativity, shannon_diversity};

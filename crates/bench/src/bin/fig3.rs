@@ -8,6 +8,8 @@
 //! has only a small impact on parallel efficiency" — is checked by the
 //! spread across memory rows.
 
+#![forbid(unsafe_code)]
+
 use bench::paper_data::{TABLE6_GENERATIONS, TABLE6_PROCS, TABLE6_SECONDS, TABLE6_SSETS};
 use analysis::plot::{LinePlot, Series};
 use bench::{experiments_dir, render_table, write_csv};

@@ -9,6 +9,8 @@
 //! that the growth lives in the lookup, exactly as the paper argues
 //! (and that the O(1) index removes it).
 
+#![forbid(unsafe_code)]
+
 use bench::paper_data::{TABLE6_PROCS, TABLE6_SECONDS};
 use analysis::plot::{LinePlot, Series};
 use bench::{experiments_dir, render_table, write_csv};

@@ -9,6 +9,8 @@
 //! model (extended beyond the measured processor counts to expose the
 //! knee).
 
+#![forbid(unsafe_code)]
+
 use bench::paper_data::{TABLE7_PROCS, TABLE7_SECONDS};
 use analysis::plot::{LinePlot, Series};
 use bench::{experiments_dir, render_table, write_csv};

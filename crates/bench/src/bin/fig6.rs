@@ -9,6 +9,8 @@
 //! *communication volume per rank* stays flat, which is what the model's
 //! flatness rests on.
 
+#![forbid(unsafe_code)]
+
 use bench::paper_data::{FIG6_SSETS_PER_PROC, LARGE_PROCS};
 use analysis::plot::{LinePlot, Series};
 use bench::{experiments_dir, render_table, write_csv};

@@ -7,6 +7,8 @@
 //! processors". §VI-D adds that the full non-power-of-two 294,912-core
 //! machine pays ≈15% more. The calibrated model regenerates all of it.
 
+#![forbid(unsafe_code)]
+
 use bench::paper_data::{FIG7_EFF_16K, FIG7_EFF_262K, NONPOW2_DEGRADATION};
 use analysis::plot::{LinePlot, Series};
 use bench::{experiments_dir, render_table, write_csv};

@@ -9,6 +9,8 @@
 //! Usage: `cargo run --release -p bench --bin sweep -- [--ssets N]
 //! [--generations G] [--seed S]`
 
+#![forbid(unsafe_code)]
+
 use analysis::classify::composition;
 use analysis::stats::mean_cooperativity;
 use bench::{render_table, write_csv};

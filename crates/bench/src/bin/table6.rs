@@ -7,6 +7,8 @@
 //! paper and model can be compared cell by cell. The fitted per-game costs
 //! are also reported against this machine's measured Rust kernel.
 
+#![forbid(unsafe_code)]
+
 use bench::paper_data::{TABLE6_GENERATIONS, TABLE6_PROCS, TABLE6_SECONDS, TABLE6_SSETS};
 use bench::{fmt_secs, render_table, write_csv};
 use cluster::perf::{fit_strong_scaling, measure_game_cost};

@@ -7,6 +7,8 @@
 //! strong-scaling model and regenerated; a cross-row check verifies the
 //! quadratic work growth in both the paper data and the model.
 
+#![forbid(unsafe_code)]
+
 use bench::paper_data::{TABLE7_PROCS, TABLE7_SECONDS};
 use bench::{fmt_secs, render_table, write_csv};
 use cluster::perf::fit_strong_scaling;

@@ -9,6 +9,8 @@
 //! consistent grid and flags where the paper's cells disagree —
 //! see EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use bench::{render_table, write_csv};
 
 const SSETS: [u64; 6] = [1_024, 2_048, 4_096, 8_192, 16_384, 32_768];

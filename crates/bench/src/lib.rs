@@ -18,6 +18,8 @@
 //!
 //! Run any of them with `cargo run --release -p bench --bin <name>`.
 
+#![forbid(unsafe_code)]
+
 pub mod paper_data;
 
 use std::fs;

@@ -193,6 +193,7 @@ fn run_rank(
         // Only the Nature Agent times generations: its view spans the full
         // bcast → compute → resolve → bcast cycle, matching what the
         // shared-memory engine's per-step timing measures.
+        // detlint: allow(wall-clock, reason = "obs-gated timing; measures the cycle, never feeds simulation state")
         let timer = (is_nature && obs::enabled()).then(std::time::Instant::now);
         // (1) Nature broadcasts the schedule.
         let schedule = if is_nature {

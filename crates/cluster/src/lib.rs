@@ -27,6 +27,8 @@
 //!   game-kernel costs, used to regenerate the scaling tables and figures
 //!   at Blue Gene scale (up to 262,144 processors).
 
+#![forbid(unsafe_code)]
+
 pub mod collective;
 pub mod comm;
 pub mod dist;

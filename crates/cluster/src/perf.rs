@@ -314,6 +314,7 @@ pub fn measure_game_cost(mem_steps: usize, rounds: u32, linear_scan: bool) -> f6
     } else {
         400
     };
+    // detlint: allow(wall-clock, reason = "calibration measurement for the performance model; feeds simulated time, not trajectories")
     let start = std::time::Instant::now();
     for _ in 0..iters {
         sink += run_one(&mut rng);
@@ -449,10 +450,11 @@ fn solve_ls(
         }
         a.swap(col, pivot);
         y.swap(col, pivot);
+        let pivot_row = a[col];
         for row in col + 1..k {
-            let f = a[row][col] / a[col][col];
-            for c in col..k {
-                a[row][c] -= f * a[col][c];
+            let f = a[row][col] / pivot_row[col];
+            for (x, p) in a[row][col..k].iter_mut().zip(&pivot_row[col..k]) {
+                *x -= f * p;
             }
             y[row] -= f * y[col];
         }

@@ -75,6 +75,15 @@ pub struct TimedComm<T> {
     net: Arc<NetCosts>,
 }
 
+impl<T> std::fmt::Debug for TimedComm<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimedComm")
+            .field("comm", &self.comm)
+            .field("clock", &self.clock)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T: Send + Clone + 'static> TimedComm<T> {
     /// Wrap a raw communicator.
     pub fn new(comm: Comm<Timed<T>>, net: Arc<NetCosts>) -> Self {

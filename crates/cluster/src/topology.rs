@@ -40,11 +40,11 @@ impl Torus3D {
         // Enumerate factor triples x*y*z = n.
         let mut x = 1;
         while x * x * x <= n {
-            if n % x == 0 {
+            if n.is_multiple_of(x) {
                 let rest = n / x;
                 let mut y = x;
                 while y * y <= rest {
-                    if rest % y == 0 {
+                    if rest.is_multiple_of(y) {
                         let z = rest / y;
                         // Perimeter-like score: smaller = more cubic.
                         let score = x * y + y * z + x * z;
@@ -320,7 +320,7 @@ mod tests {
     #[test]
     fn snake_mapping_is_a_bijection() {
         let t = Torus3D::new(4, 3, 2);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for r in 0..t.len() {
             assert!(seen.insert(t.coord_mapped(r, RankMapping::Snake)));
         }

@@ -83,7 +83,7 @@ proptest! {
     #[test]
     fn snake_mapping_bijective(x in 1usize..=6, y in 1usize..=6, z in 1usize..=4) {
         let t = Torus3D::new(x, y, z);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for r in 0..t.len() {
             prop_assert!(seen.insert(t.coord_mapped(r, RankMapping::Snake)));
         }

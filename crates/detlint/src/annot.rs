@@ -1,0 +1,198 @@
+//! Allow-annotation parsing.
+//!
+//! A violation site can be exempted by an annotation in a comment:
+//!
+//! ```text
+//! // detlint: allow(hash-iter, reason = "lookup-only; never iterated")
+//! ```
+//!
+//! Placement:
+//! - on the offending line (trailing comment), or
+//! - on a comment-only line immediately above it (blank and further
+//!   comment-only lines in between are fine), or
+//! - as `allow-file(rule, reason = "…")`, exempting the whole file — for
+//!   modules whose entire purpose is exempt (e.g. the virtual cluster's
+//!   message substrate legitimately uses atomics throughout).
+//!
+//! The `reason` is mandatory and must be non-empty: an exemption without a
+//! recorded justification is itself a violation (`bad-annotation`).
+
+/// Where an allow applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowScope {
+    /// The annotated line (or the next code line, for comment-only lines).
+    Line,
+    /// The whole file.
+    File,
+}
+
+/// One parsed allow annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Scope of the exemption.
+    pub scope: AllowScope,
+    /// The rule slug being exempted.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// A malformed annotation, reported as a `bad-annotation` diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadAnnotation {
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// Parse every allow annotation in one line's comment text.
+pub fn parse(comment: &str) -> (Vec<Allow>, Vec<BadAnnotation>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("detlint:") {
+        rest = rest[pos + "detlint:".len()..].trim_start();
+        let scope = if let Some(r) = rest.strip_prefix("allow-file") {
+            rest = r;
+            AllowScope::File
+        } else if let Some(r) = rest.strip_prefix("allow") {
+            rest = r;
+            AllowScope::Line
+        } else {
+            bad.push(BadAnnotation {
+                problem: "expected `allow(...)` or `allow-file(...)` after `detlint:`".into(),
+            });
+            continue;
+        };
+        let Some(r) = rest.trim_start().strip_prefix('(') else {
+            bad.push(BadAnnotation {
+                problem: "expected `(` after `allow`".into(),
+            });
+            continue;
+        };
+        rest = r;
+        // The rule slug runs to the first `,` or `)`; the reason is a
+        // quoted string (which may itself contain parentheses), so the
+        // closing `)` is only looked for after the closing quote.
+        let Some(delim) = rest.find([',', ')']) else {
+            bad.push(BadAnnotation {
+                problem: "unclosed `allow(` annotation".into(),
+            });
+            break;
+        };
+        let rule = rest[..delim].trim().to_string();
+        let had_comma = rest[delim..].starts_with(',');
+        rest = &rest[delim + 1..];
+        if rule.is_empty() {
+            bad.push(BadAnnotation {
+                problem: "empty rule slug in `allow(...)`".into(),
+            });
+            continue;
+        }
+        let missing_reason = || BadAnnotation {
+            problem: format!(
+                "allow({rule}) needs a non-empty `reason = \"...\"` — exemptions must \
+                 record their justification"
+            ),
+        };
+        if !had_comma {
+            bad.push(missing_reason());
+            continue;
+        }
+        let Some((reason, after)) = parse_reason(rest) else {
+            bad.push(missing_reason());
+            continue;
+        };
+        let Some(r) = after.trim_start().strip_prefix(')') else {
+            bad.push(BadAnnotation {
+                problem: format!("allow({rule}, ...) is missing its closing `)`"),
+            });
+            rest = after;
+            continue;
+        };
+        rest = r;
+        allows.push(Allow {
+            scope,
+            rule,
+            reason,
+        });
+    }
+    (allows, bad)
+}
+
+/// Parse `reason = "…"`, returning the quoted text (if non-empty) and the
+/// remainder after the closing quote.
+fn parse_reason(part: &str) -> Option<(String, &str)> {
+    let part = part.trim_start().strip_prefix("reason")?.trim_start();
+    let part = part.strip_prefix('=')?.trim_start();
+    let part = part.strip_prefix('"')?;
+    let end = part.find('"')?;
+    let reason = part[..end].trim();
+    (!reason.is_empty()).then(|| (reason.to_string(), &part[end + 1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_line_allow() {
+        let (allows, bad) = parse(" detlint: allow(hash-iter, reason = \"lookup-only\")");
+        assert!(bad.is_empty());
+        assert_eq!(
+            allows,
+            vec![Allow {
+                scope: AllowScope::Line,
+                rule: "hash-iter".into(),
+                reason: "lookup-only".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn parses_file_allow() {
+        let (allows, bad) = parse("detlint: allow-file(atomics, reason = \"substrate\")");
+        assert!(bad.is_empty());
+        assert_eq!(allows[0].scope, AllowScope::File);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let (allows, bad) = parse("detlint: allow(hash-iter)");
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        let (allows, bad) = parse("detlint: allow(hash-iter, reason = \"\")");
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn multiple_annotations_on_one_line() {
+        let (allows, bad) = parse(
+            "detlint: allow(atomics, reason = \"a\") detlint: allow(wall-clock, reason = \"b\")",
+        );
+        assert!(bad.is_empty());
+        assert_eq!(allows.len(), 2);
+    }
+
+    #[test]
+    fn reason_may_contain_parentheses() {
+        let (allows, bad) =
+            parse("detlint: allow(hash-iter, reason = \"point-lookup (get/insert); no iteration\")");
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].reason, "point-lookup (get/insert); no iteration");
+    }
+
+    #[test]
+    fn garbage_is_reported_not_ignored() {
+        let (_, bad) = parse("detlint: disallow(hash-iter)");
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn plain_comments_parse_to_nothing() {
+        let (allows, bad) = parse(" just a normal comment about HashMap");
+        assert!(allows.is_empty());
+        assert!(bad.is_empty());
+    }
+}

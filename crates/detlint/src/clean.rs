@@ -1,0 +1,245 @@
+//! Lexical cleaning: split Rust source into per-line *code* and *comment*
+//! channels.
+//!
+//! Rule matching must not fire on tokens that appear inside string literals
+//! or comments (`"HashMap"` in a diagnostic message, `Instant::now` in a
+//! doc sentence), and allow-annotations live *only* in comments. A full
+//! parse is overkill for that; a small lexer that tracks strings, char
+//! literals, and (nested) block comments is enough, and keeps `detlint`
+//! dependency-free.
+//!
+//! Known limits (documented in `docs/STATIC_ANALYSIS.md`): raw strings are
+//! recognised for the common `r"…"`/`r#"…"#` shapes, and macro-generated
+//! code is invisible to a lexical pass.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CleanedLine {
+    /// Code with string/char-literal contents removed (quotes retained).
+    pub code: String,
+    /// Concatenated text of every comment on the line.
+    pub comment: String,
+}
+
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// `true` for characters that can appear inside an identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lex `source` into per-line code/comment channels.
+pub fn clean(source: &str) -> Vec<CleanedLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = CleanedLine::default();
+    let mut state = State::Normal;
+    let mut i = 0;
+    let at = |j: usize| chars.get(j).copied();
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Normal;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                if c == '/' && at(i + 1) == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && at(i + 1) == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == 'r'
+                    && (i == 0 || !is_ident_char(chars[i - 1]))
+                    && raw_str_hashes(&chars, i + 1).is_some()
+                {
+                    let hashes = raw_str_hashes(&chars, i + 1).expect("just checked");
+                    cur.code.push('"');
+                    state = State::RawStr(hashes);
+                    i += 2 + hashes as usize;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a literal is '\…' or 'x'.
+                    if at(i + 1) == Some('\\') {
+                        i += 2; // skip the backslash and escaped char
+                        while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                            i += 1;
+                        }
+                        cur.code.push_str("''");
+                        i += 1;
+                    } else if at(i + 2) == Some('\'') {
+                        cur.code.push_str("''");
+                        i += 3;
+                    } else {
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && at(i + 1) == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && at(i + 1) == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i + 1, hashes) {
+                    cur.code.push('"');
+                    state = State::Normal;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// If `chars[from..]` opens a raw string (`"` or `#…#"`), the hash count.
+fn raw_str_hashes(chars: &[char], from: usize) -> Option<u32> {
+    let mut hashes = 0;
+    let mut j = from;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+fn closes_raw(chars: &[char], from: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// Find `token` in `code` at identifier boundaries; returns a byte column.
+///
+/// Tokens may contain `::`; the characters immediately before and after a
+/// candidate match must not be identifier characters, so `FxHashMap` does
+/// not match `HashMap` but `std::time::Instant::now` matches
+/// `Instant::now`.
+pub fn find_token(code: &str, token: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !is_ident_char(code[..abs].chars().next_back().expect("non-empty prefix"));
+        let after = code[abs + token.len()..].chars().next();
+        let after_ok = after.is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        start = abs + token.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_code_and_line_comment() {
+        let lines = clean("let x = 1; // detlint: note\nlet y = 2;\n");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert_eq!(lines[0].comment, " detlint: note");
+        assert_eq!(lines[1].code, "let y = 2;");
+    }
+
+    #[test]
+    fn string_contents_are_dropped() {
+        let lines = clean("let s = \"HashMap inside a string\";");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("\"\""));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lines = clean("let s = \"a \\\" HashMap b\"; let t = 1;");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_are_dropped() {
+        let lines = clean("let s = r#\"Instant::now \"quoted\"\"#; let u = 2;");
+        assert!(!lines[0].code.contains("Instant::now"));
+        assert!(lines[0].code.contains("let u = 2;"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = clean("a /* one /* two */ still */ b\nc /* open\nHashMap\n*/ d\n");
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert_eq!(lines[2].code, "");
+        assert_eq!(lines[2].comment, "HashMap");
+        assert_eq!(lines[3].code, " d");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = clean("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lines[0].code.contains("'a"));
+    }
+
+    #[test]
+    fn char_literals_are_dropped() {
+        let lines = clean("let c = 'x'; let q = '\\''; let n = '\\n'; done");
+        assert!(lines[0].code.contains("done"));
+        assert!(!lines[0].code.contains('x'));
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(find_token("use std::collections::HashMap;", "HashMap").is_some());
+        assert!(find_token("type FxHashMap = ();", "HashMap").is_none());
+        assert!(find_token("HashMapper", "HashMap").is_none());
+        assert!(find_token("std::time::Instant::now()", "Instant::now").is_some());
+        assert!(find_token("std::env::var(k)", "std::env").is_some());
+        assert!(find_token("my_std::envy", "std::env").is_none());
+    }
+}

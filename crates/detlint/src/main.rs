@@ -1,0 +1,142 @@
+//! CLI for the determinism lint: `detlint check` / `detlint rules`.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use detlint::{diag, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+detlint — workspace determinism & concurrency static analysis
+
+USAGE:
+    detlint check [--root <dir>] [--format text|json]
+    detlint rules [--format text|json]
+
+COMMANDS:
+    check    Walk crates/, src/, and tests/ and report contract violations
+    rules    List the enforced rules
+
+OPTIONS:
+    --root <dir>     Workspace root to scan (default: current directory)
+    --format <fmt>   Output format: text (default) or json
+";
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("detlint: --root needs a value");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(v);
+                i += 2;
+            }
+            "--format" => {
+                format = match args.get(i + 1).map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        eprintln!("detlint: --format must be text or json, got {other:?}");
+                        return ExitCode::from(2);
+                    }
+                };
+                i += 2;
+            }
+            other => {
+                eprintln!("detlint: unknown option {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match command.as_str() {
+        "check" => check(&root, &format),
+        "rules" => {
+            list_rules(&format);
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("detlint: unknown command {other}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(root: &std::path::Path, format: &Format) -> ExitCode {
+    let report = match detlint::check_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        Format::Json => println!("{}", report.to_json()),
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{}", d.render());
+            }
+            if report.is_clean() {
+                println!(
+                    "detlint: OK — {} files clean under {} rules",
+                    report.files_scanned,
+                    rules::REGISTRY.len()
+                );
+            } else {
+                println!(
+                    "detlint: {} violation(s) across {} files",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+            }
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn list_rules(format: &Format) {
+    match format {
+        Format::Text => {
+            for r in rules::REGISTRY {
+                println!("{:<14} {}", r.slug, r.summary);
+                println!("{:<14} why: {}", "", r.rationale);
+            }
+        }
+        Format::Json => {
+            let mut out = String::from("[");
+            for (i, r) in rules::REGISTRY.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"slug\":{},\"summary\":{},\"rationale\":{}}}",
+                    diag::json_string(r.slug),
+                    diag::json_string(r.summary),
+                    diag::json_string(r.rationale),
+                ));
+            }
+            out.push(']');
+            println!("{out}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Workspace traversal and path classification.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories detlint walks, relative to the workspace root.
+pub const SCAN_DIRS: &[&str] = &["crates", "src", "tests"];
+
+/// Directory names skipped during the walk: build output and detlint's own
+/// violation corpus (`crates/detlint/tests/fixtures/` deliberately contains
+/// every kind of violation).
+pub const SKIP_DIRS: &[&str] = &["target", "fixtures"];
+
+/// Normalise a workspace-relative path to `/` separators.
+pub fn normalise(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Is `rel_path` a crate or binary root that must carry
+/// `#![forbid(unsafe_code)]`? Library roots (`src/lib.rs`,
+/// `crates/*/src/lib.rs`), `main.rs` roots, and `src/bin/*.rs` targets.
+pub fn is_target_root(rel_path: &str) -> bool {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    match parts.as_slice() {
+        ["src", f] | ["crates", _, "src", f] => *f == "lib.rs" || *f == "main.rs",
+        ["src", "bin", f] | ["crates", _, "src", "bin", f] => f.ends_with(".rs"),
+        _ => false,
+    }
+}
+
+/// Collect every `.rs` file under the scan dirs of `root`, as sorted
+/// workspace-relative paths. Sorted order keeps diagnostics and JSON output
+/// byte-stable across filesystems — detlint holds itself to the same
+/// determinism bar it enforces.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut found = BTreeSet::new();
+    for dir in SCAN_DIRS {
+        let top = root.join(dir);
+        if top.is_dir() {
+            walk(&top, &mut found)?;
+        }
+    }
+    Ok(found
+        .into_iter()
+        .map(|p| p.strip_prefix(root).expect("walked under root").to_path_buf())
+        .collect())
+}
+
+fn walk(dir: &Path, out: &mut BTreeSet<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.insert(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_roots() {
+        assert!(is_target_root("src/lib.rs"));
+        assert!(is_target_root("crates/evo-core/src/lib.rs"));
+        assert!(is_target_root("crates/detlint/src/main.rs"));
+        assert!(is_target_root("src/bin/evogame-cli.rs"));
+        assert!(is_target_root("crates/bench/src/bin/fig2.rs"));
+        assert!(!is_target_root("crates/evo-core/src/fitness.rs"));
+        assert!(!is_target_root("tests/cli.rs"));
+        assert!(!is_target_root("crates/bench/benches/generation.rs"));
+    }
+}

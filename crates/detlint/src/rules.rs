@@ -1,0 +1,222 @@
+//! The rules registry: what the determinism contract forbids, and where.
+//!
+//! Every rule is data — a slug, a human summary, and a [`RuleKind`] saying
+//! how it matches. Adding a pass (say, an RNG-stream-discipline rule that
+//! forbids constructing `ChaCha8Rng` outside `evo_core::rngstream`) is a
+//! new entry in [`REGISTRY`], not new traversal machinery.
+
+use crate::paths;
+
+/// How a rule matches.
+#[derive(Debug, Clone, Copy)]
+pub enum RuleKind {
+    /// Forbid any of `tokens` (identifier-boundary match on comment- and
+    /// string-stripped code) in files selected by `scope`.
+    TokenDeny {
+        /// Forbidden tokens; may contain `::` path segments.
+        tokens: &'static [&'static str],
+        /// Which files the rule applies to.
+        scope: Scope,
+    },
+    /// Require `#![forbid(unsafe_code)]` in every crate and binary root.
+    RequireForbidUnsafe,
+}
+
+/// File scope of a token rule.
+#[derive(Debug, Clone, Copy)]
+pub enum Scope {
+    /// The deterministic engine crates (ipd, evo-core, cluster, analysis).
+    EngineCrates,
+    /// Everywhere except the listed path prefixes.
+    Outside(&'static [&'static str]),
+}
+
+/// One static-analysis rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable identifier used in diagnostics and `allow(...)` annotations.
+    pub slug: &'static str,
+    /// One-line summary for `detlint rules` and diagnostics.
+    pub summary: &'static str,
+    /// How violating the rule breaks the bit-identical-results contract.
+    pub rationale: &'static str,
+    /// Match behaviour.
+    pub kind: RuleKind,
+}
+
+/// Crates whose results must be bit-identical at any thread count.
+pub const ENGINE_CRATES: &[&str] = &[
+    "crates/ipd/",
+    "crates/evo-core/",
+    "crates/cluster/",
+    "crates/analysis/",
+];
+
+/// Paths allowed to read ambient authority (wall clocks, env, OS RNG):
+/// observability, benchmarks, tooling, the CLI, and workspace-level
+/// integration tests (which drive thread counts via the environment).
+pub const AMBIENT_EXEMPT: &[&str] = &[
+    "crates/obs/",
+    "crates/bench/",
+    "crates/detlint/",
+    "src/bin/",
+    "tests/",
+];
+
+/// Paths allowed to use atomics: the observability counters only.
+pub const ATOMICS_EXEMPT: &[&str] = &["crates/obs/"];
+
+/// The reserved slug under which malformed annotations are reported.
+pub const BAD_ANNOTATION: &str = "bad-annotation";
+
+/// All rules, in reporting order.
+pub const REGISTRY: &[Rule] = &[
+    Rule {
+        slug: "hash-iter",
+        summary: "no HashMap/HashSet in engine crates",
+        rationale: "std hashing is randomly seeded per process, so iteration order — and any \
+                    float accumulation or record emitted in that order — changes run to run. \
+                    Use BTreeMap/BTreeSet or sorted Vecs; annotate sites that never iterate.",
+        kind: RuleKind::TokenDeny {
+            tokens: &["HashMap", "HashSet"],
+            scope: Scope::EngineCrates,
+        },
+    },
+    Rule {
+        slug: "ambient-rng",
+        summary: "no thread_rng/rand::random outside obs, bench, tooling, and the CLI",
+        rationale: "ambient OS-seeded randomness bypasses the per-SSet counter-based streams \
+                    (evo_core::rngstream) that make runs reproducible from a seed.",
+        kind: RuleKind::TokenDeny {
+            tokens: &["thread_rng", "rand::random"],
+            scope: Scope::Outside(AMBIENT_EXEMPT),
+        },
+    },
+    Rule {
+        slug: "wall-clock",
+        summary: "no SystemTime::now/Instant::now outside obs, bench, tooling, and the CLI",
+        rationale: "wall-clock reads in engine code are a nondeterministic input one branch \
+                    away from contaminating a trajectory. Timing belongs to the observability \
+                    layer; engine sites that only feed obs carry an annotation saying so.",
+        kind: RuleKind::TokenDeny {
+            tokens: &["SystemTime::now", "Instant::now"],
+            scope: Scope::Outside(AMBIENT_EXEMPT),
+        },
+    },
+    Rule {
+        slug: "env-read",
+        summary: "no std::env reads outside obs, bench, tooling, and the CLI",
+        rationale: "environment variables are per-process ambient state; an engine that \
+                    consults them cannot promise the same trajectory on another machine.",
+        kind: RuleKind::TokenDeny {
+            tokens: &["std::env"],
+            scope: Scope::Outside(AMBIENT_EXEMPT),
+        },
+    },
+    Rule {
+        slug: "atomics",
+        summary: "atomics and memory orderings confined to crates/obs",
+        rationale: "racy read-modify-write state in simulation logic makes results depend on \
+                    thread interleaving. Counters live in obs (and never feed back into the \
+                    engine); the virtual-cluster substrate documents its exemption in place.",
+        kind: RuleKind::TokenDeny {
+            tokens: &[
+                "sync::atomic",
+                "AtomicBool",
+                "AtomicUsize",
+                "AtomicIsize",
+                "AtomicU8",
+                "AtomicU16",
+                "AtomicU32",
+                "AtomicU64",
+                "AtomicI8",
+                "AtomicI16",
+                "AtomicI32",
+                "AtomicI64",
+                "AtomicPtr",
+                "Ordering::Relaxed",
+                "Ordering::Acquire",
+                "Ordering::Release",
+                "Ordering::AcqRel",
+                "Ordering::SeqCst",
+            ],
+            scope: Scope::Outside(ATOMICS_EXEMPT),
+        },
+    },
+    Rule {
+        slug: "forbid-unsafe",
+        summary: "#![forbid(unsafe_code)] required in every crate and binary root",
+        rationale: "unsafe code can smuggle in data races and uninitialised reads that no \
+                    other rule here can see; the workspace opts out wholesale.",
+        kind: RuleKind::RequireForbidUnsafe,
+    },
+];
+
+/// Look up a rule by slug.
+pub fn rule(slug: &str) -> Option<&'static Rule> {
+    REGISTRY.iter().find(|r| r.slug == slug)
+}
+
+impl Scope {
+    /// Does this scope select `rel_path` (workspace-relative, `/`-separated)?
+    pub fn applies(self, rel_path: &str) -> bool {
+        match self {
+            Scope::EngineCrates => ENGINE_CRATES.iter().any(|p| rel_path.starts_with(p)),
+            Scope::Outside(exempt) => !exempt.iter().any(|p| rel_path.starts_with(p)),
+        }
+    }
+}
+
+impl Rule {
+    /// Does this rule inspect `rel_path` at all?
+    pub fn applies(&self, rel_path: &str) -> bool {
+        match self.kind {
+            RuleKind::TokenDeny { scope, .. } => scope.applies(rel_path),
+            RuleKind::RequireForbidUnsafe => paths::is_target_root(rel_path),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_are_unique_and_kebab_case() {
+        for (i, r) in REGISTRY.iter().enumerate() {
+            assert!(
+                r.slug
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{}",
+                r.slug
+            );
+            assert!(
+                REGISTRY[i + 1..].iter().all(|o| o.slug != r.slug),
+                "duplicate slug {}",
+                r.slug
+            );
+        }
+        assert!(rule(BAD_ANNOTATION).is_none(), "bad-annotation is reserved");
+    }
+
+    #[test]
+    fn engine_scope_selects_engine_crates_only() {
+        let s = Scope::EngineCrates;
+        assert!(s.applies("crates/evo-core/src/fitness.rs"));
+        assert!(s.applies("crates/ipd/tests/proptests.rs"));
+        assert!(!s.applies("crates/obs/src/lib.rs"));
+        assert!(!s.applies("src/lib.rs"));
+        assert!(!s.applies("tests/determinism.rs"));
+    }
+
+    #[test]
+    fn outside_scope_exempts_prefixes() {
+        let s = Scope::Outside(AMBIENT_EXEMPT);
+        assert!(s.applies("crates/evo-core/src/population.rs"));
+        assert!(s.applies("src/lib.rs"));
+        assert!(!s.applies("crates/obs/src/lib.rs"));
+        assert!(!s.applies("src/bin/evogame-cli.rs"));
+        assert!(!s.applies("tests/observability.rs"));
+    }
+}

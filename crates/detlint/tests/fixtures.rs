@@ -1,0 +1,133 @@
+//! End-to-end fixture tests: the `violations/` tree trips every rule at the
+//! expected file:line, the `clean/` tree (annotated allows, exempt paths,
+//! tokens hidden in comments/strings) passes, and — the self-check — the
+//! live workspace this tool ships in is itself clean.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use detlint::{check_workspace, Report};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn hits(report: &Report) -> Vec<String> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{}:{}", d.rule, d.path, d.line))
+        .collect()
+}
+
+#[test]
+fn violations_fixture_trips_every_rule_at_the_expected_lines() {
+    let report = check_workspace(&fixture("violations")).expect("fixture tree readable");
+    let got = hits(&report);
+    let expected = [
+        // counters.rs: atomics outside crates/obs.
+        "atomics:crates/analysis/src/counters.rs:3",
+        "atomics:crates/analysis/src/counters.rs:5",
+        "atomics:crates/analysis/src/counters.rs:8",
+        // annots.rs: malformed allows do not exempt their lines.
+        "bad-annotation:crates/evo-core/src/annots.rs:3",
+        "hash-iter:crates/evo-core/src/annots.rs:3",
+        "bad-annotation:crates/evo-core/src/annots.rs:5",
+        "bad-annotation:crates/evo-core/src/annots.rs:8",
+        "hash-iter:crates/evo-core/src/annots.rs:8",
+        // lib.rs: missing forbid(unsafe_code) plus raw HashMap use.
+        "forbid-unsafe:crates/evo-core/src/lib.rs:1",
+        "hash-iter:crates/evo-core/src/lib.rs:3",
+        "hash-iter:crates/evo-core/src/lib.rs:5",
+        "hash-iter:crates/evo-core/src/lib.rs:6",
+        // ambient.rs: one ambient-authority leak per line.
+        "ambient-rng:crates/ipd/src/ambient.rs:4",
+        "ambient-rng:crates/ipd/src/ambient.rs:5",
+        "wall-clock:crates/ipd/src/ambient.rs:9",
+        "wall-clock:crates/ipd/src/ambient.rs:10",
+        "env-read:crates/ipd/src/ambient.rs:15",
+    ];
+    for want in expected {
+        assert!(got.contains(&want.to_string()), "missing {want}; got {got:#?}");
+    }
+    assert_eq!(got.len(), expected.len(), "unexpected extras in {got:#?}");
+
+    // Every registered rule (and the reserved bad-annotation slug) fired.
+    for rule in detlint::rules::REGISTRY {
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == rule.slug),
+            "rule {} never fired on the violations fixture",
+            rule.slug
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let report = check_workspace(&fixture("clean")).expect("fixture tree readable");
+    assert!(
+        report.is_clean(),
+        "clean fixture should have no diagnostics: {:#?}",
+        report.diagnostics
+    );
+    assert_eq!(report.files_scanned, 5);
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = check_workspace(&root).expect("workspace readable");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(
+        report.is_clean(),
+        "the live workspace must satisfy its own determinism contract:\n{}",
+        rendered.join("\n")
+    );
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+}
+
+#[test]
+fn cli_exit_codes_and_formats() {
+    let bin = env!("CARGO_BIN_EXE_detlint");
+
+    // Violations: exit 1, text diagnostics carry file:line: [rule].
+    let out = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(fixture("violations"))
+        .output()
+        .expect("run detlint");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("crates/ipd/src/ambient.rs:4: [ambient-rng]"),
+        "{text}"
+    );
+
+    // Same tree as JSON: machine-readable, still exit 1.
+    let out = Command::new(bin)
+        .args(["check", "--format", "json", "--root"])
+        .arg(fixture("violations"))
+        .output()
+        .expect("run detlint");
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"rule\":\"hash-iter\""), "{json}");
+    assert!(json.contains("\"violations\":17"), "{json}");
+
+    // Clean tree: exit 0.
+    let out = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(fixture("clean"))
+        .output()
+        .expect("run detlint");
+    assert_eq!(out.status.code(), Some(0));
+
+    // Unknown flag: usage error, exit 2.
+    let out = Command::new(bin)
+        .arg("--bogus")
+        .output()
+        .expect("run detlint");
+    assert_eq!(out.status.code(), Some(2));
+}

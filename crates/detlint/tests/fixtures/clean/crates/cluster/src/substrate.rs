@@ -1,0 +1,10 @@
+//! Fixture: message substrate with a documented file-wide atomics exemption.
+// detlint: allow-file(atomics, reason = "models the MPI runtime's message counters; protocol determinism is pinned by higher-level tests")
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static SENT: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    SENT.fetch_add(1, Ordering::Relaxed);
+}

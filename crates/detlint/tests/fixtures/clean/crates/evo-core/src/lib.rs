@@ -1,0 +1,21 @@
+//! Fixture: a clean engine crate root — deterministic containers, annotated
+//! lookups, and tokens hidden in comments/strings that must not fire.
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+// The interning table below is lookup-only; it is never iterated.
+// detlint: allow(hash-iter, reason = "point-lookup cache (get/insert only); never iterated")
+use std::collections::HashMap;
+
+/// Mentioning HashMap or thread_rng in a doc comment must not fire.
+pub const DOC: &str = "call thread_rng() and Instant::now() at your peril";
+
+pub fn sorted_counts(xs: &[u64]) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    let cache: HashMap<u64, u64> = HashMap::new(); // detlint: allow(hash-iter, reason = "lookup-only scratch cache")
+    drop(cache);
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

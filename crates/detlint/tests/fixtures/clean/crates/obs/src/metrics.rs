@@ -1,0 +1,11 @@
+//! Fixture: observability is exempt from atomics/wall-clock rules by path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static TICKS: AtomicU64 = AtomicU64::new(0);
+
+pub fn tick_ns() -> u64 {
+    let t = std::time::Instant::now();
+    TICKS.fetch_add(1, Ordering::Relaxed);
+    t.elapsed().as_nanos() as u64
+}

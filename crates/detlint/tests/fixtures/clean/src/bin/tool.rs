@@ -1,0 +1,7 @@
+//! Fixture: CLI tools may read ambient state, but still forbid unsafe code.
+#![forbid(unsafe_code)]
+
+fn main() {
+    let seed = std::env::var("EVOGAME_SEED").ok();
+    println!("{seed:?} {}", rand::random::<u64>());
+}

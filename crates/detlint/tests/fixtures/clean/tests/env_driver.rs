@@ -1,0 +1,8 @@
+//! Fixture: workspace integration tests drive thread counts via the
+//! environment, so `tests/` is exempt from the ambient rules.
+
+#[test]
+fn reads_env() {
+    std::env::set_var("RAYON_NUM_THREADS", "2");
+    let _ = std::time::Instant::now();
+}

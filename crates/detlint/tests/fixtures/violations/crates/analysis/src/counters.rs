@@ -1,0 +1,9 @@
+//! Fixture: atomics outside the observability crate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    HITS.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,8 @@
+//! Fixture: malformed and unknown annotations.
+
+use std::collections::HashMap; // detlint: allow(hash-iter)
+
+// detlint: allow(no-such-rule, reason = "slug is not in the registry")
+pub fn noop() {}
+
+pub type Table = HashMap<u32, u32>; // detlint: allow(hash-iter, reason = "")

@@ -1,0 +1,16 @@
+//! Fixture: ambient authority in engine code, one leak per line.
+
+pub fn roll() -> u64 {
+    let mut _rng = rand::thread_rng();
+    rand::random()
+}
+
+pub fn uptime_ns() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn threads() -> Option<String> {
+    std::env::var("RAYON_NUM_THREADS").ok()
+}

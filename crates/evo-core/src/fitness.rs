@@ -21,7 +21,7 @@ use ipd::state::StateSpace;
 use ipd::strategy::Strategy;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How the game-dynamics phase is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -234,18 +234,18 @@ pub fn evaluate_expected(
     game: &GameConfig,
     mode: ExecMode,
 ) -> Vec<f64> {
-    // Count multiplicity of each distinct strategy id.
-    let mut counts: HashMap<StratId, f64> = HashMap::new();
+    // Count multiplicity of each distinct strategy id. A BTreeMap keeps
+    // every downstream iteration in ascending-id order, so the float
+    // accumulations below are order-stable run to run (hash maps would
+    // reorder them under std's per-process hasher seed).
+    let mut counts: BTreeMap<StratId, f64> = BTreeMap::new();
     for &id in assignments {
         *counts.entry(id).or_insert(0.0) += 1.0;
     }
-    let unique: Vec<StratId> = {
-        let mut u: Vec<StratId> = counts.keys().copied().collect();
-        u.sort_unstable();
-        u
-    };
+    // Already sorted: BTreeMap iterates keys in ascending order.
+    let unique: Vec<StratId> = counts.keys().copied().collect();
     let u = unique.len();
-    let pos: HashMap<StratId, usize> = unique.iter().enumerate().map(|(k, &v)| (v, k)).collect();
+    let pos: BTreeMap<StratId, usize> = unique.iter().enumerate().map(|(k, &v)| (v, k)).collect();
     let pair_row = |p: usize| -> Vec<f64> {
         let a = pool.get(unique[p]);
         unique
@@ -281,7 +281,9 @@ pub fn evaluate_expected_one(
     game: &GameConfig,
     focal: usize,
 ) -> f64 {
-    let mut counts: HashMap<StratId, f64> = HashMap::new();
+    // Ascending-id iteration keeps the f64 summation order — and thus the
+    // exact bit pattern of the result — independent of hasher state.
+    let mut counts: BTreeMap<StratId, f64> = BTreeMap::new();
     for &id in assignments {
         *counts.entry(id).or_insert(0.0) += 1.0;
     }
@@ -319,18 +321,16 @@ pub fn evaluate_deduped(
         is_deterministic(assignments, pool, game),
         "deduplicated evaluation requires pure strategies and zero noise"
     );
-    // Count multiplicity of each distinct strategy id.
-    let mut counts: HashMap<StratId, f64> = HashMap::new();
+    // Count multiplicity of each distinct strategy id (BTreeMap: see
+    // evaluate_expected for why iteration order matters here).
+    let mut counts: BTreeMap<StratId, f64> = BTreeMap::new();
     for &id in assignments {
         *counts.entry(id).or_insert(0.0) += 1.0;
     }
-    let unique: Vec<StratId> = {
-        let mut u: Vec<StratId> = counts.keys().copied().collect();
-        u.sort_unstable();
-        u
-    };
+    // Already sorted: BTreeMap iterates keys in ascending order.
+    let unique: Vec<StratId> = counts.keys().copied().collect();
     let u = unique.len();
-    let pos: HashMap<StratId, usize> = unique.iter().enumerate().map(|(k, &v)| (v, k)).collect();
+    let pos: BTreeMap<StratId, usize> = unique.iter().enumerate().map(|(k, &v)| (v, k)).collect();
     // payoff[p][q] = focal fitness of unique strategy p against unique q.
     let pair_row = |p: usize| -> Vec<f64> {
         let a = match pool.get(unique[p]).as_ref() {
@@ -541,9 +541,9 @@ mod tests {
     fn evaluate_one_matches_vector_evaluate() {
         let (space, asg, pool) = setup_pure(20, 2, 13);
         let vec = evaluate(&space, &asg, &pool, &cfg(), 13, 4, ExecMode::Sequential);
-        for i in 0..asg.len() {
+        for (i, expected) in vec.iter().enumerate() {
             let one = evaluate_one(&space, &asg, &pool, &cfg(), 13, 4, i);
-            assert_eq!(vec[i], one, "sset {i}");
+            assert_eq!(*expected, one, "sset {i}");
         }
     }
 
@@ -561,12 +561,46 @@ mod tests {
             payoff: PayoffMatrix::default(),
         };
         let vec = evaluate(&space, &asg, &pool, &noisy, 21, 9, ExecMode::Sequential);
-        for i in 0..asg.len() {
+        for (i, expected) in vec.iter().enumerate() {
             assert_eq!(
-                vec[i],
+                *expected,
                 evaluate_one(&space, &asg, &pool, &noisy, 21, 9, i),
                 "sset {i}"
             );
+        }
+    }
+
+    #[test]
+    fn expected_one_matches_vector_expected_bitwise() {
+        // The OnDemand path must reproduce the EveryGeneration path to the
+        // bit: both sum counts-weighted expectations in ascending-StratId
+        // order, so even f64 rounding agrees exactly.
+        let (space, asg, pool) = setup_pure(24, 2, 7);
+        let vec_seq = evaluate_expected(&space, &asg, &pool, &cfg(), ExecMode::Sequential);
+        let vec_par = evaluate_expected(&space, &asg, &pool, &cfg(), ExecMode::Rayon);
+        for (i, expected) in vec_seq.iter().enumerate() {
+            assert_eq!(expected.to_bits(), vec_par[i].to_bits(), "sset {i} (rayon)");
+            let one = evaluate_expected_one(&space, &asg, &pool, &cfg(), i);
+            assert_eq!(expected.to_bits(), one.to_bits(), "sset {i}");
+        }
+
+        // Mixed strategies under noise: expectations stay deterministic.
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let mut rng = stream(33, Domain::Init, 0, 0);
+        let ids: Vec<StratId> = (0..4)
+            .map(|_| pool.intern(Strategy::Mixed(MixedStrategy::random(space, &mut rng))))
+            .collect();
+        let asg: Vec<StratId> = (0..12).map(|i| ids[i % 4]).collect();
+        let noisy = GameConfig {
+            rounds: 40,
+            noise: 0.03,
+            payoff: PayoffMatrix::default(),
+        };
+        let vec = evaluate_expected(&space, &asg, &pool, &noisy, ExecMode::Sequential);
+        for (i, expected) in vec.iter().enumerate() {
+            let one = evaluate_expected_one(&space, &asg, &pool, &noisy, i);
+            assert_eq!(expected.to_bits(), one.to_bits(), "sset {i} (mixed)");
         }
     }
 

@@ -130,7 +130,7 @@ impl Archipelago {
             island.step();
         }
         self.generation += 1;
-        if self.generation % self.policy.interval == 0 && self.islands.len() > 1 {
+        if self.generation.is_multiple_of(self.policy.interval) && self.islands.len() > 1 {
             self.migrate();
         }
     }
@@ -323,7 +323,7 @@ mod tests {
         // strategies through migration: a migrating archipelago must show
         // cross-island overlap that isolated islands cannot.
         let shared_count = |a: &Archipelago| -> usize {
-            let sets: Vec<std::collections::HashSet<Vec<u64>>> = (0..a.len())
+            let sets: Vec<std::collections::BTreeSet<Vec<u64>>> = (0..a.len())
                 .map(|k| {
                     a.island(k)
                         .snapshot()

@@ -35,6 +35,8 @@
 //! assert_eq!(stats.generations, 200);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod fermi;
 pub mod islands;
 pub mod fitness;

@@ -9,6 +9,7 @@
 //! ([`crate::fitness`]) play each distinct strategy pair only once.
 
 use ipd::strategy::Strategy;
+// detlint: allow(hash-iter, reason = "interning index is point-lookup only; never iterated, so hash order cannot reach any result")
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -24,6 +25,7 @@ pub type StratId = u32;
 #[derive(Debug, Clone, Default)]
 pub struct StrategyPool {
     entries: Vec<Arc<Strategy>>,
+    // detlint: allow(hash-iter, reason = "point lookups via get/insert only; iteration happens over `entries`, which is id-ordered")
     index: HashMap<Arc<Strategy>, StratId>,
 }
 
@@ -112,7 +114,7 @@ mod tests {
         for (i, &id) in ids.iter().enumerate() {
             match pool.get(id).as_ref() {
                 Strategy::Pure(p) => {
-                    assert_eq!(*p, PureStrategy::from_memory_one_index(sp(), i as u8))
+                    assert_eq!(*p, PureStrategy::from_memory_one_index(sp(), i as u8));
                 }
                 _ => panic!("wrong kind"),
             }

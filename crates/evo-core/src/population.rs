@@ -13,7 +13,7 @@ use crate::rngstream::{stream, Domain};
 use crate::sset::SSetLayout;
 use ipd::state::StateSpace;
 use ipd::strategy::Strategy;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// A population of SSets evolving under pairwise-comparison learning and
@@ -163,7 +163,7 @@ impl Population {
 
     /// Number of distinct strategies currently assigned.
     pub fn distinct_strategies(&self) -> usize {
-        self.assignments.iter().collect::<HashSet<_>>().len()
+        self.assignments.iter().collect::<BTreeSet<_>>().len()
     }
 
     /// Evaluate the fitness of every SSet for the current generation,
@@ -227,6 +227,7 @@ impl Population {
     /// observability on or off.
     pub fn step(&mut self) -> GenerationRecord {
         let _span = obs::span("population.generation");
+        // detlint: allow(wall-clock, reason = "obs-gated timing; measures the step, never feeds simulation state")
         let timer = obs::enabled().then(std::time::Instant::now);
         let gen = self.generation;
         let schedule = self.nature.schedule(self.assignments.len() as u32, gen);

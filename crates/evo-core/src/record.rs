@@ -116,6 +116,14 @@ pub struct RecordWriter<W: std::io::Write> {
     lines: u64,
 }
 
+impl<W: std::io::Write> std::fmt::Debug for RecordWriter<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordWriter")
+            .field("lines", &self.lines)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<W: std::io::Write> RecordWriter<W> {
     /// Wrap a sink.
     pub fn new(sink: W) -> Self {

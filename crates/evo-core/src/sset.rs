@@ -81,7 +81,7 @@ pub fn agents_required(num_ssets: usize, max_games_per_agent: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn square_layout_matches_paper_default() {
@@ -103,7 +103,7 @@ mod tests {
                 num_ssets: s,
                 agents_per_sset: a,
             };
-            let mut seen = HashSet::new();
+            let mut seen = BTreeSet::new();
             for agent in 0..a {
                 for opp in l.opponents_for_agent(agent) {
                     assert!(seen.insert(opp), "opponent {opp} handled twice (s={s}, a={a})");

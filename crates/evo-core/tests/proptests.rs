@@ -6,7 +6,7 @@ use evo_core::population::Population;
 use evo_core::sset::SSetLayout;
 use ipd::game::GameConfig;
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 fn arb_params() -> impl Strategy<Value = Params> {
     (
@@ -100,7 +100,7 @@ proptest! {
     fn learning_is_closed_over_initial_strategies(mut params in arb_params()) {
         params.mutation_rate = 0.0;
         let mut pop = Population::new(params).unwrap();
-        let initial: HashSet<u32> = pop.assignments().iter().copied().collect();
+        let initial: BTreeSet<u32> = pop.assignments().iter().copied().collect();
         pop.run(40);
         for &id in pop.assignments() {
             prop_assert!(initial.contains(&id), "foreign strategy {id} appeared");

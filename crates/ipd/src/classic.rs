@@ -258,7 +258,7 @@ mod tests {
         assert_eq!(roster(&sp(2)).len(), 7);
         // Names are unique.
         let r = roster(&sp(2));
-        let names: std::collections::HashSet<_> = r.iter().map(|(n, _)| *n).collect();
+        let names: std::collections::BTreeSet<_> = r.iter().map(|(n, _)| *n).collect();
         assert_eq!(names.len(), r.len());
     }
 

@@ -308,8 +308,8 @@ pub fn play_deterministic_cycle(
     // Per-round cumulative records: cum[r] = totals after r rounds.
     // first_seen maps a state pair to the round index at which it was the
     // *pre-round* state.
-    let mut first_seen: std::collections::HashMap<u32, usize> =
-        std::collections::HashMap::with_capacity(64);
+    // detlint: allow(hash-iter, reason = "cycle-detection table is point-lookup only (get/insert by state pair); never iterated")
+    let mut first_seen = std::collections::HashMap::<u32, usize>::with_capacity(64);
     let mut cum: Vec<(f64, f64, u32, u32)> = Vec::with_capacity(64.min(rounds) + 1);
     cum.push((0.0, 0.0, 0, 0));
     let mut state_a = space.initial_state();

@@ -45,6 +45,8 @@
 //! assert!(outcome.fitness_a > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod classic;
 pub mod codec;
 pub mod game;

@@ -476,13 +476,13 @@ mod tests {
     fn memory_one_index_enumerates_all_sixteen() {
         // Table III: 16 distinct memory-one pure strategies.
         let s = sp(1);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for i in 0..16 {
             let strat = PureStrategy::from_memory_one_index(s, i);
             assert!(seen.insert(strat.clone()));
             // Bit i of the index is the move in state i.
             for st in s.iter() {
-                assert_eq!(strat.move_for(st).bit(), ((i >> st) & 1) as u8);
+                assert_eq!(strat.move_for(st).bit(), (i >> st) & 1);
             }
         }
         assert_eq!(seen.len(), 16);

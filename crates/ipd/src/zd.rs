@@ -185,7 +185,7 @@ pub fn equalizer(
             beta_max = beta_max.min((1.0 - base[v]) / (-slope));
         }
     }
-    if !(weight > 0.0 && weight <= 1.0) || !beta_max.is_finite() || beta_max <= 0.0 {
+    if !(weight > 0.0 && weight <= 1.0 && beta_max.is_finite()) || beta_max <= 0.0 {
         return Err(ZdError::BadPhi {
             phi: weight,
             max: 1.0,

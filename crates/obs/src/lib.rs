@@ -75,6 +75,7 @@
 //! assert_eq!(manifest, back);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use serde::{Deserialize, Serialize, Value};
@@ -307,6 +308,7 @@ pub fn span(name: &'static str) -> Span {
 }
 
 /// Guard returned by [`span`]; see there.
+#[derive(Debug)]
 #[must_use = "a span guard measures until it is dropped"]
 pub struct Span {
     name: &'static str,
@@ -347,11 +349,7 @@ pub struct SpanSnapshot {
 impl SpanSnapshot {
     /// Mean wall time per execution, nanoseconds (0 if never executed).
     pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.total_ns / self.count
-        }
+        self.total_ns.checked_div(self.count).unwrap_or(0)
     }
 }
 

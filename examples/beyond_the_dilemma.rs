@@ -12,7 +12,6 @@
 use evogame::engine::replicator::{payoff_matrix, Replicator};
 use evogame::engine::spatial::{InitPattern, SpatialParams, SpatialPopulation};
 use evogame::ipd::classic;
-use evogame::ipd::payoff::GameClass;
 use evogame::prelude::*;
 
 fn one_shot(payoff: PayoffMatrix) -> GameConfig {

@@ -34,8 +34,8 @@ fn main() {
     println!();
     for (i, n) in names.iter().enumerate() {
         print!("{n:>6}");
-        for j in 0..names.len() {
-            print!("{:>7.2}", a[i][j]);
+        for v in &a[i] {
+            print!("{v:>7.2}");
         }
         println!();
     }

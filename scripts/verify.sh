@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
 # Full verification gate for the repository.
 #
-# The tier-1 gate (ROADMAP.md) is the first two commands; the doc gates
-# additionally hold rustdoc to zero warnings and run every doc-example,
-# so the examples in the observability contract (docs/OBSERVABILITY.md,
-# crates/obs rustdoc) can never rot silently.
+# The static gates run first: detlint enforces the determinism contract
+# (docs/STATIC_ANALYSIS.md) and clippy holds the workspace lint policy
+# ([workspace.lints] in Cargo.toml) to zero warnings — both are cheaper
+# than the test suite and fail fast. The tier-1 gate (ROADMAP.md) is the
+# build + test pair; the doc gates additionally hold rustdoc to zero
+# warnings and run every doc-example, so the examples in the
+# observability contract (docs/OBSERVABILITY.md, crates/obs rustdoc) can
+# never rot silently.
 #
 # Usage: sh scripts/verify.sh
 set -eu
@@ -12,6 +16,12 @@ cd "$(dirname "$0")/.."
 
 echo "== tier-1: release build =="
 cargo build --release
+
+echo "== static: detlint determinism contract =="
+cargo run -p detlint --release -- check
+
+echo "== static: clippy, warnings are errors =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tier-1: tests =="
 cargo test -q

@@ -18,6 +18,8 @@
 //! observability timing layer and writes the machine-readable JSON run
 //! manifest described in `docs/OBSERVABILITY.md`.
 
+#![forbid(unsafe_code)]
+
 use evogame::analysis::heatmap::{render_ascii, HeatmapOptions};
 use evogame::analysis::timeseries::record_run;
 use evogame::cluster::dist::{run_distributed, DistConfig};

@@ -47,6 +47,8 @@
 //! `crates/bench/src/bin/` for the regenerators of every table and figure
 //! in the paper's evaluation.
 
+#![forbid(unsafe_code)]
+
 pub use analysis;
 pub use cluster;
 pub use evo_core as engine;

@@ -1,0 +1,81 @@
+//! Thread-count invariance: the determinism contract promises bit-identical
+//! trajectories at any rayon worker count (docs/STATIC_ANALYSIS.md,
+//! docs/OBSERVABILITY.md). The vendored rayon reads `RAYON_NUM_THREADS` on
+//! every parallel call, so one process can replay the same run at 1, 2, and
+//! 8 workers and compare the full record stream byte for byte.
+//!
+//! Everything lives in one `#[test]` because the thread-count knob is a
+//! process-global environment variable — concurrent tests would race on it.
+
+use evogame::engine::params::MutationKind;
+use evogame::prelude::*;
+
+/// One full run at the given worker count: every generation record
+/// serialised to JSON, plus the final assignments and fitness bit patterns.
+fn run(params: &Params, threads: &str, expected_fitness: bool) -> (Vec<String>, Vec<StratId>, Vec<u64>) {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let mut p = Population::new(params.clone()).unwrap();
+    p.exec_mode = ExecMode::Rayon;
+    p.expected_fitness = expected_fitness;
+    let records: Vec<String> = (0..params.generations)
+        .map(|_| serde_json::to_string(&p.step()).unwrap())
+        .collect();
+    let fitness_bits = p.fitness().iter().map(|f| f.to_bits()).collect();
+    (records, p.assignments().to_vec(), fitness_bits)
+}
+
+#[test]
+fn trajectories_are_bit_identical_across_thread_counts() {
+    let configs = [
+        // Pure strategies, noiseless: the dedup-eligible fast path.
+        Params {
+            mem_steps: 1,
+            num_ssets: 24,
+            generations: 30,
+            seed: 0xDE7E_2177,
+            kind: StrategyKind::Pure,
+            ..Params::default()
+        },
+        // Mixed strategies under execution noise: every fitness value is a
+        // float accumulated from sampled games — the path where iteration
+        // order would leak straight into the bits.
+        {
+            let mut p = Params {
+                mem_steps: 2,
+                num_ssets: 17,
+                generations: 25,
+                seed: 0xB17_1DE7,
+                kind: StrategyKind::Mixed,
+                mutation_rate: 0.2,
+                ..Params::default()
+            };
+            p.game.noise = 0.05;
+            p.mutation_kind = MutationKind::Fresh;
+            p
+        },
+    ];
+    for (case, params) in configs.iter().enumerate() {
+        for expected_fitness in [false, true] {
+            let baseline = run(params, "1", expected_fitness);
+            for threads in ["2", "8"] {
+                let got = run(params, threads, expected_fitness);
+                assert_eq!(
+                    baseline.0, got.0,
+                    "case {case} (expected_fitness={expected_fitness}): generation record \
+                     stream diverged at {threads} threads"
+                );
+                assert_eq!(
+                    baseline.1, got.1,
+                    "case {case} (expected_fitness={expected_fitness}): final assignments \
+                     diverged at {threads} threads"
+                );
+                assert_eq!(
+                    baseline.2, got.2,
+                    "case {case} (expected_fitness={expected_fitness}): final fitness bits \
+                     diverged at {threads} threads"
+                );
+            }
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
