@@ -3,6 +3,16 @@
 //! Covers the engine's operating points: population size sweep, sequential
 //! vs rayon execution, naive vs deduplicated fitness evaluation, and the
 //! EveryGeneration vs OnDemand policies (the Table VI vs Fig 6 regimes).
+//!
+//! For a machine-readable baseline (compare generation throughput across
+//! commits, e.g. before/after an engine-core change):
+//!
+//! ```text
+//! cargo bench -p bench --bench generation -- --save-json BENCH_generation.json
+//! ```
+//!
+//! which writes `{"benchmarks": [{"group", "id", "ns_per_iter",
+//! "iterations"}, …]}` via the harness's `--save-json` flag.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use evo_core::fitness::{ExecMode, FitnessPolicy};

@@ -4,49 +4,61 @@
 //! Rank 0 is the **Nature Agent**; every other rank owns a contiguous block
 //! of SSets and keeps a full local copy of the strategy table ("all nodes
 //! need to maintain an up to date view of the strategies assigned to all
-//! other SSets", §V-B). One generation proceeds exactly as the paper
-//! describes:
+//! other SSets", §V-B). One generation drives the three phases of the
+//! engine core (`evo_core::engine`, docs/ENGINE_CORE.md):
 //!
-//! 1. the Nature Agent **broadcasts** the generation's schedule (PC pair
-//!    selection / mutation target) over the collective tree;
+//! 1. rank 0 computes the [`GenPlan`] and **broadcasts** it over the
+//!    collective tree;
 //! 2. compute ranks run their owned SSets' games locally — "handled locally
-//!    with no communication" (§V-A); the owners of the selected teacher and
-//!    learner return those fitnesses to rank 0 by **point-to-point** sends;
-//! 3. rank 0 resolves the comparison through the Fermi rule and
-//!    **broadcasts** the resulting strategy update, plus any mutation (the
-//!    new strategy travels with the broadcast);
-//! 4. every rank applies the updates to its local table.
+//!    with no communication" (§V-A) — and move what the plan needs: the
+//!    owners of a selected teacher/learner pair return those fitnesses to
+//!    rank 0 by **point-to-point** sends, while full-vector rules (Moran,
+//!    ImitateBest) **gather** every owned block to rank 0;
+//! 3. rank 0 applies the plan — resolving the comparison and generating any
+//!    mutation — and **broadcasts** the resulting [`GenDecision`] (the new
+//!    strategy travels with the broadcast);
+//! 4. every rank commits the decision to its local table.
 //!
-//! Because all stochastic choices come from the same counter-based streams
-//! used by the shared-memory engine, the distributed run produces the
-//! *identical* trajectory — the integration tests assert this rank-count by
-//! rank-count.
+//! Because every phase is the engine core's own code driven by the same
+//! counter-based streams as the shared-memory engine, the distributed run
+//! produces the *identical* trajectory — events, assignments, fitness bits,
+//! and `RunStats` — for all three update rules; the integration tests
+//! assert this rank-count by rank-count.
 
 use crate::collective::Collective;
 use crate::comm::{Comm, VirtualCluster};
+use evo_core::engine::{
+    self, EvalScope, FitnessNeed, FitnessProvider, FitnessView, GenDecision, GenPlan, Provided,
+};
 use evo_core::fitness::{evaluate_one, FitnessPolicy};
-use evo_core::nature::{Event, GenSchedule, NatureAgent};
+use evo_core::nature::{Event, NatureAgent};
 use evo_core::params::Params;
 use evo_core::pool::{StratId, StrategyPool};
 use evo_core::record::RunStats;
 use evo_core::rngstream::{stream, Domain};
+use ipd::game::GameConfig;
 use ipd::state::StateSpace;
 use ipd::strategy::Strategy;
 use serde::{Deserialize, Serialize};
 
+/// Point-to-point tag for fitness returns (collective tags live in their
+/// own range, see `collective.rs`).
+const FITNESS_TAG: crate::comm::Tag = 1;
+
 /// Messages exchanged by the distributed engine.
 #[derive(Debug, Clone)]
 enum DistMsg {
-    /// Broadcast: this generation's schedule.
-    Schedule(GenSchedule),
+    /// Broadcast: this generation's plan (schedule plus fitness needs).
+    Plan(GenPlan),
     /// Point-to-point: a selected SSet's relative fitness, returned to the
     /// Nature Agent.
     Fitness { sset: u32, value: f64 },
-    /// Broadcast: outcome of the pairwise comparison (learner adopts
-    /// teacher's strategy when `adopted`).
-    PcOutcome { adopted: bool },
-    /// Broadcast: a mutation assigning `strategy` to `sset`.
-    Mutation { sset: u32, strategy: Strategy },
+    /// Gather leaf: one rank's owned block of the fitness vector, starting
+    /// at SSet `start` (full-vector rules).
+    OwnedFitness { start: u32, values: Vec<f64> },
+    /// Broadcast: the Nature Agent's resolved decision — rule outcome and
+    /// any mutation's new strategy travel together.
+    Decision(GenDecision),
     /// Collective plumbing (barriers / reductions of scalars).
     Scalar(#[allow(dead_code)] f64),
 }
@@ -111,19 +123,10 @@ pub fn owned_range(rank: usize, num_ssets: usize, ranks: usize) -> std::ops::Ran
 /// performance model, not this, extrapolates to 262,144 processors).
 pub fn run_distributed(config: &DistConfig) -> DistOutcome {
     let _span = obs::span("dist.run");
-    assert!(
-        matches!(
-            config.params.rule,
-            evo_core::params::UpdateRule::PairwiseComparison
-        ),
-        "the distributed engine implements the paper's pairwise-comparison rule; \
-         Moran/ImitateBest need full fitness gathers and are shared-memory only"
-    );
     let space = config.params.validate().expect("valid params");
     let params = config.params.clone();
     let ranks = config.ranks;
     let policy = config.policy;
-    let num_ssets = params.num_ssets;
     let generations = params.generations;
 
     let mut results = VirtualCluster::run(ranks, move |comm: Comm<DistMsg>| {
@@ -143,8 +146,147 @@ pub fn run_distributed(config: &DistConfig) -> DistOutcome {
             );
         }
     }
-    let _ = num_ssets;
     outcome
+}
+
+/// Phase-2 provider for one rank: evaluates the owned range the plan asks
+/// for and moves fitness to rank 0 — point-to-point for a PC pair, a
+/// gather over the collective tree for full-vector rules. SPMD: every rank
+/// calls [`FitnessProvider::provide`] each generation so the collective
+/// schedules stay aligned.
+struct RankProvider<'a> {
+    comm: &'a Comm<DistMsg>,
+    coll: &'a Collective<'a, Comm<DistMsg>>,
+    owned: std::ops::Range<usize>,
+    num_ssets: usize,
+    space: &'a StateSpace,
+    assignments: &'a [StratId],
+    pool: &'a StrategyPool,
+    game: &'a GameConfig,
+    seed: u64,
+}
+
+impl RankProvider<'_> {
+    fn is_nature(&self) -> bool {
+        self.comm.rank() == 0
+    }
+}
+
+impl FitnessProvider for RankProvider<'_> {
+    fn provide(&mut self, plan: &GenPlan) -> Provided {
+        // (2) Game dynamics: local, no communication (§V-A).
+        let local: Vec<(usize, f64)> = {
+            let needed: Vec<usize> = match plan.eval {
+                EvalScope::None => Vec::new(),
+                EvalScope::Pair { teacher, learner } => self
+                    .owned
+                    .clone()
+                    .filter(|&s| s == teacher as usize || s == learner as usize)
+                    .collect(),
+                EvalScope::Full => self.owned.clone().collect(),
+            };
+            needed
+                .into_iter()
+                .map(|s| {
+                    let f = evaluate_one(
+                        self.space,
+                        self.assignments,
+                        self.pool,
+                        self.game,
+                        self.seed,
+                        plan.generation,
+                        s,
+                    );
+                    (s, f)
+                })
+                .collect()
+        };
+
+        // (2b) Move what the Nature Agent needs.
+        let view = match plan.need {
+            FitnessNeed::None => FitnessView::None,
+            FitnessNeed::Pair { teacher, learner } => {
+                if self.is_nature() {
+                    let mut ft = None;
+                    let mut fl = None;
+                    while ft.is_none() || fl.is_none() {
+                        match self
+                            .comm
+                            .recv(None, Some(FITNESS_TAG))
+                            .expect("fitness recv")
+                            .payload
+                        {
+                            DistMsg::Fitness { sset, value } => {
+                                if sset == teacher {
+                                    ft = Some(value);
+                                }
+                                if sset == learner {
+                                    fl = Some(value);
+                                }
+                            }
+                            other => panic!("expected fitness, got {other:?}"),
+                        }
+                    }
+                    FitnessView::Pair {
+                        teacher: ft.unwrap(),
+                        learner: fl.unwrap(),
+                    }
+                } else {
+                    for &(s, f) in &local {
+                        if s == teacher as usize || s == learner as usize {
+                            self.comm
+                                .send(
+                                    0,
+                                    FITNESS_TAG,
+                                    DistMsg::Fitness {
+                                        sset: s as u32,
+                                        value: f,
+                                    },
+                                )
+                                .expect("fitness return");
+                        }
+                    }
+                    FitnessView::None
+                }
+            }
+            FitnessNeed::Full => {
+                // Full-vector rules: every rank contributes its owned block
+                // through one gather (rank 0's block is empty).
+                let block = DistMsg::OwnedFitness {
+                    start: self.owned.start as u32,
+                    values: local.iter().map(|&(_, f)| f).collect(),
+                };
+                match self.coll.gather(0, block).expect("fitness gather") {
+                    Some(blocks) => {
+                        let mut full = vec![0.0f64; self.num_ssets];
+                        for b in blocks {
+                            match b {
+                                DistMsg::OwnedFitness { start, values } => {
+                                    for (i, v) in values.into_iter().enumerate() {
+                                        full[start as usize + i] = v;
+                                    }
+                                }
+                                other => panic!("expected owned fitness, got {other:?}"),
+                            }
+                        }
+                        FitnessView::Full(full)
+                    }
+                    None => FitnessView::None,
+                }
+            }
+        };
+
+        // Evaluation-cost accounting mirrors the shared-memory engine
+        // arithmetically: the distributed evaluator is the naive kernel,
+        // `num_ssets` games per focal SSet.
+        let s = self.num_ssets as u64;
+        let games = match plan.eval {
+            EvalScope::None => 0,
+            EvalScope::Pair { .. } => 2 * s,
+            EvalScope::Full => s * s,
+        };
+        Provided { view, games }
+    }
 }
 
 /// Per-rank body of the distributed engine.
@@ -175,15 +317,7 @@ fn run_rank(
         .collect();
     coll.barrier(DistMsg::Scalar(0.0)).expect("setup barrier");
 
-    let nature = NatureAgent {
-        pc_rate: params.pc_rate,
-        mutation_rate: params.mutation_rate,
-        beta: params.beta,
-        teacher_must_be_fitter: params.teacher_must_be_fitter,
-        kind: params.kind,
-        mutation_kind: params.mutation_kind,
-        seed: params.seed,
-    };
+    let nature = NatureAgent::from_params(params);
     let owned = owned_range(rank, num_ssets, ranks);
     let mut stats = RunStats::default();
     let mut all_events: Vec<Vec<Event>> = Vec::new();
@@ -195,141 +329,66 @@ fn run_rank(
         // shared-memory engine's per-step timing measures.
         // detlint: allow(wall-clock, reason = "obs-gated timing; measures the cycle, never feeds simulation state")
         let timer = (is_nature && obs::enabled()).then(std::time::Instant::now);
-        // (1) Nature broadcasts the schedule.
-        let schedule = if is_nature {
-            Some(DistMsg::Schedule(nature.schedule(num_ssets as u32, generation)))
-        } else {
-            None
+
+        // (1) Nature plans the generation and broadcasts the plan.
+        let msg = is_nature.then(|| {
+            DistMsg::Plan(engine::plan(
+                &nature,
+                num_ssets as u32,
+                params.rule,
+                policy,
+                generation,
+            ))
+        });
+        let plan = match coll.bcast(0, msg).expect("plan bcast") {
+            DistMsg::Plan(p) => p,
+            other => panic!("expected plan, got {other:?}"),
         };
-        let schedule = match coll.bcast(0, schedule).expect("schedule bcast") {
-            DistMsg::Schedule(s) => s,
-            other => panic!("expected schedule, got {other:?}"),
-        };
 
-        // (2) Game dynamics: local, no communication (§V-A).
-        let evaluate_all = matches!(policy, FitnessPolicy::EveryGeneration);
-        let mut local_fitness: Vec<(usize, f64)> = Vec::new();
-        if !is_nature {
-            let needed: Vec<usize> = if evaluate_all {
-                owned.clone().collect()
-            } else if let Some((t, l)) = schedule.pc {
-                owned
-                    .clone()
-                    .filter(|&s| s == t as usize || s == l as usize)
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            for s in needed {
-                let f = evaluate_one(
-                    &space,
-                    &assignments,
-                    &pool,
-                    &params.game,
-                    params.seed,
-                    generation,
-                    s,
-                );
-                local_fitness.push((s, f));
-            }
+        // (2) Game dynamics and fitness movement through the provider.
+        let provided = RankProvider {
+            comm,
+            coll: &coll,
+            owned: owned.clone(),
+            num_ssets,
+            space: &space,
+            assignments: &assignments,
+            pool: &pool,
+            game: &params.game,
+            seed: params.seed,
         }
+        .provide(&plan);
 
-        let mut events = Vec::new();
-
-        // (2b) Selected SSets return fitness point-to-point; (3) Nature
-        // resolves the PC and broadcasts the outcome.
-        if let Some((teacher, learner)) = schedule.pc {
-            if !is_nature {
-                for &(s, f) in &local_fitness {
-                    if s == teacher as usize || s == learner as usize {
-                        comm.send(
-                            0,
-                            1,
-                            DistMsg::Fitness {
-                                sset: s as u32,
-                                value: f,
-                            },
-                        )
-                        .expect("fitness return");
-                    }
-                }
-            }
-            let outcome = if is_nature {
-                let mut ft = None;
-                let mut fl = None;
-                while ft.is_none() || fl.is_none() {
-                    match comm.recv(None, Some(1)).expect("fitness recv").payload {
-                        DistMsg::Fitness { sset, value } => {
-                            if sset == teacher {
-                                ft = Some(value);
-                            }
-                            if sset == learner {
-                                fl = Some(value);
-                            }
-                        }
-                        other => panic!("expected fitness, got {other:?}"),
-                    }
-                }
-                let (ft, fl) = (ft.unwrap(), fl.unwrap());
-                let (p, adopted) = nature.resolve_pc(ft, fl, generation);
-                stats.pc_events += 1;
-                stats.adoptions += adopted as u64;
-                events.push(Event::PairwiseComparison {
-                    teacher,
-                    learner,
-                    teacher_fitness: ft,
-                    learner_fitness: fl,
-                    p,
-                    adopted,
-                });
-                Some(DistMsg::PcOutcome { adopted })
-            } else {
-                None
-            };
-            let outcome = coll.bcast(0, outcome).expect("pc outcome bcast");
-            if let DistMsg::PcOutcome { adopted } = outcome {
-                if adopted {
-                    assignments[learner as usize] = assignments[teacher as usize];
-                }
-            } else {
-                panic!("expected PC outcome");
-            }
-        }
-
-        // (3b) Mutation: Nature generates and broadcasts the new strategy
-        // with its target ("this strategy along with the SSet identifier is
-        // then transmitted to all agents", §V-B).
-        if let Some(target) = schedule.mutation {
-            let msg = if is_nature {
-                let current = (**pool.get(assignments[target as usize])).clone();
-                let strat = nature.mutation_strategy(&space, generation, &current);
-                Some(DistMsg::Mutation {
-                    sset: target,
-                    strategy: strat,
-                })
-            } else {
-                None
-            };
-            match coll.bcast(0, msg).expect("mutation bcast") {
-                DistMsg::Mutation { sset, strategy } => {
-                    let id = pool.intern(strategy);
-                    assignments[sset as usize] = id;
-                    if is_nature {
-                        stats.mutations += 1;
-                        events.push(Event::Mutation { sset, strategy: id });
-                    }
-                }
-                other => panic!("expected mutation, got {other:?}"),
-            }
-        }
-
+        // (3) Nature applies the plan — the engine core owns all stats —
+        // and broadcasts the decision; (4) every rank commits it. PC-free,
+        // mutation-free generations broadcast nothing beyond the plan.
         if is_nature {
-            stats.generations += 1;
-            if evaluate_all || schedule.pc.is_some() {
-                stats.fitness_evaluations += 1;
+            let delta = engine::apply(
+                &nature,
+                &space,
+                &plan,
+                &provided,
+                &mut assignments,
+                &mut pool,
+                &mut stats,
+            );
+            if plan.has_update() {
+                coll.bcast(0, Some(DistMsg::Decision(delta.decision.clone())))
+                    .expect("decision bcast");
             }
-            all_events.push(events);
+            all_events.push(delta.events);
+        } else if plan.has_update() {
+            match coll.bcast(0, None).expect("decision bcast") {
+                DistMsg::Decision(decision) => {
+                    // Compute ranks replay the commit on their replicated
+                    // table; rank 0's `stats` is the authoritative copy.
+                    let mut replica_stats = RunStats::default();
+                    engine::commit(&decision, &mut assignments, &mut pool, &mut replica_stats);
+                }
+                other => panic!("expected decision, got {other:?}"),
+            }
         }
+
         if let Some(t0) = timer {
             let ns = t0.elapsed().as_nanos() as u64;
             obs::generation_histogram().record(ns);
@@ -419,8 +478,74 @@ mod tests {
             });
             assert_eq!(out.assignments, reference.assignments(), "seed {seed}");
             assert_eq!(out.events, ref_events, "seed {seed}");
-            assert_eq!(out.stats.adoptions, reference.stats().adoptions);
-            assert_eq!(out.stats.mutations, reference.stats().mutations);
+            assert_eq!(out.stats, *reference.stats(), "seed {seed}: full RunStats");
+        }
+    }
+
+    #[test]
+    fn all_update_rules_match_shared_memory_bit_for_bit() {
+        use evo_core::params::UpdateRule;
+        // The engine core lifts the old PairwiseComparison-only restriction:
+        // Moran and ImitateBest gather the full fitness vector over the
+        // collective tree and must reproduce shared memory exactly —
+        // events (fitness bits included), assignments, and RunStats.
+        for rule in [
+            UpdateRule::PairwiseComparison,
+            UpdateRule::Moran,
+            UpdateRule::ImitateBest,
+        ] {
+            for policy in [FitnessPolicy::EveryGeneration, FitnessPolicy::OnDemand] {
+                let mut p = params(21, 9, 40);
+                p.rule = rule;
+                let mut reference = Population::new(p.clone()).unwrap();
+                reference.exec_mode = ExecMode::Sequential;
+                reference.fitness_policy = policy;
+                let mut ref_events = Vec::new();
+                for _ in 0..40 {
+                    ref_events.push(reference.step().events);
+                }
+                let out = run_distributed(&DistConfig {
+                    params: p,
+                    ranks: 4,
+                    policy,
+                });
+                assert_eq!(
+                    out.assignments,
+                    reference.assignments(),
+                    "{rule:?}/{policy:?}: assignments"
+                );
+                assert_eq!(out.events, ref_events, "{rule:?}/{policy:?}: events");
+                assert_eq!(
+                    out.stats,
+                    *reference.stats(),
+                    "{rule:?}/{policy:?}: full RunStats (games_played included)"
+                );
+                assert!(out.stats.pc_events > 0, "{rule:?}: rule events occurred");
+            }
+        }
+    }
+
+    #[test]
+    fn full_vector_rules_are_rank_count_invariant() {
+        use evo_core::params::UpdateRule;
+        for rule in [UpdateRule::Moran, UpdateRule::ImitateBest] {
+            let mut p = params(33, 11, 30);
+            p.rule = rule;
+            let base = run_distributed(&DistConfig {
+                params: p.clone(),
+                ranks: 2,
+                policy: FitnessPolicy::EveryGeneration,
+            });
+            for ranks in [3usize, 6, 13] {
+                let out = run_distributed(&DistConfig {
+                    params: p.clone(),
+                    ranks,
+                    policy: FitnessPolicy::EveryGeneration,
+                });
+                assert_eq!(out.assignments, base.assignments, "{rule:?} at {ranks} ranks");
+                assert_eq!(out.events, base.events, "{rule:?} at {ranks} ranks");
+                assert_eq!(out.stats, base.stats, "{rule:?} at {ranks} ranks");
+            }
         }
     }
 
@@ -456,6 +581,30 @@ mod tests {
         });
         assert_eq!(every.assignments, lazy.assignments);
         assert_eq!(every.events, lazy.events);
+        assert!(
+            lazy.stats.games_played < every.stats.games_played,
+            "OnDemand skips PC-free generations"
+        );
+    }
+
+    #[test]
+    fn on_demand_stats_match_shared_memory() {
+        // The RunStats drift this refactor fixed: the distributed engine
+        // used to report games_played = 0. Both policies must now account
+        // evaluation work identically to the shared-memory engine.
+        for policy in [FitnessPolicy::EveryGeneration, FitnessPolicy::OnDemand] {
+            let p = params(7, 8, 50);
+            let mut reference = Population::new(p.clone()).unwrap();
+            reference.fitness_policy = policy;
+            reference.run_to_end();
+            let out = run_distributed(&DistConfig {
+                params: p,
+                ranks: 3,
+                policy,
+            });
+            assert_eq!(out.stats, *reference.stats(), "{policy:?}");
+            assert!(out.stats.games_played > 0);
+        }
     }
 
     #[test]

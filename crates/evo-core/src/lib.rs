@@ -13,10 +13,12 @@
 //!   learning through the Fermi rule ([`fermi`]) and random strategy
 //!   mutation ([`nature`]).
 //!
-//! [`population::Population`] ties these together into the generation loop,
-//! with *game dynamics* (fitness evaluation, [`fitness`]) running either
-//! sequentially or data-parallel via rayon — both produce bit-identical
-//! results thanks to counter-based RNG streams ([`rngstream`]).
+//! The generation transition itself lives in [`engine`] — one
+//! plan/provide/apply core (docs/ENGINE_CORE.md) that every backend drives.
+//! [`population::Population`] ties it to shared memory, with *game
+//! dynamics* (fitness evaluation, [`fitness`]) running either sequentially
+//! or data-parallel via rayon — both produce bit-identical results thanks
+//! to counter-based RNG streams ([`rngstream`]).
 //!
 //! # Quick example
 //!
@@ -37,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod fermi;
 pub mod islands;
 pub mod fitness;
@@ -52,6 +55,10 @@ pub mod sset;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::engine::{
+        EvalScope, FitnessNeed, FitnessProvider, FitnessView, GenDecision, GenDelta, GenPlan,
+        Provided, RuleDecision,
+    };
     pub use crate::fermi::fermi_probability;
     pub use crate::fitness::{ExecMode, FitnessPolicy, GameKernel};
     pub use crate::islands::{Archipelago, Migration, MigrationPolicy};

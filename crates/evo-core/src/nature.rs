@@ -18,7 +18,7 @@
 //! engine make identical choices.
 
 use crate::fermi::fermi_probability;
-use crate::params::{MutationKind, StrategyKind};
+use crate::params::{MutationKind, Params, StrategyKind};
 use crate::pool::StratId;
 use crate::rngstream::{stream, Domain};
 use ipd::state::StateSpace;
@@ -102,6 +102,21 @@ pub struct NatureAgent {
 }
 
 impl NatureAgent {
+    /// The Nature Agent a parameter set implies. Both engines construct
+    /// theirs through this, so the dynamics configuration cannot drift
+    /// between backends.
+    pub fn from_params(params: &Params) -> Self {
+        NatureAgent {
+            pc_rate: params.pc_rate,
+            mutation_rate: params.mutation_rate,
+            beta: params.beta,
+            teacher_must_be_fitter: params.teacher_must_be_fitter,
+            kind: params.kind,
+            mutation_kind: params.mutation_kind,
+            seed: params.seed,
+        }
+    }
+
     /// Decide the generation's schedule — PC pair and mutation target — as a
     /// pure function of `(seed, generation)`.
     pub fn schedule(&self, num_ssets: u32, generation: u64) -> GenSchedule {

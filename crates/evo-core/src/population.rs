@@ -1,12 +1,10 @@
 //! The generation loop tying game dynamics to population dynamics
 //! (paper §IV, Fig 1's Agents / SSets / Nature Agent hierarchy).
 
-use crate::fitness::{
-    evaluate_deduped, evaluate_expected, evaluate_expected_one, evaluate_one_with_kernel,
-    evaluate_with_kernel, is_deterministic, ExecMode, FitnessPolicy, GameKernel,
-};
-use crate::nature::{Event, NatureAgent};
-use crate::params::{Params, ParamsError, StrategyKind, UpdateRule};
+use crate::engine::{self, FitnessProvider, FitnessView, LocalProvider};
+use crate::fitness::{ExecMode, FitnessPolicy, GameKernel};
+use crate::nature::NatureAgent;
+use crate::params::{Params, ParamsError, StrategyKind};
 use crate::pool::{StratId, StrategyPool};
 use crate::record::{Checkpoint, GenerationRecord, PopulationSnapshot, RunStats};
 use crate::rngstream::{stream, Domain};
@@ -39,8 +37,6 @@ pub struct Population {
     pool: StrategyPool,
     assignments: Vec<StratId>,
     fitness: Vec<f64>,
-    /// Generation whose fitness is currently cached, if any.
-    fitness_generation: Option<u64>,
     nature: NatureAgent,
     generation: u64,
     stats: RunStats,
@@ -81,22 +77,13 @@ impl Population {
                 pool.intern(Strategy::random(space, mixed, &mut rng))
             })
             .collect();
-        let nature = NatureAgent {
-            pc_rate: params.pc_rate,
-            mutation_rate: params.mutation_rate,
-            beta: params.beta,
-            teacher_must_be_fitter: params.teacher_must_be_fitter,
-            kind: params.kind,
-            mutation_kind: params.mutation_kind,
-            seed: params.seed,
-        };
+        let nature = NatureAgent::from_params(&params);
         let layout = SSetLayout {
             num_ssets: params.num_ssets,
             agents_per_sset: params.effective_agents_per_sset(),
         };
         Ok(Population {
             fitness: vec![0.0; params.num_ssets],
-            fitness_generation: None,
             nature,
             space,
             layout,
@@ -166,58 +153,9 @@ impl Population {
         self.assignments.iter().collect::<BTreeSet<_>>().len()
     }
 
-    /// Evaluate the fitness of every SSet for the current generation,
-    /// honouring `exec_mode` and `dedup`.
-    fn evaluate_fitness(&mut self) {
-        let _span = obs::span("population.fitness");
-        if self.expected_fitness {
-            self.fitness = evaluate_expected(
-                &self.space,
-                &self.assignments,
-                &self.pool,
-                &self.params.game,
-                self.exec_mode,
-            );
-            self.fitness_generation = Some(self.generation);
-            self.stats.fitness_evaluations += 1;
-            let u = self.distinct_strategies() as u64;
-            self.stats.games_played += u * u;
-            return;
-        }
-        let use_dedup =
-            self.dedup && is_deterministic(&self.assignments, &self.pool, &self.params.game);
-        self.fitness = if use_dedup {
-            evaluate_deduped(
-                &self.space,
-                &self.assignments,
-                &self.pool,
-                &self.params.game,
-                self.exec_mode,
-            )
-        } else {
-            evaluate_with_kernel(
-                &self.space,
-                &self.assignments,
-                &self.pool,
-                &self.params.game,
-                self.params.seed,
-                self.generation,
-                self.exec_mode,
-                self.kernel,
-            )
-        };
-        self.fitness_generation = Some(self.generation);
-        self.stats.fitness_evaluations += 1;
-        let s = self.assignments.len() as u64;
-        self.stats.games_played += if use_dedup {
-            let u = self.distinct_strategies() as u64;
-            u * u
-        } else {
-            s * s
-        };
-    }
-
-    /// Run one generation; returns its record.
+    /// Run one generation through the engine core
+    /// ([`crate::engine`], docs/ENGINE_CORE.md): plan, provide fitness
+    /// locally, apply. Returns the generation's record.
     ///
     /// When the observability timing layer is on ([`obs::set_enabled`])
     /// each step also records its wall time — retrievable through
@@ -230,111 +168,39 @@ impl Population {
         // detlint: allow(wall-clock, reason = "obs-gated timing; measures the step, never feeds simulation state")
         let timer = obs::enabled().then(std::time::Instant::now);
         let gen = self.generation;
-        let schedule = self.nature.schedule(self.assignments.len() as u32, gen);
-        let full_fitness = matches!(self.fitness_policy, FitnessPolicy::EveryGeneration);
-        if full_fitness {
-            self.evaluate_fitness();
+        let plan = engine::plan(
+            &self.nature,
+            self.assignments.len() as u32,
+            self.params.rule,
+            self.fitness_policy,
+            gen,
+        );
+        let provided = LocalProvider {
+            space: &self.space,
+            assignments: &self.assignments,
+            pool: &self.pool,
+            game: &self.params.game,
+            seed: self.params.seed,
+            exec_mode: self.exec_mode,
+            dedup: self.dedup,
+            kernel: self.kernel,
+            expected_fitness: self.expected_fitness,
         }
-        let mut events = Vec::new();
-        match (schedule.pc, self.params.rule) {
-            (None, _) => {}
-            (Some(_), UpdateRule::Moran) => {
-                // Moran needs the whole fitness vector for proportional
-                // parent selection.
-                if !full_fitness {
-                    self.evaluate_fitness();
-                }
-                let (parent, victim) = self.nature.moran_pick(&self.fitness, gen);
-                self.assignments[victim as usize] = self.assignments[parent as usize];
-                self.stats.pc_events += 1;
-                self.stats.adoptions += (parent != victim) as u64;
-                events.push(Event::Moran { parent, victim });
-            }
-            (Some(_), UpdateRule::ImitateBest) => {
-                if !full_fitness {
-                    self.evaluate_fitness();
-                }
-                let (best, learner) = self.nature.imitate_best_pick(&self.fitness, gen);
-                self.assignments[learner as usize] = self.assignments[best as usize];
-                self.stats.pc_events += 1;
-                self.stats.adoptions += (best != learner) as u64;
-                events.push(Event::ImitateBest { best, learner });
-            }
-            (Some((teacher, learner)), UpdateRule::PairwiseComparison) => {
-            let (ft, fl) = if full_fitness {
-                (
-                    self.fitness[teacher as usize],
-                    self.fitness[learner as usize],
-                )
-            } else {
-                // OnDemand: only the pair's fitness is needed — the paper's
-                // selected SSets are the only ones whose scores travel to
-                // the Nature Agent.
-                let f = |i: u32| {
-                    if self.expected_fitness {
-                        evaluate_expected_one(
-                            &self.space,
-                            &self.assignments,
-                            &self.pool,
-                            &self.params.game,
-                            i as usize,
-                        )
-                    } else {
-                        evaluate_one_with_kernel(
-                            &self.space,
-                            &self.assignments,
-                            &self.pool,
-                            &self.params.game,
-                            self.params.seed,
-                            gen,
-                            i as usize,
-                            self.kernel,
-                        )
-                    }
-                };
-                let pair = (f(teacher), f(learner));
-                self.stats.fitness_evaluations += 1;
-                self.stats.games_played += 2 * self.assignments.len() as u64;
-                pair
-            };
-            let (p, adopted) = self.nature.resolve_pc(ft, fl, gen);
-            if adopted {
-                self.assignments[learner as usize] = self.assignments[teacher as usize];
-            }
-            self.stats.pc_events += 1;
-            self.stats.adoptions += adopted as u64;
-            events.push(Event::PairwiseComparison {
-                teacher,
-                learner,
-                teacher_fitness: ft,
-                learner_fitness: fl,
-                p,
-                adopted,
-            });
-            }
-        }
-        if let Some(target) = schedule.mutation {
-            let current = (*self.pool.get(self.assignments[target as usize])).clone();
-            let strat = self.nature.mutation_strategy(&self.space, gen, &current);
-            let id = self.pool.intern(strat);
-            self.assignments[target as usize] = id;
-            self.stats.mutations += 1;
-            events.push(Event::Mutation {
-                sset: target,
-                strategy: id,
-            });
-        }
+        .provide(&plan);
+        let delta = engine::apply(
+            &self.nature,
+            &self.space,
+            &plan,
+            &provided,
+            &mut self.assignments,
+            &mut self.pool,
+            &mut self.stats,
+        );
         self.generation += 1;
-        self.stats.generations += 1;
-        let (mean, max) = if full_fitness {
-            let n = self.fitness.len() as f64;
-            (
-                Some(self.fitness.iter().sum::<f64>() / n),
-                Some(self.fitness.iter().cloned().fold(f64::MIN, f64::max)),
-            )
-        } else {
-            (None, None)
-        };
+        let (mean, max) = engine::fitness_summary(&plan, &provided.view);
+        if let FitnessView::Full(v) = provided.view {
+            self.fitness = v;
+        }
         if let Some(t0) = timer {
             let ns = t0.elapsed().as_nanos() as u64;
             obs::generation_histogram().record(ns);
@@ -342,13 +208,7 @@ impl Population {
                 self.gen_timings.push(ns);
             }
         }
-        GenerationRecord {
-            generation: gen,
-            events,
-            mean_fitness: mean,
-            max_fitness: max,
-            distinct_strategies: self.distinct_strategies(),
-        }
+        delta.into_record(gen, mean, max, self.distinct_strategies())
     }
 
     /// Run `generations` steps, discarding per-generation records.
@@ -429,7 +289,6 @@ impl Population {
         pop.assignments = cp.assignments;
         pop.generation = cp.generation;
         pop.stats = cp.stats;
-        pop.fitness_generation = None;
         Ok(pop)
     }
 
@@ -480,6 +339,8 @@ impl Population {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::nature::Event;
+    use crate::params::UpdateRule;
     use ipd::classic;
 
     fn small_params(seed: u64) -> Params {

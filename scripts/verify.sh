@@ -26,6 +26,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== determinism: thread-count matrix (1/2/8 rayon workers) =="
+# tests/determinism.rs already replays each run at RAYON_NUM_THREADS
+# 1/2/8 *inside* one process; this stage additionally pins the variable
+# for the whole process, so the global rayon bring-up path is exercised
+# at every width too (engine-core contract, docs/ENGINE_CORE.md).
+for t in 1 2 8; do
+    echo "-- RAYON_NUM_THREADS=$t --"
+    RAYON_NUM_THREADS=$t cargo test -q --test determinism
+done
+
 echo "== docs: rustdoc, warnings are errors =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

@@ -10,6 +10,7 @@
 //! evogame-cli predict     --procs 262144 [--ssets 4194304] [--mem 6]
 //!                         [--generations 1000] [--profile bgp|bgl]
 //! evogame-cli distributed --ranks 4 --ssets 16 --generations 200 [...]
+//!                         [--rule pc|moran|best] [--every-generation]
 //!                         [--manifest-out run.json]
 //! ```
 //!
@@ -265,8 +266,12 @@ fn cmd_distributed(args: &Args) -> Result<(), String> {
         t0.elapsed().as_secs_f64()
     );
     println!(
-        "PC events {} | adoptions {} | mutations {} | messages {}",
-        out.stats.pc_events, out.stats.adoptions, out.stats.mutations, out.messages_sent
+        "PC events {} | adoptions {} | mutations {} | games {} | messages {}",
+        out.stats.pc_events,
+        out.stats.adoptions,
+        out.stats.mutations,
+        out.stats.games_played,
+        out.messages_sent
     );
     if let Some(path) = manifest_out {
         let manifest = evogame::obs::RunManifest::capture(
@@ -307,7 +312,8 @@ const USAGE: &str = "usage: evogame-cli <run|tournament|predict|distributed|clas
   run          evolve a population, print the sampled trajectory as CSV
   tournament   Axelrod round robin over the classic roster
   predict      Blue Gene-scale runtime/efficiency from the perf model
-  distributed  run the virtual-cluster engine
+  distributed  run the virtual-cluster engine (any --rule; same trajectory
+               as `run`, bit for bit — docs/ENGINE_CORE.md)
   classify     name a strategy given its compact code (e.g. 'classify m1:6')
 run flags:     --ssets N --generations G --mem M --seed S --pc-rate R --mu R
                --beta B --noise E --rounds N --mixed --rule pc|moran|best

@@ -11,8 +11,13 @@ use evogame::engine::params::MutationKind;
 use evogame::prelude::*;
 
 /// One full run at the given worker count: every generation record
-/// serialised to JSON, plus the final assignments and fitness bit patterns.
-fn run(params: &Params, threads: &str, expected_fitness: bool) -> (Vec<String>, Vec<StratId>, Vec<u64>) {
+/// serialised to JSON, plus the final assignments, fitness bit patterns,
+/// and aggregate statistics.
+fn run(
+    params: &Params,
+    threads: &str,
+    expected_fitness: bool,
+) -> (Vec<String>, Vec<StratId>, Vec<u64>, RunStats) {
     std::env::set_var("RAYON_NUM_THREADS", threads);
     let mut p = Population::new(params.clone()).unwrap();
     p.exec_mode = ExecMode::Rayon;
@@ -21,7 +26,7 @@ fn run(params: &Params, threads: &str, expected_fitness: bool) -> (Vec<String>, 
         .map(|_| serde_json::to_string(&p.step()).unwrap())
         .collect();
     let fitness_bits = p.fitness().iter().map(|f| f.to_bits()).collect();
-    (records, p.assignments().to_vec(), fitness_bits)
+    (records, p.assignments().to_vec(), fitness_bits, *p.stats())
 }
 
 #[test]
@@ -72,6 +77,11 @@ fn trajectories_are_bit_identical_across_thread_counts() {
                 assert_eq!(
                     baseline.2, got.2,
                     "case {case} (expected_fitness={expected_fitness}): final fitness bits \
+                     diverged at {threads} threads"
+                );
+                assert_eq!(
+                    baseline.3, got.3,
+                    "case {case} (expected_fitness={expected_fitness}): RunStats \
                      diverged at {threads} threads"
                 );
             }

@@ -24,6 +24,11 @@ fn random_params(rng: &mut ChaCha8Rng) -> Params {
         } else {
             StrategyKind::Mixed
         },
+        rule: match rng.random_range(0..3) {
+            0 => UpdateRule::PairwiseComparison,
+            1 => UpdateRule::Moran,
+            _ => UpdateRule::ImitateBest,
+        },
         teacher_must_be_fitter: rng.random_bool(0.7),
         ..Params::default()
     };
@@ -51,6 +56,9 @@ fn random_configs_distributed_equals_shared_memory() {
             FitnessPolicy::OnDemand
         };
         let mut reference = Population::new(params.clone()).unwrap();
+        // Match the distributed policy so the full RunStats — evaluation
+        // and game counts included — must agree, not just the trajectory.
+        reference.fitness_policy = policy;
         reference.run_to_end();
         let out = run_distributed(&DistConfig {
             params: params.clone(),
@@ -62,8 +70,62 @@ fn random_configs_distributed_equals_shared_memory() {
             reference.assignments(),
             "case {case}: {params:?} on {ranks} ranks ({policy:?}) diverged"
         );
-        assert_eq!(out.stats.adoptions, reference.stats().adoptions, "case {case}");
-        assert_eq!(out.stats.mutations, reference.stats().mutations, "case {case}");
+        assert_eq!(
+            out.stats,
+            *reference.stats(),
+            "case {case}: RunStats diverged on {ranks} ranks ({policy:?})"
+        );
+    }
+}
+
+#[test]
+fn every_rule_and_policy_is_bit_identical_distributed() {
+    // The full matrix the engine core unlocked: all three update rules ×
+    // both fitness policies, distributed vs shared memory, compared on
+    // serialised events (exact f64 bit patterns travel through the JSON:
+    // equal strings ⇒ equal bits), assignments, and RunStats.
+    for (r, rule) in [
+        UpdateRule::PairwiseComparison,
+        UpdateRule::Moran,
+        UpdateRule::ImitateBest,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for policy in [FitnessPolicy::EveryGeneration, FitnessPolicy::OnDemand] {
+            let mut params = Params {
+                mem_steps: 1,
+                num_ssets: 10,
+                generations: 40,
+                seed: 0xBEE5 + r as u64,
+                mutation_rate: 0.2,
+                rule,
+                ..Params::default()
+            };
+            params.game.rounds = 12;
+            let mut reference = Population::new(params.clone()).unwrap();
+            reference.fitness_policy = policy;
+            let ref_events: Vec<String> = (0..params.generations)
+                .map(|_| serde_json::to_string(&reference.step().events).unwrap())
+                .collect();
+            let out = run_distributed(&DistConfig {
+                params: params.clone(),
+                ranks: 4,
+                policy,
+            });
+            let dist_events: Vec<String> = out
+                .events
+                .iter()
+                .map(|e| serde_json::to_string(e).unwrap())
+                .collect();
+            assert_eq!(dist_events, ref_events, "{rule:?}/{policy:?}: event bits");
+            assert_eq!(
+                out.assignments,
+                reference.assignments(),
+                "{rule:?}/{policy:?}: assignments"
+            );
+            assert_eq!(out.stats, *reference.stats(), "{rule:?}/{policy:?}: RunStats");
+        }
     }
 }
 

@@ -6,9 +6,17 @@
 //! reporting mean ns/iter to stdout. When invoked by `cargo test` (which
 //! passes `--test` to `harness = false` bench binaries) every benchmark
 //! body runs exactly once so the tier-1 suite stays fast.
+//!
+//! Passing `--save-json <path>` (or `--save-json=<path>`) to a bench
+//! binary additionally writes every result as a machine-readable JSON
+//! baseline — upstream's `--save-baseline`, minus the comparison engine:
+//! `{"benchmarks": [{"group", "id", "ns_per_iter", "iterations"}, …]}`.
+//! The file is written when the `Criterion` value drops, after all groups
+//! have run; write failures are reported to stderr, never panic.
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box` for benches that import it from
@@ -17,12 +25,27 @@ pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
 }
 
+/// One completed measurement, retained for the optional JSON baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Group name as passed to [`Criterion::benchmark_group`].
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration (0.0 in test mode).
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iterations: u64,
+}
+
 /// Top-level harness configuration and entry point.
 pub struct Criterion {
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
     test_mode: bool,
+    save_json: Option<PathBuf>,
+    results: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
@@ -30,12 +53,23 @@ impl Default for Criterion {
         // `cargo test` runs harness=false bench binaries once with
         // `--test`; `cargo bench` passes `--bench`. Any `--test` argument
         // switches to single-iteration smoke mode.
-        let test_mode = std::env::args().any(|a| a == "--test");
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let mut save_json = None;
+        for (i, a) in args.iter().enumerate() {
+            if a == "--save-json" {
+                save_json = args.get(i + 1).map(PathBuf::from);
+            } else if let Some(path) = a.strip_prefix("--save-json=") {
+                save_json = Some(PathBuf::from(path));
+            }
+        }
         Criterion {
             sample_size: 10,
             warm_up: Duration::from_millis(300),
             measurement: Duration::from_secs(1),
             test_mode,
+            save_json,
+            results: Vec::new(),
         }
     }
 }
@@ -59,12 +93,69 @@ impl Criterion {
         self
     }
 
+    /// Write results to `path` as JSON when this value drops (the
+    /// programmatic equivalent of the `--save-json` CLI flag).
+    pub fn save_json(mut self, path: impl Into<PathBuf>) -> Self {
+        self.save_json = Some(path.into());
+        self
+    }
+
+    /// Results recorded so far (one entry per completed benchmark).
+    pub fn results(&self) -> &[BenchRecord] {
+        &self.results
+    }
+
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
             criterion: self,
             sample_size: None,
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(results: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"ns_per_iter\": {}, \"iterations\": {}}}{sep}\n",
+            json_escape(&r.group),
+            json_escape(&r.id),
+            r.ns_per_iter,
+            r.iterations,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Some(path) = self.save_json.take() else {
+            return;
+        };
+        match std::fs::write(&path, render_json(&self.results)) {
+            Ok(()) => println!(
+                "criterion: saved {} benchmark result(s) to {}",
+                self.results.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("criterion: could not write {}: {e}", path.display()),
         }
     }
 }
@@ -131,6 +222,14 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut bencher);
         bencher.report(&self.name, &id.id);
+        if let Some((elapsed, n)) = bencher.result {
+            self.criterion.results.push(BenchRecord {
+                group: self.name.clone(),
+                id: id.id,
+                ns_per_iter: elapsed.as_nanos() as f64 / n as f64,
+                iterations: n,
+            });
+        }
         self
     }
 
@@ -249,8 +348,12 @@ mod tests {
             warm_up: Duration::from_millis(1),
             measurement: Duration::from_millis(2),
             test_mode: false,
+            save_json: None,
+            results: Vec::new(),
         };
         tiny_target(&mut c);
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results()[0].iterations >= 2);
     }
 
     #[test]
@@ -260,6 +363,8 @@ mod tests {
             warm_up: Duration::from_secs(100), // must be skipped
             measurement: Duration::from_secs(100),
             test_mode: true,
+            save_json: None,
+            results: Vec::new(),
         };
         let mut group = c.benchmark_group("t");
         let mut calls = 0u32;
@@ -270,5 +375,44 @@ mod tests {
         });
         group.finish();
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn save_json_writes_baseline_on_drop() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion_save_json_{}.json",
+            std::process::id()
+        ));
+        {
+            let mut c = Criterion {
+                sample_size: 10,
+                warm_up: Duration::ZERO,
+                measurement: Duration::ZERO,
+                test_mode: true,
+                save_json: Some(path.clone()),
+                results: Vec::new(),
+            };
+            tiny_target(&mut c);
+        } // drop writes the file
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(json.contains("\"benchmarks\""));
+        assert!(json.contains("\"group\": \"t\""));
+        assert!(json.contains("\"id\": \"add\""));
+        assert!(json.contains("\"iterations\": 1"));
+    }
+
+    #[test]
+    fn json_escaping_and_shape() {
+        let rendered = render_json(&[BenchRecord {
+            group: "a\"b\\c".into(),
+            id: "nl\n".into(),
+            ns_per_iter: 1.5,
+            iterations: 3,
+        }]);
+        assert!(rendered.contains(r#""group": "a\"b\\c""#));
+        assert!(rendered.contains(r#""id": "nl\u000a""#));
+        assert!(rendered.contains("\"ns_per_iter\": 1.5"));
+        assert!(rendered.ends_with("  ]\n}\n"));
     }
 }
