@@ -81,11 +81,12 @@ fn main() {
             },
             ..Params::default()
         };
-        let out = run_distributed(&DistConfig {
+        let out = run_distributed(&DistConfig::new(
             params,
-            ranks: compute_ranks + 1,
-            policy: FitnessPolicy::OnDemand,
-        });
+            compute_ranks + 1,
+            FitnessPolicy::OnDemand,
+        ))
+        .expect("fault-free benchmark run");
         fn_rows.push(vec![
             compute_ranks.to_string(),
             (20 * compute_ranks).to_string(),

@@ -13,6 +13,7 @@
 
 use crate::comm::{ClusterError, Comm, Envelope, Rank, Tag};
 use std::cell::Cell;
+use std::time::Duration;
 
 /// First tag reserved for collective traffic.
 pub const COLLECTIVE_TAG_BASE: Tag = u32::MAX / 2;
@@ -36,6 +37,18 @@ pub trait Messenger {
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> Result<Envelope<Self::Payload>, ClusterError>;
+    /// Receive with a deadline: fail with [`ClusterError::Timeout`] once
+    /// `timeout` elapses without a matching message. The default ignores
+    /// the deadline and blocks (correct for messengers without a fault
+    /// model, e.g. the virtual-time `TimedComm`); [`Comm`] overrides it.
+    fn recv_timeout(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        _timeout: Duration,
+    ) -> Result<Envelope<Self::Payload>, ClusterError> {
+        self.recv(src, tag)
+    }
 }
 
 impl<T: Send + Clone + 'static> Messenger for Comm<T> {
@@ -52,12 +65,23 @@ impl<T: Send + Clone + 'static> Messenger for Comm<T> {
     fn recv(&self, src: Option<Rank>, tag: Option<Tag>) -> Result<Envelope<T>, ClusterError> {
         Comm::recv(self, src, tag)
     }
+    fn recv_timeout(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Result<Envelope<T>, ClusterError> {
+        Comm::recv_timeout(self, src, tag, timeout)
+    }
 }
 
 /// Collective-operation wrapper around a rank's messenger handle.
 pub struct Collective<'a, M> {
     comm: &'a M,
     next: Cell<Tag>,
+    /// Deadline applied to every internal receive; `None` = block
+    /// (aliveness-aware on [`Comm`], so killed peers still error).
+    recv_timeout: Option<Duration>,
 }
 
 impl<M> std::fmt::Debug for Collective<'_, M> {
@@ -75,12 +99,40 @@ impl<'a, M: Messenger> Collective<'a, M> {
         Collective {
             comm,
             next: Cell::new(COLLECTIVE_TAG_BASE),
+            recv_timeout: None,
+        }
+    }
+
+    /// Like [`Collective::new`], but every internal receive runs under
+    /// `timeout` — a peer that goes silent (dropped message from an alive
+    /// rank) surfaces as [`ClusterError::Timeout`] instead of a hang.
+    /// Killed peers are detected either way; the deadline only matters for
+    /// lost messages. Fault-injecting callers (`dist` under a `FaultPlan`
+    /// with `recv_timeout_ms`) use this constructor.
+    pub fn with_recv_timeout(comm: &'a M, timeout: Duration) -> Self {
+        Collective {
+            comm,
+            next: Cell::new(COLLECTIVE_TAG_BASE),
+            recv_timeout: Some(timeout),
         }
     }
 
     /// The underlying communicator.
     pub fn comm(&self) -> &M {
         self.comm
+    }
+
+    /// Internal receive: deadline-bound when the collective was built with
+    /// [`Collective::with_recv_timeout`], plain blocking otherwise.
+    fn crecv(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<Envelope<M::Payload>, ClusterError> {
+        match self.recv_timeout {
+            Some(t) => self.comm.recv_timeout(src, tag, t),
+            None => self.comm.recv(src, tag),
+        }
     }
 
     fn next_tag(&self) -> Tag {
@@ -123,7 +175,7 @@ impl<'a, M: Messenger> Collective<'a, M> {
         while mask < size {
             if vrank & mask != 0 {
                 let src = (vrank - mask + root) % size;
-                payload = Some(self.comm.recv(Some(src), Some(tag))?.payload);
+                payload = Some(self.crecv(Some(src), Some(tag))?.payload);
                 break;
             }
             mask <<= 1;
@@ -159,7 +211,7 @@ impl<'a, M: Messenger> Collective<'a, M> {
                 let peer = vrank | mask;
                 if peer < size {
                     let src = (peer + root) % size;
-                    let got = self.comm.recv(Some(src), Some(tag))?.payload;
+                    let got = self.crecv(Some(src), Some(tag))?.payload;
                     acc = op(acc, got);
                 }
             } else {
@@ -185,6 +237,14 @@ impl<'a, M: Messenger> Collective<'a, M> {
     /// Gather every rank's value at `root` (rank order), by direct sends —
     /// the pattern of the paper's fitness returns to the Nature Agent.
     /// Returns `Some(values)` at the root, `None` elsewhere.
+    ///
+    /// The root receives from each contributor *by source*, not via a
+    /// wildcard: source-filtered receives are aliveness-aware, so a peer
+    /// that dies before contributing surfaces as
+    /// [`ClusterError::RankDead`] even without a receive deadline
+    /// (docs/FAULT_TOLERANCE.md). Out-of-order arrivals are no slower —
+    /// non-matching envelopes are buffered by [`Comm`] and claimed when
+    /// their turn comes.
     pub fn gather(
         &self,
         root: Rank,
@@ -195,8 +255,8 @@ impl<'a, M: Messenger> Collective<'a, M> {
             let size = self.comm.size();
             let mut out: Vec<Option<M::Payload>> = (0..size).map(|_| None).collect();
             out[root] = Some(value);
-            for _ in 0..size - 1 {
-                let env = self.comm.recv(None, Some(tag))?;
+            for src in (0..size).filter(|&r| r != root) {
+                let env = self.crecv(Some(src), Some(tag))?;
                 out[env.src] = Some(env.payload);
             }
             Ok(Some(
@@ -369,6 +429,70 @@ mod tests {
         });
         for r in results {
             assert_eq!(r, (1, 10, 99));
+        }
+    }
+
+    #[test]
+    fn bcast_with_killed_peer_errors_instead_of_hanging() {
+        // In the 4-rank binomial tree rooted at 0, rank 3 receives its copy
+        // from rank 2. Killing rank 2 must surface as a typed error at rank
+        // 3 — not a deadlock. Rank 1 (fed directly by the root) still
+        // completes.
+        let results = VirtualCluster::run(4, |comm| {
+            let coll = Collective::new(&comm);
+            if comm.rank() == 2 {
+                comm.kill();
+                return Err(ClusterError::RankDead(2));
+            }
+            coll.bcast(0, (comm.rank() == 0).then_some(7u64))
+        });
+        assert_eq!(results[1], Ok(7));
+        assert_eq!(results[3], Err(ClusterError::RankDead(2)));
+        // Rank 0 only sends; depending on whether the kill lands before its
+        // send to rank 2 it sees success or the dead rank — never a hang.
+        assert!(matches!(results[0], Ok(7) | Err(ClusterError::RankDead(2))));
+    }
+
+    #[test]
+    fn gather_with_killed_peer_times_out_at_root() {
+        // The root expects size-1 contributions; a dead rank's never
+        // arrives. With a deadline the root errors instead of hanging.
+        let results = VirtualCluster::run(4, |comm| {
+            let coll =
+                Collective::with_recv_timeout(&comm, std::time::Duration::from_millis(200));
+            if comm.rank() == 2 {
+                comm.kill();
+                return Err(ClusterError::RankDead(2));
+            }
+            coll.gather(0, comm.rank() as u32).map(|_| ())
+        });
+        match &results[0] {
+            Err(ClusterError::RankDead(2)) | Err(ClusterError::Timeout) => {}
+            other => panic!("root should detect the dead peer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gather_with_killed_peer_errors_even_without_deadline() {
+        // Regression: the root's receives are source-filtered, so a dead
+        // contributor surfaces as `RankDead` through the aliveness check
+        // alone — no receive deadline required. (A wildcard-receive gather
+        // deadlocked here: wildcards only fail once *every* peer is dead.)
+        let results = VirtualCluster::run(4, |comm| {
+            let coll = Collective::new(&comm);
+            if comm.rank() == 2 {
+                comm.kill();
+                return Err(ClusterError::RankDead(2));
+            }
+            coll.gather(0, comm.rank() as u32).map(|_| ())
+        });
+        assert_eq!(results[0], Err(ClusterError::RankDead(2)));
+        for r in [1, 3] {
+            assert!(
+                matches!(results[r], Ok(()) | Err(ClusterError::RankDead(2))),
+                "rank {r}: {:?}",
+                results[r]
+            );
         }
     }
 

@@ -15,11 +15,14 @@
 //! the deterministic protocol in `dist.rs`).
 
 // detlint: allow-file(atomics, reason = "virtual-cluster substrate: liveness flags and message counters model the MPI runtime; protocol determinism is pinned by dist.rs tests")
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::faults::{FaultAction, MessageFaults};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A rank index in `0..size`.
 pub type Rank = usize;
@@ -50,6 +53,9 @@ pub enum ClusterError {
     InvalidRank(Rank),
     /// The channel closed mid-receive (peer ranks all gone).
     Disconnected,
+    /// A deadline receive expired before a matching message arrived — the
+    /// signature of a lost (dropped) message from a still-alive peer.
+    Timeout,
 }
 
 impl std::fmt::Display for ClusterError {
@@ -58,6 +64,7 @@ impl std::fmt::Display for ClusterError {
             ClusterError::RankDead(r) => write!(f, "rank {r} is dead"),
             ClusterError::InvalidRank(r) => write!(f, "rank {r} out of range"),
             ClusterError::Disconnected => write!(f, "all peers disconnected"),
+            ClusterError::Timeout => write!(f, "receive deadline expired"),
         }
     }
 }
@@ -71,6 +78,9 @@ struct Shared<T> {
     /// Total messages sent (communication-volume statistics for the
     /// perf-model validation).
     messages_sent: AtomicU64,
+    /// Deterministic message-fault schedule (empty by default); looked up
+    /// per (sender rank, per-sender send index).
+    faults: MessageFaults,
 }
 
 /// A rank's communication handle. Cloneable only via the cluster spawn; one
@@ -82,6 +92,21 @@ pub struct Comm<T> {
     inbox: Receiver<Envelope<T>>,
     /// Arrived-but-unmatched messages, in arrival order.
     pending: Mutex<VecDeque<Envelope<T>>>,
+    /// Logical sends issued by this rank (the key into the fault schedule).
+    sends: Cell<u64>,
+    /// Envelopes held back by a `Delay` fault; released after this rank's
+    /// next send, or when the handle drops (delivery stays guaranteed).
+    delayed: Mutex<Vec<Envelope<T>>>,
+}
+
+impl<T> Drop for Comm<T> {
+    fn drop(&mut self) {
+        // Release any still-delayed envelopes: a delay fault reorders
+        // delivery, it never loses a message.
+        for env in self.delayed.lock().drain(..) {
+            let _ = self.shared.senders[env.dst].send(env);
+        }
+    }
 }
 
 impl<T> std::fmt::Debug for Comm<T> {
@@ -93,7 +118,12 @@ impl<T> std::fmt::Debug for Comm<T> {
     }
 }
 
-impl<T: Send + 'static> Comm<T> {
+/// How long an aliveness-aware blocking receive waits between re-checks of
+/// the peer liveness flags. Purely a responsiveness knob: fault-free runs
+/// never take the timeout branch, so the value cannot affect trajectories.
+const ALIVENESS_POLL: Duration = Duration::from_millis(2);
+
+impl<T: Send + Clone + 'static> Comm<T> {
     /// This rank's index.
     #[inline]
     pub fn rank(&self) -> Rank {
@@ -109,6 +139,12 @@ impl<T: Send + 'static> Comm<T> {
     /// Send `payload` to `dst` with `tag`. Errors if `dst` is dead or out
     /// of range. Sends are non-blocking (channels are unbounded), like the
     /// paper's non-blocking point-to-point returns along the torus.
+    ///
+    /// `messages_sent` and the obs comm counters record only *successful*
+    /// logical sends — a send that fails (dead or invalid destination) is
+    /// not counted, so manifests don't overcount under faults. A message
+    /// consumed by an injected `Drop` fault still counts: the sender did
+    /// its work, the network lost the message.
     pub fn send(&self, dst: Rank, tag: Tag, payload: T) -> Result<(), ClusterError> {
         if dst >= self.size {
             return Err(ClusterError::InvalidRank(dst));
@@ -116,45 +152,195 @@ impl<T: Send + 'static> Comm<T> {
         if !self.shared.alive[dst].load(Ordering::Acquire) {
             return Err(ClusterError::RankDead(dst));
         }
+        let nth = self.sends.get();
+        self.sends.set(nth + 1);
+        let env = Envelope {
+            src: self.rank,
+            dst,
+            tag,
+            payload,
+        };
+        // Envelopes delayed by *earlier* sends flush after this message —
+        // "delayed past the sender's next message", reordered never lost.
+        let flush: Vec<Envelope<T>> = self.delayed.lock().drain(..).collect();
+        match self.shared.faults.action(self.rank, nth) {
+            None => {
+                self.shared.senders[dst]
+                    .send(env)
+                    .map_err(|_| ClusterError::RankDead(dst))?;
+            }
+            Some(FaultAction::Drop) => {
+                // The network loses the message; the send itself succeeded.
+                obs::counters().add_fault_injected();
+            }
+            Some(FaultAction::Duplicate) => {
+                obs::counters().add_fault_injected();
+                self.shared.senders[dst]
+                    .send(env.clone())
+                    .map_err(|_| ClusterError::RankDead(dst))?;
+                self.shared.senders[dst]
+                    .send(env)
+                    .map_err(|_| ClusterError::RankDead(dst))?;
+            }
+            Some(FaultAction::Delay) => {
+                obs::counters().add_fault_injected();
+                self.delayed.lock().push(env);
+            }
+        }
+        for old in flush {
+            let d = old.dst;
+            let _ = self.shared.senders[d].send(old);
+        }
         self.shared.messages_sent.fetch_add(1, Ordering::Relaxed);
         // comm_bytes uses the in-memory size of the payload type — a
         // deliberate lower-bound approximation for heap-owning payloads
         // (docs/OBSERVABILITY.md documents the contract).
         obs::counters().add_comm_message(std::mem::size_of::<T>() as u64);
-        self.shared.senders[dst]
-            .send(Envelope {
-                src: self.rank,
-                dst,
-                tag,
-                payload,
-            })
-            .map_err(|_| ClusterError::RankDead(dst))
+        Ok(())
     }
 
     /// Blocking receive of the next message matching `src`/`tag` filters
     /// (`None` = wildcard, like `MPI_ANY_SOURCE` / `MPI_ANY_TAG`).
     /// Non-matching arrivals are buffered and stay available to later
     /// receives in arrival order.
+    ///
+    /// Aliveness-aware: once the pending buffer and inbox are exhausted, a
+    /// receive filtered on a dead source — or a wildcard receive with every
+    /// peer dead — returns [`ClusterError::RankDead`] (resp.
+    /// [`ClusterError::Disconnected`]) instead of blocking forever. Dying
+    /// gasps are honoured: messages a rank sent *before* killing itself are
+    /// still delivered (the kill's `Release` store ordering guarantees they
+    /// are visible by the time the death is observed).
     pub fn recv(
         &self,
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> Result<Envelope<T>, ClusterError> {
+        self.recv_until(src, tag, None)
+    }
+
+    /// [`Comm::recv`] with a relative deadline: fails with
+    /// [`ClusterError::Timeout`] if no matching message arrives within
+    /// `timeout`. The MPI-style primitive behind the engine's lost-message
+    /// detection (docs/FAULT_TOLERANCE.md).
+    pub fn recv_timeout(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Result<Envelope<T>, ClusterError> {
+        // detlint: allow(wall-clock, reason = "deadline arithmetic for fault detection; fault-free runs never reach a timeout branch")
+        self.recv_until(src, tag, Some(Instant::now() + timeout))
+    }
+
+    /// [`Comm::recv_timeout`] with an absolute deadline.
+    pub fn recv_deadline(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        deadline: Instant,
+    ) -> Result<Envelope<T>, ClusterError> {
+        self.recv_until(src, tag, Some(deadline))
+    }
+
+    /// Non-blocking receive: the next already-arrived matching message, or
+    /// `None` when nothing matches right now.
+    pub fn try_recv(&self, src: Option<Rank>, tag: Option<Tag>) -> Option<Envelope<T>> {
         let matches = |e: &Envelope<T>| {
             src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t)
         };
-        {
-            let mut pending = self.pending.lock();
-            if let Some(pos) = pending.iter().position(&matches) {
-                return Ok(pending.remove(pos).expect("position just found"));
-            }
+        if let Some(env) = self.take_pending(&matches) {
+            return Some(env);
+        }
+        self.drain_inbox(&matches)
+    }
+
+    /// Shared receive loop: pending buffer → inbox drain → aliveness check
+    /// → bounded wait, until a match, a detected failure, or the deadline.
+    fn recv_until(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        deadline: Option<Instant>,
+    ) -> Result<Envelope<T>, ClusterError> {
+        let matches = |e: &Envelope<T>| {
+            src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t)
+        };
+        if let Some(env) = self.take_pending(&matches) {
+            return Ok(env);
         }
         loop {
-            let env = self.inbox.recv().map_err(|_| ClusterError::Disconnected)?;
-            if matches(&env) {
+            // Drain everything already delivered before deciding anything.
+            if let Some(env) = self.drain_inbox(&matches) {
                 return Ok(env);
             }
-            self.pending.lock().push_back(env);
+            // Aliveness: a dead filtered source (or, for wildcards, a fully
+            // dead peer set) can never produce the message we wait for.
+            // The drain above ran *after* any `Acquire`-observable death,
+            // so dying-gasp messages have already been consumed.
+            if let Some(err) = self.peer_failure(src) {
+                if let Some(env) = self.drain_inbox(&matches) {
+                    return Ok(env);
+                }
+                return Err(err);
+            }
+            // Wait a bounded slice so deaths and deadlines stay observable.
+            // detlint: allow(wall-clock, reason = "deadline arithmetic for fault detection; fault-free runs never reach a timeout branch")
+            let now = Instant::now();
+            let mut wait = ALIVENESS_POLL;
+            if let Some(d) = deadline {
+                if now >= d {
+                    obs::counters().add_comm_timeout();
+                    return Err(ClusterError::Timeout);
+                }
+                wait = wait.min(d - now);
+            }
+            match self.inbox.recv_timeout(wait) {
+                Ok(env) => {
+                    if matches(&env) {
+                        return Ok(env);
+                    }
+                    self.pending.lock().push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ClusterError::Disconnected)
+                }
+            }
+        }
+    }
+
+    /// Remove and return the first pending envelope matching `matches`.
+    fn take_pending(&self, matches: &impl Fn(&Envelope<T>) -> bool) -> Option<Envelope<T>> {
+        let mut pending = self.pending.lock();
+        let pos = pending.iter().position(matches)?;
+        Some(pending.remove(pos).expect("position just found"))
+    }
+
+    /// Move every already-delivered envelope out of the inbox; return the
+    /// first match (later matches stay in the pending buffer in order).
+    fn drain_inbox(&self, matches: &impl Fn(&Envelope<T>) -> bool) -> Option<Envelope<T>> {
+        let mut found = None;
+        while let Some(env) = self.inbox.try_recv() {
+            if found.is_none() && matches(&env) {
+                found = Some(env);
+            } else {
+                self.pending.lock().push_back(env);
+            }
+        }
+        found
+    }
+
+    /// The error a receive filtered as `src` can no longer avoid, if any:
+    /// the named source is dead, or (wildcard) every peer is dead.
+    fn peer_failure(&self, src: Option<Rank>) -> Option<ClusterError> {
+        match src {
+            Some(s) => (!self.is_alive(s)).then_some(ClusterError::RankDead(s)),
+            None => {
+                let any_peer_alive = (0..self.size)
+                    .any(|r| r != self.rank && self.shared.alive[r].load(Ordering::Acquire));
+                (!any_peer_alive && self.size > 1).then_some(ClusterError::Disconnected)
+            }
         }
     }
 
@@ -191,7 +377,37 @@ impl VirtualCluster {
     /// joined.
     pub fn run<T, R, F>(size: usize, body: F) -> Vec<R>
     where
-        T: Send + 'static,
+        T: Send + Clone + 'static,
+        R: Send + 'static,
+        F: Fn(Comm<T>) -> R + Send + Sync + 'static,
+    {
+        Self::run_with_faults(size, MessageFaults::default(), body)
+    }
+
+    /// [`VirtualCluster::run`] with a deterministic message-fault schedule
+    /// injected at the transport (see [`crate::faults`]). An empty schedule
+    /// behaves exactly like [`VirtualCluster::run`].
+    pub fn run_with_faults<T, R, F>(size: usize, faults: MessageFaults, body: F) -> Vec<R>
+    where
+        T: Send + Clone + 'static,
+        R: Send + 'static,
+        F: Fn(Comm<T>) -> R + Send + Sync + 'static,
+    {
+        Self::run_with_faults_counted(size, faults, body).0
+    }
+
+    /// [`VirtualCluster::run_with_faults`], additionally returning the
+    /// cluster-wide message total. The count is read **after every rank
+    /// thread has joined**, so it is exact and schedule-independent —
+    /// unlike [`Comm::cluster_messages_sent`] from inside a still-running
+    /// rank, which can miss peers' in-flight final sends.
+    pub fn run_with_faults_counted<T, R, F>(
+        size: usize,
+        faults: MessageFaults,
+        body: F,
+    ) -> (Vec<R>, u64)
+    where
+        T: Send + Clone + 'static,
         R: Send + 'static,
         F: Fn(Comm<T>) -> R + Send + Sync + 'static,
     {
@@ -207,6 +423,7 @@ impl VirtualCluster {
             senders,
             alive: (0..size).map(|_| AtomicBool::new(true)).collect(),
             messages_sent: AtomicU64::new(0),
+            faults,
         });
         let body = Arc::new(body);
         let handles: Vec<_> = receivers
@@ -224,6 +441,8 @@ impl VirtualCluster {
                             shared,
                             inbox,
                             pending: Mutex::new(VecDeque::new()),
+                            sends: Cell::new(0),
+                            delayed: Mutex::new(Vec::new()),
                         };
                         body(comm)
                     })
@@ -241,7 +460,8 @@ impl VirtualCluster {
         if let Some(e) = panic {
             std::panic::resume_unwind(e);
         }
-        results
+        let total = shared.messages_sent.load(Ordering::Relaxed);
+        (results, total)
     }
 }
 
@@ -342,6 +562,118 @@ mod tests {
                 assert_eq!(comm.send(1, 0, 1), Err(ClusterError::RankDead(1)));
             }
         });
+    }
+
+    #[test]
+    fn recv_from_dead_rank_errors_instead_of_hanging() {
+        // The deadlock this layer used to have: rank 1 dies without a
+        // gasp; rank 0's filtered receive must error, not block forever.
+        VirtualCluster::run(3, |comm: Comm<u8>| {
+            if comm.rank() == 1 {
+                comm.kill();
+            } else if comm.rank() == 0 {
+                assert_eq!(
+                    comm.recv(Some(1), Some(4)),
+                    Err(ClusterError::RankDead(1))
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn dying_gasp_beats_death_detection() {
+        // A message sent before kill() must be returned, not eaten by the
+        // aliveness check, no matter how late the receiver starts waiting.
+        VirtualCluster::run(2, |comm: Comm<u8>| {
+            if comm.rank() == 1 {
+                comm.send(0, 9, 42).unwrap();
+                comm.kill();
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                assert_eq!(comm.recv(Some(1), Some(9)).unwrap().payload, 42);
+                // Nothing further can come: now the death is the answer.
+                assert_eq!(comm.recv(Some(1), Some(9)), Err(ClusterError::RankDead(1)));
+            }
+        });
+    }
+
+    #[test]
+    fn wildcard_recv_disconnects_when_all_peers_die() {
+        VirtualCluster::run(3, |comm: Comm<u8>| {
+            if comm.rank() == 0 {
+                assert_eq!(comm.recv_any(), Err(ClusterError::Disconnected));
+            } else {
+                comm.kill();
+            }
+        });
+    }
+
+    #[test]
+    fn recv_timeout_expires_on_silent_peer() {
+        VirtualCluster::run(2, |comm: Comm<u8>| {
+            if comm.rank() == 0 {
+                let got = comm.recv_timeout(
+                    Some(1),
+                    Some(3),
+                    std::time::Duration::from_millis(25),
+                );
+                assert_eq!(got, Err(ClusterError::Timeout));
+                // Unblock rank 1's barrier-free exit.
+                comm.send(1, 0, 1).unwrap();
+            } else {
+                comm.recv(Some(0), Some(0)).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn recv_timeout_returns_message_that_arrives_in_time() {
+        VirtualCluster::run(2, |comm: Comm<u8>| {
+            if comm.rank() == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                comm.send(0, 5, 7).unwrap();
+            } else {
+                let env = comm
+                    .recv_timeout(Some(1), Some(5), std::time::Duration::from_secs(5))
+                    .unwrap();
+                assert_eq!(env.payload, 7);
+            }
+        });
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking_and_filters() {
+        VirtualCluster::run(2, |comm: Comm<u8>| {
+            if comm.rank() == 1 {
+                comm.send(0, 1, 11).unwrap();
+                comm.send(0, 2, 22).unwrap();
+            } else {
+                // Wait for both, then pick tag 2 first.
+                let b = comm.recv(Some(1), Some(2)).unwrap();
+                assert_eq!(b.payload, 22);
+                let a = comm.try_recv(Some(1), Some(1));
+                assert_eq!(a.unwrap().payload, 11);
+                assert!(comm.try_recv(None, None).is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn failed_sends_are_not_counted() {
+        let results = VirtualCluster::run(2, |comm: Comm<u8>| {
+            if comm.rank() == 1 {
+                comm.kill();
+                comm.send(0, 0, 1).unwrap(); // sync: tell rank 0 we're dead
+                0
+            } else {
+                comm.recv(Some(1), Some(0)).unwrap();
+                let before = comm.cluster_messages_sent();
+                assert_eq!(comm.send(1, 0, 9), Err(ClusterError::RankDead(1)));
+                assert_eq!(comm.send(5, 0, 9), Err(ClusterError::InvalidRank(5)));
+                comm.cluster_messages_sent() - before
+            }
+        });
+        assert_eq!(results[0], 0, "failed sends must not increment the counter");
     }
 
     #[test]

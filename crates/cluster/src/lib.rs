@@ -22,6 +22,10 @@
 //!   ranks own blocks of SSets, and a generation proceeds exactly as in
 //!   §V-A/B. Produces trajectories identical to the shared-memory
 //!   [`evo_core::population::Population`].
+//! - [`faults`] — deterministic fault injection: a seeded [`faults::FaultPlan`]
+//!   schedules rank kills and message drop/delay/duplicate from a dedicated
+//!   RNG stream, so fault schedules never perturb evolution streams
+//!   (`docs/FAULT_TOLERANCE.md`).
 //! - [`perf`] — an analytic LogGP-style performance model, calibrated
 //!   against the paper's published runtimes and against locally measured
 //!   game-kernel costs, used to regenerate the scaling tables and figures
@@ -32,6 +36,7 @@
 pub mod collective;
 pub mod comm;
 pub mod dist;
+pub mod faults;
 pub mod perf;
 pub mod simtime;
 pub mod topology;
@@ -40,7 +45,8 @@ pub mod topology;
 pub mod prelude {
     pub use crate::collective::{Collective, Messenger};
     pub use crate::comm::{ClusterError, Comm, Envelope, Rank, Tag, VirtualCluster};
-    pub use crate::dist::{DistConfig, DistOutcome};
+    pub use crate::dist::{DegradedRun, DistConfig, DistError, DistOutcome};
+    pub use crate::faults::{FaultAction, FaultPlan, MessageFault, MessageFaults, RankKill};
     pub use crate::perf::{MachineProfile, PerfModel, Workload};
     pub use crate::simtime::{simulate_run, run_timed, NetCosts, TimedComm};
     pub use crate::topology::{CollectiveTree, Torus3D};

@@ -20,6 +20,11 @@
 //! [`simulate_run`] uses this to replay the distributed engine's §V
 //! communication pattern with *charged* (not executed) game time, giving
 //! simulated scaling curves that validate the analytic model's shape.
+//!
+//! The simulator models a *healthy* machine: [`TimedComm`] keeps the
+//! [`Messenger`] trait's default deadline-free receive, so fault
+//! injection and recv deadlines (docs/FAULT_TOLERANCE.md) are a
+//! functional-engine concern that never skews makespans here.
 
 use crate::collective::{Collective, Messenger};
 use crate::comm::{ClusterError, Comm, Envelope, Rank, Tag, VirtualCluster};

@@ -30,6 +30,12 @@
 //! functions in the same order with the same RNG streams, their
 //! trajectories — records, assignments, fitness bits, and statistics — are
 //! bit-identical.
+//!
+//! The same stream keying makes a
+//! [`Checkpoint`](crate::record::Checkpoint) of pool + assignments + stats
+//! the *complete* run state — no generator positions exist to save — which
+//! is what checkpoint/restore and the distributed engine's degraded-run
+//! recovery build on (docs/FAULT_TOLERANCE.md).
 
 use crate::fitness::{
     evaluate_deduped, evaluate_expected, evaluate_expected_one, evaluate_one_with_kernel,

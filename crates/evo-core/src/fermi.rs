@@ -18,11 +18,19 @@
 /// teacher payoff `pi_t`, learner payoff `pi_l`.
 ///
 /// `beta = f64::INFINITY` implements the deterministic imitation limit:
-/// 1 if the teacher is strictly fitter, ½ on ties, 0 otherwise.
+/// 1 if the teacher is strictly fitter, ½ on ties, 0 otherwise. `beta = 0`
+/// is pure random drift and returns ½ for *every* payoff pair — including
+/// an infinite payoff difference, where the naive `-0.0 × ∞` product is
+/// NaN and `1/(1+exp(NaN))` would leak NaN into an adoption probability.
+/// NaN payoffs (no comparison is meaningful) also pin to ½, so the result
+/// is in `[0, 1]` for every input.
 #[inline]
 pub fn fermi_probability(beta: f64, pi_t: f64, pi_l: f64) -> f64 {
     debug_assert!(beta >= 0.0, "selection intensity must be non-negative");
     let diff = pi_t - pi_l;
+    if beta == 0.0 || diff.is_nan() {
+        return 0.5;
+    }
     if beta.is_infinite() {
         return if diff > 0.0 {
             1.0
@@ -104,5 +112,59 @@ mod tests {
         assert_eq!(p, 1.0);
         let q = fermi_probability(10.0, -1e8, 1e8);
         assert_eq!(q, 0.0);
+    }
+
+    #[test]
+    fn zero_beta_with_infinite_difference_is_half_not_nan() {
+        // Regression: -0.0 × ∞ = NaN made 1/(1+exp(NaN)) return NaN.
+        assert_eq!(fermi_probability(0.0, f64::INFINITY, 0.0), 0.5);
+        assert_eq!(fermi_probability(0.0, 0.0, f64::INFINITY), 0.5);
+        assert_eq!(fermi_probability(0.0, f64::NEG_INFINITY, 3.0), 0.5);
+        assert_eq!(
+            fermi_probability(0.0, f64::INFINITY, f64::NEG_INFINITY),
+            0.5
+        );
+    }
+
+    #[test]
+    fn nan_payoffs_pin_to_half() {
+        for beta in [0.0, 1.0, f64::INFINITY] {
+            assert_eq!(fermi_probability(beta, f64::NAN, 1.0), 0.5, "β={beta}");
+            assert_eq!(fermi_probability(beta, 1.0, f64::NAN), 0.5, "β={beta}");
+            // ∞ − ∞ is also NaN: no meaningful comparison, so drift.
+            assert_eq!(
+                fermi_probability(beta, f64::INFINITY, f64::INFINITY),
+                0.5,
+                "β={beta}"
+            );
+        }
+    }
+
+    #[test]
+    fn probability_in_unit_interval_for_every_beta_payoff_combination() {
+        // The satellite acceptance sweep: every (β, π) combination — zero,
+        // finite, infinite, and NaN — must land in [0, 1].
+        let payoffs = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.0,
+            -0.0,
+            0.0,
+            1.0,
+            1e300,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for beta in [0.0, 1e-300, 0.5, 1.0, 1e300, f64::INFINITY] {
+            for pi_t in payoffs {
+                for pi_l in payoffs {
+                    let p = fermi_probability(beta, pi_t, pi_l);
+                    assert!(
+                        (0.0..=1.0).contains(&p),
+                        "β={beta} π_T={pi_t} π_L={pi_l} gave {p}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -268,6 +268,7 @@ impl Population {
     /// limits.
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
+            schema_version: crate::record::CHECKPOINT_SCHEMA_VERSION,
             params: self.params.clone(),
             generation: self.generation,
             pool: self.pool.iter().map(|(_, s)| (**s).clone()).collect(),

@@ -72,10 +72,25 @@ impl PopulationSnapshot {
     }
 }
 
+/// Version of the [`Checkpoint`] JSON schema. Bump on any
+/// backwards-incompatible change and update `docs/FAULT_TOLERANCE.md`.
+/// Version 1 is the original layout; files written before versioning
+/// deserialise as version 0 (`#[serde(default)]`) and share that layout.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
 /// A serialisable snapshot of the complete simulation state — see
-/// [`crate::population::Population::checkpoint`].
+/// [`crate::population::Population::checkpoint`]. Because the engine's RNG
+/// streams are `(seed, domain, entity, generation)`-keyed, this struct is
+/// the *entire* state: no generator positions need saving, and restoring
+/// plus continuing is bit-identical to never stopping
+/// (docs/FAULT_TOLERANCE.md).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Checkpoint {
+    /// Schema version this file was written with
+    /// ([`CHECKPOINT_SCHEMA_VERSION`]); 0 for pre-versioning files, whose
+    /// layout is identical.
+    #[serde(default)]
+    pub schema_version: u32,
     /// The run's parameters (seed included: streams are generation-keyed,
     /// so resuming continues the same randomness).
     pub params: crate::params::Params,

@@ -29,6 +29,10 @@ pub enum Domain {
     Mutation = 4,
     /// Analysis-side draws (e.g. k-means initialisation).
     Analysis = 5,
+    /// Fault-injection schedules (`cluster::faults`). Disjoint from every
+    /// evolution domain so drawing a fault plan can never perturb a
+    /// trajectory.
+    Faults = 6,
 }
 
 /// SplitMix64 — the standard 64-bit mixer; used only for key derivation.

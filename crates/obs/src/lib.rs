@@ -107,6 +107,9 @@ pub struct Counters {
     comm_bytes: AtomicU64,
     collective_ops: AtomicU64,
     perf_model_evals: AtomicU64,
+    faults_injected: AtomicU64,
+    comm_timeouts: AtomicU64,
+    checkpoints_written: AtomicU64,
 }
 
 static COUNTERS: Counters = Counters {
@@ -119,6 +122,9 @@ static COUNTERS: Counters = Counters {
     comm_bytes: AtomicU64::new(0),
     collective_ops: AtomicU64::new(0),
     perf_model_evals: AtomicU64::new(0),
+    faults_injected: AtomicU64::new(0),
+    comm_timeouts: AtomicU64::new(0),
+    checkpoints_written: AtomicU64::new(0),
 };
 
 /// The process-global [`Counters`] instance.
@@ -180,6 +186,27 @@ impl Counters {
         self.perf_model_evals.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One scheduled fault executed by the virtual cluster's transport or
+    /// engine (message drop/delay/duplicate applied, rank killed on plan).
+    #[inline]
+    pub fn add_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One receive deadline expired (`cluster::comm` returned
+    /// `ClusterError::Timeout`). Fault-free runs never increment this.
+    #[inline]
+    pub fn add_comm_timeout(&self) {
+        self.comm_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One run checkpoint serialised to stable storage (periodic
+    /// `--checkpoint-every` snapshots and degraded-run final snapshots).
+    #[inline]
+    pub fn add_checkpoint_written(&self) {
+        self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of every counter (each load
     /// is individually atomic; the set is not a cross-counter transaction).
     pub fn snapshot(&self) -> CounterSnapshot {
@@ -193,6 +220,9 @@ impl Counters {
             comm_bytes: self.comm_bytes.load(Ordering::Relaxed),
             collective_ops: self.collective_ops.load(Ordering::Relaxed),
             perf_model_evals: self.perf_model_evals.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            comm_timeouts: self.comm_timeouts.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
         }
     }
 }
@@ -222,6 +252,18 @@ pub struct CounterSnapshot {
     pub collective_ops: u64,
     /// Analytic performance-model evaluations.
     pub perf_model_evals: u64,
+    /// Scheduled faults executed (message faults applied, ranks killed on
+    /// plan). `#[serde(default)]`: absent in pre-fault-tolerance manifests.
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Receive deadlines expired in the virtual cluster; always 0 in
+    /// fault-free runs. `#[serde(default)]`: absent in older manifests.
+    #[serde(default)]
+    pub comm_timeouts: u64,
+    /// Run checkpoints serialised. `#[serde(default)]`: absent in older
+    /// manifests.
+    #[serde(default)]
+    pub checkpoints_written: u64,
 }
 
 impl CounterSnapshot {
@@ -237,6 +279,9 @@ impl CounterSnapshot {
             && self.comm_bytes >= earlier.comm_bytes
             && self.collective_ops >= earlier.collective_ops
             && self.perf_model_evals >= earlier.perf_model_evals
+            && self.faults_injected >= earlier.faults_injected
+            && self.comm_timeouts >= earlier.comm_timeouts
+            && self.checkpoints_written >= earlier.checkpoints_written
     }
 
     /// Per-counter difference `self − baseline` (saturating), attributing
@@ -259,6 +304,11 @@ impl CounterSnapshot {
             perf_model_evals: self
                 .perf_model_evals
                 .saturating_sub(baseline.perf_model_evals),
+            faults_injected: self.faults_injected.saturating_sub(baseline.faults_injected),
+            comm_timeouts: self.comm_timeouts.saturating_sub(baseline.comm_timeouts),
+            checkpoints_written: self
+                .checkpoints_written
+                .saturating_sub(baseline.checkpoints_written),
         }
     }
 }
@@ -560,12 +610,34 @@ mod tests {
         counters().add_comm_message(64);
         counters().add_collective_op();
         counters().add_perf_model_eval();
+        counters().add_fault_injected();
+        counters().add_comm_timeout();
+        counters().add_checkpoint_written();
         let after = counters().snapshot();
         assert!(after.monotone_since(&before));
         let delta = after.delta_since(&before);
         assert!(delta.games_played >= 1);
         assert!(delta.rounds_simulated >= 200);
         assert!(delta.comm_bytes >= 64);
+        assert!(delta.faults_injected >= 1);
+        assert!(delta.comm_timeouts >= 1);
+        assert!(delta.checkpoints_written >= 1);
+    }
+
+    #[test]
+    fn snapshot_without_fault_fields_parses_as_zero() {
+        // Manifests written before the fault-tolerance counters existed
+        // must still deserialise.
+        let legacy = r#"{
+            "games_played": 1, "rounds_simulated": 2, "fermi_updates": 3,
+            "mutations": 4, "rng_streams": 5, "comm_messages": 6,
+            "comm_bytes": 7, "collective_ops": 8, "perf_model_evals": 9
+        }"#;
+        let snap: CounterSnapshot = serde_json::from_str(legacy).unwrap();
+        assert_eq!(snap.faults_injected, 0);
+        assert_eq!(snap.comm_timeouts, 0);
+        assert_eq!(snap.checkpoints_written, 0);
+        assert_eq!(snap.games_played, 1);
     }
 
     #[test]

@@ -29,11 +29,12 @@ fn main() {
 
     println!("\nranks  trajectory  messages  msgs/generation");
     for ranks in [2usize, 3, 5, 9] {
-        let out = run_distributed(&DistConfig {
-            params: params.clone(),
+        let out = run_distributed(&DistConfig::new(
+            params.clone(),
             ranks,
-            policy: FitnessPolicy::OnDemand,
-        });
+            FitnessPolicy::OnDemand,
+        ))
+        .expect("fault-free run");
         let identical = out.assignments == reference.assignments();
         println!(
             "{:>5}  {:>10}  {:>8}  {:>15.1}",

@@ -12,19 +12,31 @@
 //! evogame-cli distributed --ranks 4 --ssets 16 --generations 200 [...]
 //!                         [--rule pc|moran|best] [--every-generation]
 //!                         [--manifest-out run.json]
+//!                         [--kill-rank R --kill-at G] [--recv-timeout-ms MS]
 //! ```
 //!
 //! Every subcommand prints human-readable output; `run` can also emit the
 //! sampled trajectory as CSV. `--manifest-out` additionally enables the
 //! observability timing layer and writes the machine-readable JSON run
 //! manifest described in `docs/OBSERVABILITY.md`.
+//!
+//! Both engines accept `--checkpoint-out` / `--checkpoint-every` /
+//! `--resume` (docs/FAULT_TOLERANCE.md); checkpoints are backend-neutral,
+//! and resuming is bit-identical to never having stopped. The distributed
+//! engine additionally accepts deterministic fault-injection flags; an
+//! injected failure ends the run with exit code 3 and, when
+//! `--checkpoint-out` is given, a restartable checkpoint. Both engines
+//! print a final `state digest` line to stderr so scripts can compare
+//! outcomes across backends and across interrupted-vs-straight runs.
 
 #![forbid(unsafe_code)]
 
 use evogame::analysis::heatmap::{render_ascii, HeatmapOptions};
-use evogame::analysis::timeseries::record_run;
-use evogame::cluster::dist::{run_distributed, DistConfig};
+use evogame::analysis::timeseries::Trajectory;
+use evogame::cluster::dist::{run_distributed, DistConfig, DistError};
+use evogame::cluster::faults::RankKill;
 use evogame::engine::params::UpdateRule;
+use evogame::engine::record::Checkpoint;
 use evogame::ipd::classic;
 use evogame::ipd::tournament::{Entrant, RoundRobin};
 use evogame::prelude::*;
@@ -97,52 +109,104 @@ fn write_manifest(path: &str, manifest: &evogame::obs::RunManifest) -> Result<()
     Ok(())
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
-    let params = build_params(args)?;
-    let generations = params.generations;
+/// Write a restartable checkpoint as JSON to `path`.
+fn write_checkpoint(path: &str, cp: &Checkpoint) -> Result<(), String> {
+    let json = serde_json::to_string(cp).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    evogame::obs::counters().add_checkpoint_written();
+    eprintln!("wrote checkpoint (generation {}) to {path}", cp.generation);
+    Ok(())
+}
+
+/// Read a checkpoint previously written by [`write_checkpoint`].
+fn read_checkpoint(path: &str) -> Result<Checkpoint, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: not a checkpoint: {e}"))
+}
+
+/// FNV-1a over the serialised final state (assignments plus per-SSet
+/// feature vectors): a cheap fingerprint scripts compare across backends
+/// and across interrupted-then-resumed vs straight-through runs.
+fn state_digest<A: serde::Serialize, F: serde::Serialize>(assignments: &A, features: &F) -> u64 {
+    let json = serde_json::to_string(&(assignments, features)).expect("state serialises");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+fn cmd_run(args: &Args) -> Result<ExitCode, String> {
     let manifest_out = args.value("--manifest-out").map(str::to_string);
     if manifest_out.is_some() {
         // Timing layer on: spans and per-generation wall times. Counters
         // are always on; this cannot change the trajectory.
         evogame::obs::set_enabled(true);
     }
-    let mut pop = Population::new(params).map_err(|e| e.to_string())?;
+    let checkpoint_out = args.value("--checkpoint-out").map(str::to_string);
+    let checkpoint_every: Option<u64> = match args.value("--checkpoint-every") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid value {v:?} for --checkpoint-every"))?,
+        ),
+        None => None,
+    };
+    if checkpoint_every.is_some() && checkpoint_out.is_none() {
+        return Err("--checkpoint-every needs --checkpoint-out FILE".into());
+    }
+    let mut pop = match args.value("--resume") {
+        // A resumed run is driven by the checkpoint's own params (they
+        // carry the seed and generation target); parameter flags are
+        // ignored. Streams are generation-keyed, so the continuation is
+        // bit-identical to never having stopped.
+        Some(path) => Population::restore(read_checkpoint(path)?).map_err(|e| e.to_string())?,
+        None => Population::new(build_params(args)?).map_err(|e| e.to_string())?,
+    };
     if args.flag("--on-demand") {
         pop.fitness_policy = FitnessPolicy::OnDemand;
     }
-    let every = args.parse("--sample-every", (generations / 10).max(1))?;
+    let start = pop.generation();
+    let total = pop.params().generations;
+    let every = args.parse("--sample-every", ((total - start) / 10).max(1))?;
     let target = (pop.space().mem_steps() == 1).then(|| (vec![1.0, 0.0, 0.0, 1.0], 0.499));
+    let mut traj = match &target {
+        Some((t, tol)) => Trajectory::with_target(t.clone(), *tol),
+        None => Trajectory::new(),
+    };
+    // Stream every generation record to a JSONL file (the Nature Agent's
+    // file-I/O role) while sampling the trajectory.
+    let mut writer = match args.value("--records") {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            Some((
+                path.to_string(),
+                evogame::engine::record::RecordWriter::new(file),
+            ))
+        }
+        None => None,
+    };
     let t0 = std::time::Instant::now();
-    let (traj, records_written) = if let Some(path) = args.value("--records") {
-        // Stream every generation record to a JSONL file (the Nature
-        // Agent's file-I/O role) while sampling the trajectory.
-        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-        let mut writer = evogame::engine::record::RecordWriter::new(file);
-        let mut traj = match &target {
-            Some((t, tol)) => evogame::analysis::timeseries::Trajectory::with_target(
-                t.clone(),
-                *tol,
-            ),
-            None => evogame::analysis::timeseries::Trajectory::new(),
-        };
-        traj.observe(&pop);
-        for g in 0..generations {
-            let rec = pop.step();
-            writer
-                .write_generation(&rec)
+    traj.observe(&pop);
+    for g in start..total {
+        let rec = pop.step();
+        if let Some((_, w)) = &mut writer {
+            w.write_generation(&rec)
                 .map_err(|e| format!("writing records: {e}"))?;
-            if (g + 1) % every == 0 || g + 1 == generations {
-                traj.observe(&pop);
+        }
+        if (g + 1 - start) % every == 0 || g + 1 == total {
+            traj.observe(&pop);
+        }
+        if let (Some(n), Some(path)) = (checkpoint_every, checkpoint_out.as_deref()) {
+            if n > 0 && (g + 1) % n == 0 {
+                write_checkpoint(path, &pop.checkpoint())?;
             }
         }
-        let lines = writer.lines();
-        writer.finish().map_err(|e| format!("flushing records: {e}"))?;
-        (traj, Some((path.to_string(), lines)))
-    } else {
-        (record_run(&mut pop, generations, every, target), None)
-    };
+    }
     let elapsed = t0.elapsed().as_secs_f64();
-    if let Some((path, lines)) = records_written {
+    if let Some((path, w)) = writer {
+        let lines = w.lines();
+        w.finish().map_err(|e| format!("flushing records: {e}"))?;
         eprintln!("wrote {lines} generation records to {path}");
     }
 
@@ -153,14 +217,23 @@ fn cmd_run(args: &Args) -> Result<(), String> {
          games {}",
         stats.generations, stats.pc_events, stats.adoptions, stats.mutations, stats.games_played
     );
+    eprintln!(
+        "state digest: {:016x}",
+        state_digest(&pop.assignments(), &pop.snapshot().features)
+    );
     if args.flag("--heatmap") {
         eprintln!("\nfinal population (clustered):");
         eprint!("{}", render_ascii(&pop.snapshot(), &HeatmapOptions::default()));
     }
+    if let Some(path) = checkpoint_out.as_deref() {
+        // Always leave the final state on disk, whatever interval (if any)
+        // the periodic writes used.
+        write_checkpoint(path, &pop.checkpoint())?;
+    }
     if let Some(path) = manifest_out {
         write_manifest(&path, &pop.manifest(elapsed))?;
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_tournament(args: &Args) -> Result<(), String> {
@@ -234,8 +307,7 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_distributed(args: &Args) -> Result<(), String> {
-    let params = build_params(args)?;
+fn cmd_distributed(args: &Args) -> Result<ExitCode, String> {
     let ranks = args.parse("--ranks", 4usize)?;
     if ranks < 2 {
         return Err("--ranks must be ≥ 2 (Nature Agent + compute)".into());
@@ -244,48 +316,126 @@ fn cmd_distributed(args: &Args) -> Result<(), String> {
     if manifest_out.is_some() {
         evogame::obs::set_enabled(true);
     }
+    let checkpoint_out = args.value("--checkpoint-out").map(str::to_string);
+    let policy = if args.flag("--every-generation") {
+        FitnessPolicy::EveryGeneration
+    } else {
+        FitnessPolicy::OnDemand
+    };
+    let mut cfg = match args.value("--resume") {
+        Some(path) => {
+            // The checkpoint's params drive the resumed run; parameter
+            // flags are ignored (same contract as `run --resume`).
+            let cp = read_checkpoint(path)?;
+            let mut c = DistConfig::new(cp.params.clone(), ranks, policy);
+            c.resume = Some(cp);
+            c
+        }
+        None => DistConfig::new(build_params(args)?, ranks, policy),
+    };
+    cfg.checkpoint_every = match args.value("--checkpoint-every") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid value {v:?} for --checkpoint-every"))?,
+        ),
+        // `--checkpoint-out` alone still wants the final state: the full
+        // run length is an interval that fires exactly once, at the end.
+        None => checkpoint_out.as_ref().map(|_| cfg.params.generations),
+    };
+
+    // Deterministic fault injection (docs/FAULT_TOLERANCE.md).
+    if let Some(r) = args.value("--kill-rank") {
+        let rank: usize = r
+            .parse()
+            .map_err(|_| format!("invalid value {r:?} for --kill-rank"))?;
+        let generation = args.parse("--kill-at", 0u64)?;
+        cfg.faults.kills.push(RankKill { rank, generation });
+    }
+    if let Some(ms) = args.value("--recv-timeout-ms") {
+        cfg.faults.recv_timeout_ms = Some(
+            ms.parse()
+                .map_err(|_| format!("invalid value {ms:?} for --recv-timeout-ms"))?,
+        );
+    }
+
     let baseline = evogame::obs::counters().snapshot();
-    let (seed, generations) = (params.seed, params.generations);
+    let (seed, generations) = (cfg.params.seed, cfg.params.generations);
     let params_value = {
         use serde::Serialize;
-        params.to_value()
+        cfg.params.to_value()
     };
     let t0 = std::time::Instant::now();
-    let out = run_distributed(&DistConfig {
-        params,
-        ranks,
-        policy: if args.flag("--every-generation") {
-            FitnessPolicy::EveryGeneration
-        } else {
-            FitnessPolicy::OnDemand
-        },
-    });
-    println!(
-        "distributed run on {ranks} ranks: {} generations in {:.2}s",
-        out.stats.generations,
-        t0.elapsed().as_secs_f64()
-    );
-    println!(
-        "PC events {} | adoptions {} | mutations {} | games {} | messages {}",
-        out.stats.pc_events,
-        out.stats.adoptions,
-        out.stats.mutations,
-        out.stats.games_played,
-        out.messages_sent
-    );
-    if let Some(path) = manifest_out {
-        let manifest = evogame::obs::RunManifest::capture(
-            params_value,
-            seed,
-            ranks,
-            generations,
-            t0.elapsed().as_secs_f64(),
-            &baseline,
-            &out.generation_ns,
-        );
-        write_manifest(&path, &manifest)?;
+    match run_distributed(&cfg) {
+        Ok(out) => {
+            println!(
+                "distributed run on {ranks} ranks: {} generations in {:.2}s",
+                out.stats.generations,
+                t0.elapsed().as_secs_f64()
+            );
+            println!(
+                "PC events {} | adoptions {} | mutations {} | games {} | messages {}",
+                out.stats.pc_events,
+                out.stats.adoptions,
+                out.stats.mutations,
+                out.stats.games_played,
+                out.messages_sent
+            );
+            eprintln!(
+                "state digest: {:016x}",
+                state_digest(&out.assignments, &out.features)
+            );
+            if let (Some(path), Some(cp)) = (checkpoint_out.as_deref(), &out.checkpoint) {
+                write_checkpoint(path, cp)?;
+            }
+            if let Some(path) = manifest_out {
+                let manifest = evogame::obs::RunManifest::capture(
+                    params_value,
+                    seed,
+                    ranks,
+                    generations,
+                    t0.elapsed().as_secs_f64(),
+                    &baseline,
+                    &out.generation_ns,
+                );
+                write_manifest(&path, &manifest)?;
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(DistError::Degraded(d)) => {
+            eprintln!(
+                "run degraded after {} generations (dead ranks {:?}): {}",
+                d.completed_generations, d.dead_ranks, d.reason
+            );
+            match (checkpoint_out.as_deref(), &d.checkpoint) {
+                (Some(path), Some(cp)) => {
+                    write_checkpoint(path, cp)?;
+                    eprintln!("restart with: evogame-cli distributed --resume {path}");
+                }
+                (None, Some(_)) => {
+                    eprintln!("hint: add --checkpoint-out FILE to save the restart checkpoint");
+                }
+                _ => {}
+            }
+            // A degraded run still reports its telemetry — the fault
+            // counters are exactly what an operator wants from it.
+            if let Some(path) = manifest_out {
+                let manifest = evogame::obs::RunManifest::capture(
+                    params_value,
+                    seed,
+                    ranks,
+                    d.completed_generations,
+                    t0.elapsed().as_secs_f64(),
+                    &baseline,
+                    &[],
+                );
+                write_manifest(&path, &manifest)?;
+            }
+            // Exit code 3 distinguishes a clean degraded run (typed,
+            // restartable) from usage or parameter errors (1).
+            Ok(ExitCode::from(3))
+        }
+        Err(e) => Err(e.to_string()),
     }
-    Ok(())
 }
 
 fn cmd_classify(args: &Args) -> Result<(), String> {
@@ -321,6 +471,14 @@ run flags:     --ssets N --generations G --mem M --seed S --pc-rate R --mu R
                --manifest-out FILE.json   (JSON run manifest, see
                                            docs/OBSERVABILITY.md; also
                                            accepted by `distributed`)
+checkpointing (both `run` and `distributed` — docs/FAULT_TOLERANCE.md):
+               --checkpoint-out FILE.json  write a restartable checkpoint
+               --checkpoint-every N        refresh it every N generations
+               --resume FILE.json          continue a checkpointed run
+                                           (bit-identical to never stopping)
+fault injection (`distributed` only; exit code 3 = clean degraded run):
+               --kill-rank R --kill-at G   kill rank R at generation G
+               --recv-timeout-ms MS        receive deadline for survivors
 ";
 
 fn main() -> ExitCode {
@@ -330,20 +488,20 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let args = Args::new(&raw[1..]);
-    let result = match cmd.as_str() {
+    let result: Result<ExitCode, String> = match cmd.as_str() {
         "run" => cmd_run(&args),
-        "tournament" => cmd_tournament(&args),
-        "predict" => cmd_predict(&args),
+        "tournament" => cmd_tournament(&args).map(|()| ExitCode::SUCCESS),
+        "predict" => cmd_predict(&args).map(|()| ExitCode::SUCCESS),
         "distributed" => cmd_distributed(&args),
-        "classify" => cmd_classify(&args),
+        "classify" => cmd_classify(&args).map(|()| ExitCode::SUCCESS),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

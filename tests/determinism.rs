@@ -6,8 +6,11 @@
 //!
 //! Everything lives in one `#[test]` because the thread-count knob is a
 //! process-global environment variable — concurrent tests would race on it.
+//! (The checkpoint matrix below runs `ExecMode::Sequential`, so it never
+//! touches the knob.)
 
 use evogame::engine::params::MutationKind;
+use evogame::engine::params::UpdateRule;
 use evogame::prelude::*;
 
 /// One full run at the given worker count: every generation record
@@ -88,4 +91,70 @@ fn trajectories_are_bit_identical_across_thread_counts() {
         }
     }
     std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn checkpoint_roundtrip_is_bit_identical_for_every_update_rule() {
+    // The fault-tolerance contract (docs/FAULT_TOLERANCE.md): serialise a
+    // checkpoint to JSON mid-run, parse it back, resume — and the stitched
+    // record stream, fitness bit patterns, and RunStats must equal the
+    // uninterrupted run exactly, for all three update rules.
+    for (r, rule) in [
+        UpdateRule::PairwiseComparison,
+        UpdateRule::Moran,
+        UpdateRule::ImitateBest,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut params = Params {
+            mem_steps: 1,
+            num_ssets: 12,
+            generations: 40,
+            seed: 0xCC_0FFE + r as u64,
+            mutation_rate: 0.2,
+            rule,
+            ..Params::default()
+        };
+        params.game.rounds = 12;
+
+        let mut straight = Population::new(params.clone()).unwrap();
+        straight.exec_mode = ExecMode::Sequential;
+        let straight_records: Vec<String> = (0..params.generations)
+            .map(|_| serde_json::to_string(&straight.step()).unwrap())
+            .collect();
+
+        for split in [1u64, 17, 39] {
+            let mut first = Population::new(params.clone()).unwrap();
+            first.exec_mode = ExecMode::Sequential;
+            let mut records: Vec<String> = (0..split)
+                .map(|_| serde_json::to_string(&first.step()).unwrap())
+                .collect();
+            // Through the wire format, not just the in-memory struct: the
+            // JSON round trip itself must preserve every f64 bit.
+            let json = serde_json::to_string(&first.checkpoint()).unwrap();
+            let cp: evogame::engine::record::Checkpoint = serde_json::from_str(&json).unwrap();
+            let mut resumed = Population::restore(cp).unwrap();
+            resumed.exec_mode = ExecMode::Sequential;
+            records.extend(
+                (split..params.generations)
+                    .map(|_| serde_json::to_string(&resumed.step()).unwrap()),
+            );
+
+            assert_eq!(
+                records, straight_records,
+                "{rule:?} split {split}: record stream diverged"
+            );
+            assert_eq!(
+                resumed.assignments(),
+                straight.assignments(),
+                "{rule:?} split {split}: assignments diverged"
+            );
+            assert_eq!(
+                resumed.stats(),
+                straight.stats(),
+                "{rule:?} split {split}: RunStats diverged"
+            );
+        }
+    }
 }

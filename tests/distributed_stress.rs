@@ -3,7 +3,8 @@
 //! shared-memory reference — the repository's strongest end-to-end
 //! correctness statement.
 
-use evogame::cluster::dist::{run_distributed, DistConfig};
+use evogame::cluster::dist::{run_distributed, DistConfig, DistError};
+use evogame::cluster::faults::{FaultPlan, RankKill};
 use evogame::engine::params::MutationKind;
 use evogame::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -60,11 +61,7 @@ fn random_configs_distributed_equals_shared_memory() {
         // and game counts included — must agree, not just the trajectory.
         reference.fitness_policy = policy;
         reference.run_to_end();
-        let out = run_distributed(&DistConfig {
-            params: params.clone(),
-            ranks,
-            policy,
-        });
+        let out = run_distributed(&DistConfig::new(params.clone(), ranks, policy)).unwrap();
         assert_eq!(
             out.assignments,
             reference.assignments(),
@@ -108,11 +105,7 @@ fn every_rule_and_policy_is_bit_identical_distributed() {
             let ref_events: Vec<String> = (0..params.generations)
                 .map(|_| serde_json::to_string(&reference.step().events).unwrap())
                 .collect();
-            let out = run_distributed(&DistConfig {
-                params: params.clone(),
-                ranks: 4,
-                policy,
-            });
+            let out = run_distributed(&DistConfig::new(params.clone(), 4, policy)).unwrap();
             let dist_events: Vec<String> = out
                 .events
                 .iter()
@@ -165,6 +158,136 @@ fn random_configs_all_exec_paths_agree() {
             build(ExecMode::Rayon, false, GameKernel::Cycle),
             "case {case}: cycle kernel diverged"
         );
+    }
+}
+
+#[test]
+fn rank_kill_then_resume_is_bit_identical_for_every_rule() {
+    // The fault-tolerance acceptance path, per update rule: inject a rank
+    // kill, require a typed DegradedRun (no panic, no hang) carrying a
+    // checkpoint, resume from it, and demand the stitched trajectory equal
+    // the uninterrupted run bit for bit.
+    for (r, rule) in [
+        UpdateRule::PairwiseComparison,
+        UpdateRule::Moran,
+        UpdateRule::ImitateBest,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut params = Params {
+            mem_steps: 1,
+            num_ssets: 9,
+            generations: 40,
+            seed: 0xFA17 + r as u64,
+            mutation_rate: 0.2,
+            rule,
+            ..Params::default()
+        };
+        params.game.rounds = 12;
+        let clean = run_distributed(&DistConfig::new(
+            params.clone(),
+            4,
+            FitnessPolicy::EveryGeneration,
+        ))
+        .unwrap();
+
+        let mut faulty = DistConfig::new(params, 4, FitnessPolicy::EveryGeneration);
+        faulty.faults.kills = vec![RankKill {
+            rank: 2,
+            generation: 15,
+        }];
+        let DistError::Degraded(d) = run_distributed(&faulty).unwrap_err() else {
+            panic!("{rule:?}: expected a DegradedRun");
+        };
+        assert!(d.dead_ranks.contains(&2), "{rule:?}: {:?}", d.dead_ranks);
+        let cp = d.checkpoint.expect("degraded run leaves a checkpoint");
+        let resume_from = cp.generation as usize;
+
+        let mut resumed_cfg =
+            DistConfig::new(cp.params.clone(), 4, FitnessPolicy::EveryGeneration);
+        resumed_cfg.resume = Some(cp);
+        let resumed = run_distributed(&resumed_cfg).unwrap();
+        assert_eq!(resumed.assignments, clean.assignments, "{rule:?}");
+        assert_eq!(resumed.stats, clean.stats, "{rule:?}: full RunStats");
+        assert_eq!(
+            serde_json::to_string(&resumed.events).unwrap(),
+            serde_json::to_string(&clean.events[resume_from..].to_vec()).unwrap(),
+            "{rule:?}: event bits from generation {resume_from}"
+        );
+    }
+}
+
+#[test]
+fn checkpoints_cross_backends_bit_identically() {
+    // A checkpoint is backend-neutral: shared memory can resume what the
+    // distributed engine snapshotted and vice versa, both matching the
+    // uninterrupted shared-memory run.
+    let mut params = Params {
+        mem_steps: 1,
+        num_ssets: 8,
+        generations: 40,
+        seed: 0xC0DE,
+        mutation_rate: 0.2,
+        ..Params::default()
+    };
+    params.game.rounds = 12;
+    let mut straight = Population::new(params.clone()).unwrap();
+    straight.run_to_end();
+
+    // Shared → distributed.
+    let mut first = Population::new(params.clone()).unwrap();
+    first.run(20);
+    let mut cfg = DistConfig::new(params.clone(), 4, FitnessPolicy::EveryGeneration);
+    cfg.resume = Some(first.checkpoint());
+    let dist = run_distributed(&cfg).unwrap();
+    assert_eq!(
+        dist.assignments,
+        straight.assignments(),
+        "shared checkpoint resumed distributed diverged"
+    );
+
+    // Distributed → shared.
+    let mut cfg = DistConfig::new(params, 4, FitnessPolicy::EveryGeneration);
+    cfg.checkpoint_every = Some(20);
+    let out = run_distributed(&cfg).unwrap();
+    let cp = out.checkpoint.expect("periodic checkpoint present");
+    assert_eq!(cp.generation, 40, "latest multiple of 20 within 40");
+    let resumed = Population::restore(cp).unwrap();
+    assert_eq!(
+        resumed.assignments(),
+        straight.assignments(),
+        "distributed checkpoint restored shared-memory diverged"
+    );
+}
+
+#[test]
+fn random_fault_plans_always_terminate_with_typed_outcomes() {
+    // No fault schedule may hang or panic the distributed engine: every
+    // seeded plan ends in a clean outcome or a restartable DegradedRun.
+    for seed in 0..8u64 {
+        let mut params = Params {
+            mem_steps: 1,
+            num_ssets: 8,
+            generations: 30,
+            seed,
+            ..Params::default()
+        };
+        params.game.rounds = 8;
+        let mut cfg = DistConfig::new(params, 5, FitnessPolicy::EveryGeneration);
+        cfg.faults = FaultPlan::seeded(seed, 5, 30, 1, 3);
+        match run_distributed(&cfg) {
+            Ok(out) => assert_eq!(out.stats.generations, 30),
+            Err(DistError::Degraded(d)) => {
+                let cp = d.checkpoint.expect("restartable checkpoint");
+                let mut resume_cfg =
+                    DistConfig::new(cp.params.clone(), 5, FitnessPolicy::EveryGeneration);
+                resume_cfg.resume = Some(cp);
+                let resumed = run_distributed(&resume_cfg).unwrap();
+                assert_eq!(resumed.stats.generations, 30, "seed {seed}: resume completes");
+            }
+            Err(other) => panic!("seed {seed}: unexpected error {other}"),
+        }
     }
 }
 

@@ -36,11 +36,12 @@ fn shared_memory_and_distributed_agree_end_to_end() {
     let mut shared = Population::new(params.clone()).unwrap();
     shared.run_to_end();
     for ranks in [2usize, 4, 7] {
-        let dist = run_distributed(&DistConfig {
-            params: params.clone(),
+        let dist = run_distributed(&DistConfig::new(
+            params.clone(),
             ranks,
-            policy: FitnessPolicy::EveryGeneration,
-        });
+            FitnessPolicy::EveryGeneration,
+        ))
+        .unwrap();
         assert_eq!(
             dist.assignments,
             shared.assignments(),

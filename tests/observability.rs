@@ -132,11 +132,12 @@ fn distributed_run_reports_comm_counters_and_timings() {
     let baseline = obs::counters().snapshot();
     let mut params = small_params(13);
     params.generations = 30;
-    let out = evogame::cluster::dist::run_distributed(&evogame::cluster::dist::DistConfig {
+    let out = evogame::cluster::dist::run_distributed(&evogame::cluster::dist::DistConfig::new(
         params,
-        ranks: 4,
-        policy: FitnessPolicy::EveryGeneration,
-    });
+        4,
+        FitnessPolicy::EveryGeneration,
+    ))
+    .unwrap();
     let delta = obs::counters().snapshot().delta_since(&baseline);
 
     // Every generation broadcasts at least a schedule over 4 ranks.

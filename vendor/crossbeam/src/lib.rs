@@ -13,6 +13,7 @@ pub mod channel {
     use std::fmt;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
 
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
@@ -46,6 +47,30 @@ pub mod channel {
     }
 
     impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`] /
+    /// [`Receiver::recv_deadline`]: either the wait expired with the queue
+    /// still empty, or every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed before a message arrived.
+        Timeout,
+        /// The channel is empty and all senders have been dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
 
     /// The sending half of an unbounded channel; clonable and shareable.
     pub struct Sender<T> {
@@ -133,6 +158,42 @@ pub mod channel {
             }
         }
 
+        /// Dequeue the next message, blocking at most `timeout`. Fails with
+        /// [`RecvTimeoutError::Timeout`] once the wait expires, or with
+        /// [`RecvTimeoutError::Disconnected`] when the queue is empty and
+        /// every sender has been dropped.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline(Instant::now() + timeout)
+        }
+
+        /// [`Receiver::recv_timeout`] with an absolute deadline instead of a
+        /// relative duration.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (q, _res) = self
+                    .shared
+                    .ready
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = q;
+            }
+        }
+
         /// Dequeue without blocking; `None` when the queue is currently
         /// empty (regardless of sender liveness).
         pub fn try_recv(&self) -> Option<T> {
@@ -196,6 +257,45 @@ pub mod channel {
             std::thread::sleep(std::time::Duration::from_millis(20));
             tx.send(99i64).unwrap();
             assert_eq!(h.join().unwrap(), 99);
+        }
+
+        #[test]
+        fn recv_timeout_returns_queued_message_immediately() {
+            let (tx, rx) = unbounded();
+            tx.send(5u8).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(1)), Ok(5));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_on_empty_channel() {
+            let (_tx, rx) = unbounded::<u8>();
+            let t0 = std::time::Instant::now();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(20)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+        }
+
+        #[test]
+        fn recv_timeout_reports_disconnection() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn recv_timeout_wakes_on_send() {
+            let (tx, rx) = unbounded();
+            let h = std::thread::spawn(move || {
+                rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap()
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            tx.send(77i32).unwrap();
+            assert_eq!(h.join().unwrap(), 77);
         }
 
         #[test]
