@@ -84,6 +84,35 @@ fn bench_cycle_kernel(c: &mut Criterion) {
     }
 }
 
+fn bench_word_parallel(c: &mut Criterion) {
+    // 64 memory-1 games: one scalar `play_deterministic` per pair vs one
+    // word-parallel `play_deterministic_batch` call that packs all 64 into
+    // u64 lane arithmetic (ipd::batch, docs/PERFORMANCE.md). Outcomes are
+    // bit-identical; only the cost differs.
+    use ipd::batch::play_deterministic_batch;
+    let cfg = GameConfig::default();
+    let space = StateSpace::new(1).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let strats: Vec<PureStrategy> =
+        (0..128).map(|_| PureStrategy::random(space, &mut rng)).collect();
+    let pairs: Vec<(&PureStrategy, &PureStrategy)> =
+        (0..64).map(|i| (&strats[2 * i], &strats[2 * i + 1])).collect();
+    let mut group = c.benchmark_group("game_kernel/word_parallel");
+    group.sample_size(20);
+    group.bench_function("scalar_64_games", |bencher| {
+        bencher.iter(|| {
+            pairs
+                .iter()
+                .map(|&(a, b)| play_deterministic(black_box(&space), a, b, &cfg))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("batch_64_games", |bencher| {
+        bencher.iter(|| play_deterministic_batch(black_box(&space), &pairs, &cfg));
+    });
+    group.finish();
+}
+
 fn bench_expected_vs_sampled(c: &mut Criterion) {
     // Exact Markov expectation vs one Monte-Carlo sample, per memory depth.
     use ipd::markov::expected_outcome;
@@ -115,6 +144,6 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
     targets = bench_deterministic, bench_stochastic, bench_cycle_kernel,
-        bench_expected_vs_sampled
+        bench_word_parallel, bench_expected_vs_sampled
 }
 criterion_main!(benches);

@@ -62,16 +62,46 @@ fn bench_exec_modes(c: &mut Criterion) {
 
 fn bench_dedup(c: &mut Criterion) {
     // Drive the population to partial fixation first so dedup has
-    // duplicates to exploit, then measure steady-state generations.
+    // duplicates to exploit, then measure steady-state generations. Long
+    // games keep the workload game-cost-dominated, so evaluator effects
+    // (dedup, word-parallel replay, the payoff cache) are visible above
+    // the fixed per-step overhead of plan/apply/record.
     let mut group = c.benchmark_group("generation/dedup");
     group.sample_size(10);
     for (label, dedup) in [("naive", false), ("deduped", true)] {
         group.bench_function(BenchmarkId::from_parameter(label), |bencher| {
             let mut p = params(48);
             p.mutation_rate = 0.01;
+            p.game.rounds = 5000;
             let mut pop = Population::new(p).unwrap();
             pop.dedup = dedup;
             pop.run(300); // fixation warm-up
+            bencher.iter(|| black_box(pop.step()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_payoff_cache(c: &mut Criterion) {
+    // The cross-generation payoff memo-cache (docs/PERFORMANCE.md). Same
+    // duplicate-heavy steady state as `generation/dedup`: after fixation
+    // warm-up most generations re-evaluate pairs already seen, so cache-on
+    // turns almost every game into a lookup. Cache-off isolates the cost of
+    // actually replaying the rounds each generation. Memory-2 keeps the
+    // replay outside the word-parallel gate (memory ≤ 1), so this measures
+    // the cache alone, not the batch kernel.
+    let mut group = c.benchmark_group("generation/payoff_cache");
+    group.sample_size(10);
+    for (label, cache) in [("off", false), ("on", true)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |bencher| {
+            let mut p = params(48);
+            p.mem_steps = 2;
+            p.mutation_rate = 0.01;
+            p.game.rounds = 5000;
+            let mut pop = Population::new(p).unwrap();
+            pop.dedup = true;
+            pop.use_payoff_cache = cache;
+            pop.run(300); // fixation warm-up (also warms the cache when on)
             bencher.iter(|| black_box(pop.step()));
         });
     }
@@ -117,7 +147,7 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_population_size, bench_exec_modes, bench_dedup, bench_fitness_policy,
-        bench_game_kernel_choice
+    targets = bench_population_size, bench_exec_modes, bench_dedup, bench_payoff_cache,
+        bench_fitness_policy, bench_game_kernel_choice
 }
 criterion_main!(benches);

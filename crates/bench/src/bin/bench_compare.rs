@@ -1,0 +1,123 @@
+//! Compares two `--save-json` criterion baselines and fails on regression.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench_compare -- \
+//!     benchmarks/BENCH_generation_pre.json benchmarks/BENCH_generation.json \
+//!     [--threshold-pct 10]
+//! ```
+//!
+//! Both inputs are the `{"benchmarks": [{"group", "id", "ns_per_iter",
+//! "iterations"}, …]}` files written by `cargo bench -p bench --bench <b>
+//! -- --save-json <path>` (see docs/PERFORMANCE.md for the committed
+//! `benchmarks/BENCH_*.json` naming scheme). Every `(group, id)` pair
+//! present in **both** files is compared; the run exits non-zero if any
+//! common benchmark got slower than the threshold (default 10%).
+//! Benchmarks present in only one file are listed but never fail the gate,
+//! so adding or retiring a bench does not break the comparison.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+#[derive(serde::Deserialize)]
+struct File {
+    benchmarks: Vec<Entry>,
+}
+
+#[derive(serde::Deserialize)]
+struct Entry {
+    group: String,
+    id: String,
+    ns_per_iter: f64,
+    #[serde(default)]
+    #[allow(dead_code)]
+    iterations: u64,
+}
+
+fn load(path: &str) -> BTreeMap<(String, String), f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_compare: cannot read {path}: {e}"));
+    let file: File = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("bench_compare: {path} is not a --save-json baseline: {e}"));
+    file.benchmarks
+        .into_iter()
+        .map(|b| ((b.group, b.id), b.ns_per_iter))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = 10.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold-pct" {
+            let v = it.next().expect("--threshold-pct needs a value");
+            threshold_pct = v
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid --threshold-pct value {v:?}"));
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!(
+            "usage: bench_compare <baseline.json> <candidate.json> [--threshold-pct N]"
+        );
+        return ExitCode::from(2);
+    }
+    let baseline = load(&paths[0]);
+    let candidate = load(&paths[1]);
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "{:<44} {:>14} {:>14} {:>9}",
+        "benchmark", "baseline ns", "candidate ns", "delta"
+    );
+    for ((group, id), &base_ns) in &baseline {
+        let Some(&cand_ns) = candidate.get(&(group.clone(), id.clone())) else {
+            println!("{:<44} {base_ns:>14.0} {:>14} {:>9}", format!("{group}/{id}"), "-", "gone");
+            continue;
+        };
+        compared += 1;
+        let delta_pct = (cand_ns - base_ns) / base_ns * 100.0;
+        let verdict = if delta_pct > threshold_pct {
+            regressions += 1;
+            "REGRESS"
+        } else {
+            ""
+        };
+        println!(
+            "{:<44} {base_ns:>14.0} {cand_ns:>14.0} {delta_pct:>+8.1}% {verdict}",
+            format!("{group}/{id}")
+        );
+    }
+    for (key, &cand_ns) in &candidate {
+        if !baseline.contains_key(key) {
+            println!(
+                "{:<44} {:>14} {cand_ns:>14.0} {:>9}",
+                format!("{}/{}", key.0, key.1),
+                "-",
+                "new"
+            );
+        }
+    }
+    println!(
+        "\n{compared} benchmarks compared, {regressions} regressed past \
+         {threshold_pct}% (candidate slower than baseline)"
+    );
+    if compared == 0 {
+        eprintln!("bench_compare: FAIL — no common benchmarks between the two files");
+        return ExitCode::from(2);
+    }
+    if regressions > 0 {
+        eprintln!("bench_compare: FAIL — performance regression past {threshold_pct}%");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_compare: OK");
+    ExitCode::SUCCESS
+}

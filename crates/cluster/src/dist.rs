@@ -47,9 +47,10 @@ use crate::collective::Collective;
 use crate::comm::{ClusterError, Comm, Rank, VirtualCluster};
 use crate::faults::FaultPlan;
 use evo_core::engine::{self, EvalScope, FitnessNeed, FitnessView, GenPlan, Provided};
-use evo_core::fitness::{evaluate_one, FitnessPolicy};
+use evo_core::fitness::{evaluate_one_with_kernel_cached, FitnessPolicy, GameKernel};
 use evo_core::nature::{Event, NatureAgent};
 use evo_core::params::Params;
+use evo_core::paycache::PayoffCache;
 use evo_core::pool::{StratId, StrategyPool};
 use evo_core::record::{Checkpoint, RunStats, CHECKPOINT_SCHEMA_VERSION};
 use evo_core::rngstream::{stream, Domain};
@@ -112,6 +113,14 @@ pub struct DistConfig {
     /// ignored when this is set.
     #[serde(default)]
     pub resume: Option<Checkpoint>,
+    /// Disable the per-rank cross-generation payoff memo-cache
+    /// ([`PayoffCache`], docs/PERFORMANCE.md). Caching is on by default
+    /// and is cost-only — trajectories and message schedules are
+    /// bit-identical either way — so configs serialised before this field
+    /// existed deserialise to `false` (cache on) without changing their
+    /// results. Phrased as an opt-out so the serde default works.
+    #[serde(default)]
+    pub disable_payoff_cache: bool,
 }
 
 impl DistConfig {
@@ -125,6 +134,7 @@ impl DistConfig {
             faults: FaultPlan::default(),
             checkpoint_every: None,
             resume: None,
+            disable_payoff_cache: false,
         }
     }
 }
@@ -297,6 +307,7 @@ struct RunSpec {
     faults: FaultPlan,
     checkpoint_every: Option<u64>,
     resume: Option<Checkpoint>,
+    payoff_cache: bool,
 }
 
 impl RunSpec {
@@ -340,6 +351,7 @@ pub fn run_distributed(config: &DistConfig) -> Result<DistOutcome, DistError> {
         faults: config.faults.clone(),
         checkpoint_every: config.checkpoint_every,
         resume: config.resume.clone(),
+        payoff_cache: !config.disable_payoff_cache,
     };
     let ranks = config.ranks;
 
@@ -394,6 +406,11 @@ struct RankProvider<'a> {
     game: &'a GameConfig,
     seed: u64,
     recv_timeout: Option<Duration>,
+    /// This rank's cross-generation payoff memo-cache (`None` when the run
+    /// disabled it). Per-rank state: entries never travel over the wire,
+    /// and every rank computes identical values from the replicated
+    /// strategy table, so caching cannot skew any message payload.
+    cache: Option<&'a PayoffCache>,
 }
 
 impl RankProvider<'_> {
@@ -427,7 +444,7 @@ impl RankProvider<'_> {
             needed
                 .into_iter()
                 .map(|s| {
-                    let f = evaluate_one(
+                    let f = evaluate_one_with_kernel_cached(
                         self.space,
                         self.assignments,
                         self.pool,
@@ -435,6 +452,8 @@ impl RankProvider<'_> {
                         self.seed,
                         plan.generation,
                         s,
+                        GameKernel::Naive,
+                        self.cache,
                     );
                     (s, f)
                 })
@@ -548,6 +567,10 @@ struct RankCtx {
     boundary: Option<Checkpoint>,
     /// Rank 0 only: the latest `checkpoint_every` periodic snapshot.
     periodic: Option<Checkpoint>,
+    /// This rank's payoff memo-cache, surviving across generations.
+    /// Excluded from checkpoints by design: a resumed run restarts it
+    /// cold and still reproduces the identical trajectory (cost-only).
+    cache: PayoffCache,
 }
 
 /// Build a restartable checkpoint of `ctx` (call only at a generation
@@ -604,6 +627,7 @@ fn run_rank(comm: &Comm<DistMsg>, spec: &RunSpec) -> RankResult {
         generation: start_gen,
         boundary: None,
         periodic: None,
+        cache: PayoffCache::new(spec.params.game),
     };
     let fault_aware = !spec.faults.is_empty();
     if is_nature && fault_aware {
@@ -722,6 +746,7 @@ fn drive(
             game: &spec.params.game,
             seed: spec.params.seed,
             recv_timeout: spec.recv_timeout(),
+            cache: spec.payoff_cache.then_some(&ctx.cache),
         }
         .provide(&plan)?;
 
@@ -835,6 +860,24 @@ mod tests {
             assert_eq!(out.assignments, reference.assignments(), "seed {seed}");
             assert_eq!(out.events, ref_events, "seed {seed}");
             assert_eq!(out.stats, *reference.stats(), "seed {seed}: full RunStats");
+        }
+    }
+
+    #[test]
+    fn payoff_cache_off_is_bit_identical_to_on() {
+        // The per-rank memo-cache is cost-only: every fitness value a rank
+        // sends or gathers must be the identical f64 with caching
+        // disabled, so events (which embed fitness bits), assignments,
+        // and stats all match.
+        for policy in [FitnessPolicy::EveryGeneration, FitnessPolicy::OnDemand] {
+            let p = params(17, 10, 50);
+            let on = run_distributed(&config(p.clone(), 4, policy)).unwrap();
+            let mut cfg_off = config(p, 4, policy);
+            cfg_off.disable_payoff_cache = true;
+            let off = run_distributed(&cfg_off).unwrap();
+            assert_eq!(on.assignments, off.assignments, "{policy:?}");
+            assert_eq!(on.events, off.events, "{policy:?}");
+            assert_eq!(on.stats, off.stats, "{policy:?}: games accounting");
         }
     }
 

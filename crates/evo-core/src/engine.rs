@@ -38,11 +38,13 @@
 //! recovery build on (docs/FAULT_TOLERANCE.md).
 
 use crate::fitness::{
-    evaluate_deduped, evaluate_expected, evaluate_expected_one, evaluate_one_with_kernel,
-    evaluate_with_kernel, is_deterministic, ExecMode, FitnessPolicy, GameKernel,
+    evaluate_deduped_cached, evaluate_expected_cached, evaluate_expected_one_cached,
+    evaluate_one_with_kernel_cached, evaluate_with_kernel, is_deterministic, ExecMode,
+    FitnessPolicy, GameKernel,
 };
 use crate::nature::{Event, GenSchedule, NatureAgent};
 use crate::params::UpdateRule;
+use crate::paycache::PayoffCache;
 use crate::pool::{StratId, StrategyPool};
 use crate::record::{GenerationRecord, RunStats};
 use ipd::game::GameConfig;
@@ -207,6 +209,12 @@ pub struct LocalProvider<'a> {
     pub kernel: GameKernel,
     /// Evaluate exact expected payoffs instead of one sampled realisation.
     pub expected_fitness: bool,
+    /// Cross-generation pairwise payoff memo-cache
+    /// ([`crate::paycache::PayoffCache`], docs/PERFORMANCE.md). Cost-only:
+    /// results are bit-identical with the cache present, absent, cold, or
+    /// warm. Used by the pair, deduplicated, and expected-fitness paths;
+    /// the naive full evaluation stays uncached as the fidelity baseline.
+    pub cache: Option<&'a PayoffCache>,
 }
 
 impl LocalProvider<'_> {
@@ -216,9 +224,16 @@ impl LocalProvider<'_> {
 
     fn evaluate_one(&self, generation: u64, focal: usize) -> f64 {
         if self.expected_fitness {
-            evaluate_expected_one(self.space, self.assignments, self.pool, self.game, focal)
+            evaluate_expected_one_cached(
+                self.space,
+                self.assignments,
+                self.pool,
+                self.game,
+                focal,
+                self.cache,
+            )
         } else {
-            evaluate_one_with_kernel(
+            evaluate_one_with_kernel_cached(
                 self.space,
                 self.assignments,
                 self.pool,
@@ -227,6 +242,7 @@ impl LocalProvider<'_> {
                 generation,
                 focal,
                 self.kernel,
+                self.cache,
             )
         }
     }
@@ -251,12 +267,13 @@ impl FitnessProvider for LocalProvider<'_> {
                 if self.expected_fitness {
                     let u = self.distinct();
                     Provided {
-                        view: FitnessView::Full(evaluate_expected(
+                        view: FitnessView::Full(evaluate_expected_cached(
                             self.space,
                             self.assignments,
                             self.pool,
                             self.game,
                             self.exec_mode,
+                            self.cache,
                         )),
                         games: u * u,
                     }
@@ -265,12 +282,13 @@ impl FitnessProvider for LocalProvider<'_> {
                 {
                     let u = self.distinct();
                     Provided {
-                        view: FitnessView::Full(evaluate_deduped(
+                        view: FitnessView::Full(evaluate_deduped_cached(
                             self.space,
                             self.assignments,
                             self.pool,
                             self.game,
                             self.exec_mode,
+                            self.cache,
                         )),
                         games: u * u,
                     }

@@ -13,12 +13,29 @@
 //! (`u` ≤ number of distinct strategies). Deduplication is only sound when
 //! games are deterministic (pure strategies, no noise); it is rejected
 //! otherwise. The `generation` criterion bench quantifies the speedup.
+//!
+//! Deduplication composes with two further cost-only layers
+//! (docs/PERFORMANCE.md):
+//!
+//! - The `*_cached` evaluator variants memoise distinct-pair payoffs
+//!   **across generations** in a [`PayoffCache`] — consecutive generations
+//!   differ by at most one adoption and one mutation, so nearly every pair
+//!   is a cache hit once the run warms up. Sampled payoffs are cached only
+//!   when deterministic; exact expectations ([`evaluate_expected`]) cache
+//!   for any strategies.
+//! - Cache misses on memory-≤1 populations with integral payoff matrices
+//!   replay through the word-parallel kernel
+//!   ([`ipd::batch::play_deterministic_batch`]), 64 games per `u64` op.
+//!
+//! Both layers are bit-identical to the plain evaluators (tested below and
+//! in `population`).
 
+use crate::paycache::{PayoffCache, PayoffKind};
 use crate::pool::{StratId, StrategyPool};
 use crate::rngstream::game_stream;
 use ipd::game::{play, play_deterministic, play_deterministic_cycle, GameConfig};
 use ipd::state::StateSpace;
-use ipd::strategy::Strategy;
+use ipd::strategy::{PureStrategy, Strategy};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -174,23 +191,79 @@ pub fn evaluate_one_with_kernel(
     focal: usize,
     kernel: GameKernel,
 ) -> f64 {
+    evaluate_one_with_kernel_cached(
+        space,
+        assignments,
+        pool,
+        game,
+        seed,
+        generation,
+        focal,
+        kernel,
+        None,
+    )
+}
+
+/// [`evaluate_one_with_kernel`] memoising deterministic pair payoffs in
+/// `cache`. Stochastic games (noise, mixed strategies) bypass the cache —
+/// their payoffs draw from generation-keyed streams and legitimately vary.
+/// Bit-identical to the uncached evaluator either way.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_one_with_kernel_cached(
+    space: &StateSpace,
+    assignments: &[StratId],
+    pool: &StrategyPool,
+    game: &GameConfig,
+    seed: u64,
+    generation: u64,
+    focal: usize,
+    kernel: GameKernel,
+    cache: Option<&PayoffCache>,
+) -> f64 {
+    if let Some(c) = cache {
+        c.assert_game(game);
+    }
     let s = assignments.len();
-    let my_strat = pool.get(assignments[focal]);
+    let my_id = assignments[focal];
+    let my_strat = pool.get(my_id);
     let mut total = 0.0;
     for (j, &opp_id) in assignments.iter().enumerate() {
         let opp = pool.get(opp_id);
-        total += game_fitness(
-            space,
-            my_strat,
-            opp,
-            game,
-            seed,
-            focal as u32,
-            j as u32,
-            s as u32,
-            generation,
-            kernel,
-        );
+        let deterministic = game.noise == 0.0
+            && matches!(
+                (my_strat.as_ref(), opp.as_ref()),
+                (Strategy::Pure(_), Strategy::Pure(_))
+            );
+        total += match (deterministic, cache) {
+            (true, Some(c)) => c.get(my_id, opp_id, PayoffKind::Sampled).unwrap_or_else(|| {
+                let v = game_fitness(
+                    space,
+                    my_strat,
+                    opp,
+                    game,
+                    seed,
+                    focal as u32,
+                    j as u32,
+                    s as u32,
+                    generation,
+                    kernel,
+                );
+                c.insert(my_id, opp_id, PayoffKind::Sampled, v);
+                v
+            }),
+            _ => game_fitness(
+                space,
+                my_strat,
+                opp,
+                game,
+                seed,
+                focal as u32,
+                j as u32,
+                s as u32,
+                generation,
+                kernel,
+            ),
+        };
     }
     total
 }
@@ -234,6 +307,24 @@ pub fn evaluate_expected(
     game: &GameConfig,
     mode: ExecMode,
 ) -> Vec<f64> {
+    evaluate_expected_cached(space, assignments, pool, game, mode, None)
+}
+
+/// [`evaluate_expected`] memoising pair expectations in `cache`.
+/// Expectations are deterministic for *any* strategies and noise level, so
+/// every distinct ordered pair is cacheable. Bit-identical to the uncached
+/// evaluator.
+pub fn evaluate_expected_cached(
+    space: &StateSpace,
+    assignments: &[StratId],
+    pool: &StrategyPool,
+    game: &GameConfig,
+    mode: ExecMode,
+    cache: Option<&PayoffCache>,
+) -> Vec<f64> {
+    if let Some(c) = cache {
+        c.assert_game(game);
+    }
     // Count multiplicity of each distinct strategy id. A BTreeMap keeps
     // every downstream iteration in ascending-id order, so the float
     // accumulations below are order-stable run to run (hash maps would
@@ -246,25 +337,40 @@ pub fn evaluate_expected(
     let unique: Vec<StratId> = counts.keys().copied().collect();
     let u = unique.len();
     let pos: BTreeMap<StratId, usize> = unique.iter().enumerate().map(|(k, &v)| (v, k)).collect();
-    let pair_row = |p: usize| -> Vec<f64> {
-        let a = pool.get(unique[p]);
-        unique
-            .iter()
-            .map(|&qid| {
-                ipd::markov::expected_outcome(space, a, pool.get(qid), game).fitness_a
-            })
-            .collect()
+    // Probe the cache for every ordered pair; replay only the misses.
+    let mut payoff = vec![0.0f64; u * u];
+    let mut misses: Vec<(usize, usize)> = Vec::new();
+    for p in 0..u {
+        for q in 0..u {
+            match cache.and_then(|c| c.get(unique[p], unique[q], PayoffKind::Expected)) {
+                Some(v) => payoff[p * u + q] = v,
+                None => misses.push((p, q)),
+            }
+        }
+    }
+    let one = |&(p, q): &(usize, usize)| -> f64 {
+        ipd::markov::expected_outcome(space, pool.get(unique[p]), pool.get(unique[q]), game)
+            .fitness_a
     };
-    let payoff: Vec<Vec<f64>> = match mode {
-        ExecMode::Sequential => (0..u).map(pair_row).collect(),
-        ExecMode::Rayon => (0..u).into_par_iter().map(pair_row).collect(),
+    let computed: Vec<f64> = match mode {
+        ExecMode::Sequential => misses.iter().map(one).collect(),
+        ExecMode::Rayon => (0..misses.len())
+            .into_par_iter()
+            .map(|i| one(&misses[i]))
+            .collect(),
     };
+    for (&(p, q), &v) in misses.iter().zip(&computed) {
+        payoff[p * u + q] = v;
+        if let Some(c) = cache {
+            c.insert(unique[p], unique[q], PayoffKind::Expected, v);
+        }
+    }
     let weighted: Vec<f64> = (0..u)
         .map(|p| {
             unique
                 .iter()
                 .enumerate()
-                .map(|(q, qid)| counts[qid] * payoff[p][q])
+                .map(|(q, qid)| counts[qid] * payoff[p * u + q])
                 .sum()
         })
         .collect();
@@ -281,17 +387,44 @@ pub fn evaluate_expected_one(
     game: &GameConfig,
     focal: usize,
 ) -> f64 {
+    evaluate_expected_one_cached(space, assignments, pool, game, focal, None)
+}
+
+/// [`evaluate_expected_one`] memoising pair expectations in `cache`.
+pub fn evaluate_expected_one_cached(
+    space: &StateSpace,
+    assignments: &[StratId],
+    pool: &StrategyPool,
+    game: &GameConfig,
+    focal: usize,
+    cache: Option<&PayoffCache>,
+) -> f64 {
+    if let Some(c) = cache {
+        c.assert_game(game);
+    }
     // Ascending-id iteration keeps the f64 summation order — and thus the
     // exact bit pattern of the result — independent of hasher state.
     let mut counts: BTreeMap<StratId, f64> = BTreeMap::new();
     for &id in assignments {
         *counts.entry(id).or_insert(0.0) += 1.0;
     }
-    let me = pool.get(assignments[focal]);
+    let me_id = assignments[focal];
+    let me = pool.get(me_id);
     counts
         .iter()
         .map(|(&qid, &mult)| {
-            mult * ipd::markov::expected_outcome(space, me, pool.get(qid), game).fitness_a
+            let v = match cache.and_then(|c| c.get(me_id, qid, PayoffKind::Expected)) {
+                Some(v) => v,
+                None => {
+                    let v =
+                        ipd::markov::expected_outcome(space, me, pool.get(qid), game).fitness_a;
+                    if let Some(c) = cache {
+                        c.insert(me_id, qid, PayoffKind::Expected, v);
+                    }
+                    v
+                }
+            };
+            mult * v
         })
         .sum()
 }
@@ -317,10 +450,30 @@ pub fn evaluate_deduped(
     game: &GameConfig,
     mode: ExecMode,
 ) -> Vec<f64> {
+    evaluate_deduped_cached(space, assignments, pool, game, mode, None)
+}
+
+/// [`evaluate_deduped`] memoising distinct-pair payoffs in `cache` across
+/// generations. Cache misses replay through the word-parallel kernel
+/// ([`ipd::batch::play_deterministic_batch`]) when the configuration
+/// qualifies (memory ≤ 1, integral payoff matrix), and through scalar
+/// [`play_deterministic`] otherwise — both bit-identical to the plain
+/// evaluator, so trajectories do not depend on cache state or batch width.
+pub fn evaluate_deduped_cached(
+    space: &StateSpace,
+    assignments: &[StratId],
+    pool: &StrategyPool,
+    game: &GameConfig,
+    mode: ExecMode,
+    cache: Option<&PayoffCache>,
+) -> Vec<f64> {
     assert!(
         is_deterministic(assignments, pool, game),
         "deduplicated evaluation requires pure strategies and zero noise"
     );
+    if let Some(c) = cache {
+        c.assert_game(game);
+    }
     // Count multiplicity of each distinct strategy id (BTreeMap: see
     // evaluate_expected for why iteration order matters here).
     let mut counts: BTreeMap<StratId, f64> = BTreeMap::new();
@@ -331,34 +484,77 @@ pub fn evaluate_deduped(
     let unique: Vec<StratId> = counts.keys().copied().collect();
     let u = unique.len();
     let pos: BTreeMap<StratId, usize> = unique.iter().enumerate().map(|(k, &v)| (v, k)).collect();
-    // payoff[p][q] = focal fitness of unique strategy p against unique q.
-    let pair_row = |p: usize| -> Vec<f64> {
-        let a = match pool.get(unique[p]).as_ref() {
-            Strategy::Pure(a) => a,
+    let pures: Vec<&PureStrategy> = unique
+        .iter()
+        .map(|&id| match pool.get(id).as_ref() {
+            Strategy::Pure(p) => p,
             _ => unreachable!("checked deterministic"),
-        };
-        unique
-            .iter()
-            .map(|&qid| {
-                let b = match pool.get(qid).as_ref() {
-                    Strategy::Pure(b) => b,
-                    _ => unreachable!("checked deterministic"),
-                };
-                play_deterministic(space, a, b, game).fitness_a
-            })
-            .collect()
+        })
+        .collect();
+    // payoff[p*u + q] = focal fitness of unique strategy p against unique
+    // q. Probe the cache for every ordered pair; play only the misses.
+    let mut payoff = vec![0.0f64; u * u];
+    let mut misses: Vec<(usize, usize)> = Vec::new();
+    for p in 0..u {
+        for q in 0..u {
+            match cache.and_then(|c| c.get(unique[p], unique[q], PayoffKind::Sampled)) {
+                Some(v) => payoff[p * u + q] = v,
+                None => misses.push((p, q)),
+            }
+        }
+    }
+    let played: Vec<f64> = if ipd::batch::batch_is_word_parallel(space, game) {
+        let pairs: Vec<(&PureStrategy, &PureStrategy)> =
+            misses.iter().map(|&(p, q)| (pures[p], pures[q])).collect();
+        match mode {
+            ExecMode::Sequential => ipd::batch::play_deterministic_batch(space, &pairs, game)
+                .into_iter()
+                .map(|o| o.fitness_a)
+                .collect(),
+            ExecMode::Rayon => {
+                // One 64-lane batch per task; index order keeps the output
+                // identical to the sequential chunking.
+                let chunks = pairs.len().div_ceil(64);
+                (0..chunks)
+                    .into_par_iter()
+                    .map(|c| {
+                        let lo = c * 64;
+                        let hi = (lo + 64).min(pairs.len());
+                        ipd::batch::play_deterministic_batch(space, &pairs[lo..hi], game)
+                            .into_iter()
+                            .map(|o| o.fitness_a)
+                            .collect::<Vec<f64>>()
+                    })
+                    .collect::<Vec<Vec<f64>>>()
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            }
+        }
+    } else {
+        let one =
+            |&(p, q): &(usize, usize)| play_deterministic(space, pures[p], pures[q], game).fitness_a;
+        match mode {
+            ExecMode::Sequential => misses.iter().map(one).collect(),
+            ExecMode::Rayon => (0..misses.len())
+                .into_par_iter()
+                .map(|i| one(&misses[i]))
+                .collect(),
+        }
     };
-    let payoff: Vec<Vec<f64>> = match mode {
-        ExecMode::Sequential => (0..u).map(pair_row).collect(),
-        ExecMode::Rayon => (0..u).into_par_iter().map(pair_row).collect(),
-    };
+    for (&(p, q), &v) in misses.iter().zip(&played) {
+        payoff[p * u + q] = v;
+        if let Some(c) = cache {
+            c.insert(unique[p], unique[q], PayoffKind::Sampled, v);
+        }
+    }
     // fitness[i] = sum over unique opponents q of count[q] * payoff[strat_i][q].
     let weighted: Vec<f64> = (0..u)
         .map(|p| {
             unique
                 .iter()
                 .enumerate()
-                .map(|(q, qid)| counts[qid] * payoff[p][q])
+                .map(|(q, qid)| counts[qid] * payoff[p * u + q])
                 .sum()
         })
         .collect();
@@ -651,6 +847,186 @@ mod tests {
             let rel = (mean[i] - e1[i]).abs() / e1[i].abs().max(1.0);
             assert!(rel < 0.05, "sset {i}: sampled mean {} vs exact {}", mean[i], e1[i]);
         }
+    }
+
+    #[test]
+    fn cached_deduped_bit_identical_cold_and_warm() {
+        use crate::paycache::PayoffCache;
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let ids = [
+            pool.intern(Strategy::Pure(classic::all_c(&space))),
+            pool.intern(Strategy::Pure(classic::all_d(&space))),
+            pool.intern(Strategy::Pure(classic::tft(&space))),
+            pool.intern(Strategy::Pure(classic::wsls(&space))),
+        ];
+        let asg: Vec<StratId> = (0..32).map(|i| ids[i % 4]).collect();
+        let plain = evaluate_deduped(&space, &asg, &pool, &cfg(), ExecMode::Sequential);
+        let cache = PayoffCache::new(cfg());
+        for mode in [ExecMode::Sequential, ExecMode::Rayon] {
+            // Cold then warm: both passes must reproduce the uncached
+            // vector to the bit.
+            for pass in 0..2 {
+                let cached =
+                    evaluate_deduped_cached(&space, &asg, &pool, &cfg(), mode, Some(&cache));
+                for i in 0..asg.len() {
+                    assert_eq!(
+                        plain[i].to_bits(),
+                        cached[i].to_bits(),
+                        "sset {i} ({mode:?}, pass {pass})"
+                    );
+                }
+            }
+        }
+        assert_eq!(cache.len(), 16, "4 distinct strategies → 16 ordered pairs");
+    }
+
+    #[test]
+    fn cached_deduped_bit_identical_deep_memory_scalar_path() {
+        // Memory-3 populations miss the word-parallel gate; the scalar
+        // fallback must be cached identically.
+        use crate::paycache::PayoffCache;
+        let (space, asg, pool) = setup_pure(40, 3, 9);
+        let plain = evaluate_deduped(&space, &asg, &pool, &cfg(), ExecMode::Sequential);
+        let cache = PayoffCache::new(cfg());
+        for _ in 0..2 {
+            let cached = evaluate_deduped_cached(
+                &space,
+                &asg,
+                &pool,
+                &cfg(),
+                ExecMode::Rayon,
+                Some(&cache),
+            );
+            for i in 0..asg.len() {
+                assert_eq!(plain[i].to_bits(), cached[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_expected_bit_identical_cold_and_warm() {
+        use crate::paycache::PayoffCache;
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let mut rng = stream(41, Domain::Init, 0, 0);
+        let ids: Vec<StratId> = (0..4)
+            .map(|_| pool.intern(Strategy::Mixed(MixedStrategy::random(space, &mut rng))))
+            .collect();
+        let asg: Vec<StratId> = (0..12).map(|i| ids[i % 4]).collect();
+        let noisy = GameConfig {
+            rounds: 40,
+            noise: 0.03,
+            payoff: PayoffMatrix::default(),
+        };
+        let plain = evaluate_expected(&space, &asg, &pool, &noisy, ExecMode::Sequential);
+        let cache = PayoffCache::new(noisy);
+        for mode in [ExecMode::Sequential, ExecMode::Rayon] {
+            for _ in 0..2 {
+                let cached =
+                    evaluate_expected_cached(&space, &asg, &pool, &noisy, mode, Some(&cache));
+                for (i, p) in plain.iter().enumerate() {
+                    assert_eq!(p.to_bits(), cached[i].to_bits(), "sset {i}");
+                }
+                // The OnDemand companion shares the same entries.
+                for (i, p) in plain.iter().enumerate() {
+                    let one = evaluate_expected_one_cached(
+                        &space,
+                        &asg,
+                        &pool,
+                        &noisy,
+                        i,
+                        Some(&cache),
+                    );
+                    assert_eq!(p.to_bits(), one.to_bits(), "sset {i} (one)");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_evaluate_one_bit_identical_across_kernels() {
+        use crate::paycache::PayoffCache;
+        let (space, asg, pool) = setup_pure(20, 2, 13);
+        let cache = PayoffCache::new(cfg());
+        for kernel in [GameKernel::Naive, GameKernel::Cycle] {
+            for i in 0..asg.len() {
+                let plain = evaluate_one_with_kernel(&space, &asg, &pool, &cfg(), 13, 4, i, kernel);
+                let cached = evaluate_one_with_kernel_cached(
+                    &space,
+                    &asg,
+                    &pool,
+                    &cfg(),
+                    13,
+                    4,
+                    i,
+                    kernel,
+                    Some(&cache),
+                );
+                assert_eq!(plain.to_bits(), cached.to_bits(), "sset {i} ({kernel:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_evaluate_one_bypasses_cache_for_stochastic_games() {
+        use crate::paycache::PayoffCache;
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let mut rng = stream(51, Domain::Init, 0, 0);
+        let asg: Vec<StratId> = (0..8)
+            .map(|_| pool.intern(Strategy::Mixed(MixedStrategy::random(space, &mut rng))))
+            .collect();
+        let noisy = GameConfig {
+            rounds: 30,
+            noise: 0.03,
+            payoff: PayoffMatrix::default(),
+        };
+        let cache = PayoffCache::new(noisy);
+        // Different generations legitimately re-sample: cached results must
+        // track the uncached evaluator, and nothing may be memoised.
+        for generation in [0u64, 1, 2] {
+            for i in 0..asg.len() {
+                let plain =
+                    evaluate_one(&space, &asg, &pool, &noisy, 21, generation, i);
+                let cached = evaluate_one_with_kernel_cached(
+                    &space,
+                    &asg,
+                    &pool,
+                    &noisy,
+                    21,
+                    generation,
+                    i,
+                    GameKernel::Naive,
+                    Some(&cache),
+                );
+                assert_eq!(plain.to_bits(), cached.to_bits());
+            }
+        }
+        assert!(cache.is_empty(), "stochastic payoffs must never be cached");
+    }
+
+    #[test]
+    fn warm_cache_hits_reach_the_counters() {
+        use crate::paycache::PayoffCache;
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let ids = [
+            pool.intern(Strategy::Pure(classic::tft(&space))),
+            pool.intern(Strategy::Pure(classic::wsls(&space))),
+        ];
+        let asg: Vec<StratId> = (0..16).map(|i| ids[i % 2]).collect();
+        let cache = PayoffCache::new(cfg());
+        let before = obs::counters().snapshot();
+        let cold =
+            evaluate_deduped_cached(&space, &asg, &pool, &cfg(), ExecMode::Sequential, Some(&cache));
+        let mid = obs::counters().snapshot();
+        assert!(mid.payoff_cache_misses >= before.payoff_cache_misses + 4);
+        let warm =
+            evaluate_deduped_cached(&space, &asg, &pool, &cfg(), ExecMode::Sequential, Some(&cache));
+        let after = obs::counters().snapshot();
+        assert!(after.payoff_cache_hits >= mid.payoff_cache_hits + 4);
+        assert_eq!(cold, warm);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod islands;
 pub mod fitness;
 pub mod nature;
 pub mod params;
+pub mod paycache;
 pub mod pool;
 pub mod population;
 pub mod record;
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use crate::islands::{Archipelago, Migration, MigrationPolicy};
     pub use crate::nature::{Event, NatureAgent};
     pub use crate::params::{Params, ParamsError, StrategyKind, UpdateRule};
+    pub use crate::paycache::{PayoffCache, PayoffKind};
     pub use crate::pool::{StratId, StrategyPool};
     pub use crate::population::Population;
     pub use crate::record::RunStats;

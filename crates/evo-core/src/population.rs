@@ -5,6 +5,7 @@ use crate::engine::{self, FitnessProvider, FitnessView, LocalProvider};
 use crate::fitness::{ExecMode, FitnessPolicy, GameKernel};
 use crate::nature::NatureAgent;
 use crate::params::{Params, ParamsError, StrategyKind};
+use crate::paycache::PayoffCache;
 use crate::pool::{StratId, StrategyPool};
 use crate::record::{Checkpoint, GenerationRecord, PopulationSnapshot, RunStats};
 use crate::rngstream::{stream, Domain};
@@ -62,6 +63,13 @@ pub struct Population {
     /// Changes the dynamics for stochastic games — an ablation of the
     /// paper's single-sample fitness, not a cost knob.
     pub expected_fitness: bool,
+    /// Memoise distinct-pair payoffs across generations
+    /// ([`PayoffCache`], docs/PERFORMANCE.md). On by default: purely a
+    /// cost knob — trajectories are bit-identical with it on or off.
+    pub use_payoff_cache: bool,
+    /// The cross-generation payoff memo-cache (warm state survives between
+    /// steps; [`Population::restore`] restarts it cold).
+    payoff_cache: PayoffCache,
 }
 
 impl Population {
@@ -98,6 +106,8 @@ impl Population {
             dedup: false,
             kernel: GameKernel::Naive,
             expected_fitness: false,
+            use_payoff_cache: true,
+            payoff_cache: PayoffCache::new(params.game),
             params,
         })
     }
@@ -185,6 +195,7 @@ impl Population {
             dedup: self.dedup,
             kernel: self.kernel,
             expected_fitness: self.expected_fitness,
+            cache: self.use_payoff_cache.then_some(&self.payoff_cache),
         }
         .provide(&plan);
         let delta = engine::apply(
@@ -278,8 +289,10 @@ impl Population {
     }
 
     /// Rebuild a population from a checkpoint. Execution knobs
-    /// (`exec_mode`, `fitness_policy`, `dedup`) reset to defaults — they
-    /// never affect trajectories, only cost.
+    /// (`exec_mode`, `fitness_policy`, `dedup`, `use_payoff_cache`) reset
+    /// to defaults and the payoff cache restarts cold — none of them
+    /// affect trajectories, only cost, so the resumed run is identical to
+    /// an uninterrupted one.
     pub fn restore(cp: Checkpoint) -> Result<Self, ParamsError> {
         let mut pop = Population::new(cp.params)?;
         let mut pool = StrategyPool::new();
@@ -291,6 +304,13 @@ impl Population {
         pop.generation = cp.generation;
         pop.stats = cp.stats;
         Ok(pop)
+    }
+
+    /// Number of distinct-pair payoffs memoised so far in the
+    /// cross-generation payoff cache (0 when `use_payoff_cache` is off or
+    /// no cacheable evaluation has run yet).
+    pub fn payoff_cache_len(&self) -> usize {
+        self.payoff_cache.len()
     }
 
     /// Per-generation wall times (nanoseconds) recorded so far, in
@@ -787,6 +807,81 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn payoff_cache_trajectory_identical_across_rules_and_policies() {
+        // The cache is a pure memoisation layer: for every update rule and
+        // fitness policy, with and without dedup, the trajectory —
+        // records, assignments, fitness bits, and statistics — must be
+        // identical with the cache on or off.
+        for rule in [
+            UpdateRule::PairwiseComparison,
+            UpdateRule::Moran,
+            UpdateRule::ImitateBest,
+        ] {
+            for policy in [FitnessPolicy::EveryGeneration, FitnessPolicy::OnDemand] {
+                for dedup in [false, true] {
+                    let mut p = small_params(70);
+                    p.rule = rule;
+                    p.pc_rate = 0.5;
+                    let mut cold = Population::new(p.clone()).unwrap();
+                    cold.use_payoff_cache = false;
+                    cold.fitness_policy = policy;
+                    cold.dedup = dedup;
+                    let mut warm = Population::new(p).unwrap();
+                    warm.use_payoff_cache = true;
+                    warm.fitness_policy = policy;
+                    warm.dedup = dedup;
+                    for _ in 0..60 {
+                        let a = cold.step();
+                        let b = warm.step();
+                        assert_eq!(a, b, "{rule:?}/{policy:?}/dedup={dedup}");
+                    }
+                    assert_eq!(cold.assignments(), warm.assignments());
+                    assert_eq!(cold.fitness(), warm.fitness());
+                    assert_eq!(cold.stats(), warm.stats(), "games accounting must not change");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payoff_cache_warms_up_and_expected_mode_caches_too() {
+        let mut pop = Population::new(small_params(71)).unwrap();
+        pop.dedup = true;
+        assert_eq!(pop.payoff_cache_len(), 0);
+        pop.run(40);
+        assert!(pop.payoff_cache_len() > 0, "dedup path must memoise pairs");
+
+        let mut p = small_params(72);
+        p.kind = StrategyKind::Mixed;
+        p.game.noise = 0.02;
+        let mut exact = Population::new(p).unwrap();
+        exact.expected_fitness = true;
+        exact.run(20);
+        assert!(
+            exact.payoff_cache_len() > 0,
+            "expected-fitness path must memoise pair expectations"
+        );
+    }
+
+    #[test]
+    fn restore_restarts_payoff_cache_cold_with_identical_trajectory() {
+        let mut straight = Population::new(small_params(73)).unwrap();
+        straight.dedup = true;
+        straight.run(100);
+
+        let mut first = Population::new(small_params(73)).unwrap();
+        first.dedup = true;
+        first.run(40);
+        let cp = first.checkpoint();
+        let mut resumed = Population::restore(cp).unwrap();
+        assert_eq!(resumed.payoff_cache_len(), 0, "restore must start cold");
+        resumed.dedup = true;
+        resumed.run(60);
+        assert_eq!(resumed.assignments(), straight.assignments());
+        assert_eq!(resumed.stats(), straight.stats());
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   generalised to memory-*n*.
 //! - [`game`] — the iterated game engine: plays two strategies against each
 //!   other for a fixed number of rounds with optional execution noise.
+//! - [`batch`] — word-parallel (bit-sliced) batch evaluation of
+//!   deterministic games: 64 memory-≤1 games per `u64` operation,
+//!   bit-identical to the scalar kernel.
 //! - [`tournament`] — Axelrod-style round-robin tournaments.
 //!
 //! # Conventions
@@ -47,6 +50,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod classic;
 pub mod codec;
 pub mod game;

@@ -10,21 +10,50 @@
 //!
 //! Uses:
 //! - variance-free fitness evaluation for stochastic populations (the
-//!   `Expected` fitness mode in `evo-core`);
+//!   expected-fitness mode in `evo-core`), where it is the **analytic fast
+//!   path** that bypasses round simulation entirely — each evaluation is
+//!   counted in the `markov_fastpath_evals` observability counter;
 //! - exact verification of zero-determinant score relations ([`crate::zd`]);
 //! - analytic ground truth for the Monte-Carlo engine (property-tested
 //!   agreement).
+//!
+//! The forward iteration precomputes each state's noisy cooperation
+//! probabilities and its four successor states once, then reuses two
+//! distribution buffers across rounds — no per-round allocation, and the
+//! accumulation order is fixed (ascending state id, then the four move
+//! combinations in C/C, C/D, D/C, D/D order), so results are reproducible
+//! to the bit.
+//!
+//! # Exact vs approximate
+//!
+//! For **pure strategies with zero noise** the distribution never spreads:
+//! all probability mass stays on the single joint state the deterministic
+//! game visits, every round weight is exactly `1.0`, and the payoff
+//! accumulates in the same order as [`crate::game::play_deterministic`] —
+//! so the expected outcome is **bit-identical** to the simulated one at
+//! *any* memory depth (asserted by this module's tests). For mixed
+//! strategies or ε > 0 it is the exact *expectation* of a distribution the
+//! sampled kernels draw from — a different fitness mode, not an
+//! approximation error (see `docs/PERFORMANCE.md`).
 //!
 //! ```
 //! use ipd::prelude::*;
 //! use ipd::markov::expected_outcome;
 //!
 //! let space = StateSpace::new(1).unwrap();
-//! let tft = Strategy::Pure(classic::tft(&space));
+//! let cfg = GameConfig::default();
+//! // Pure + noiseless: the expectation IS the deterministic outcome, bit for bit.
+//! let tft = classic::tft(&space);
+//! let wsls = classic::wsls(&space);
+//! let sim = play_deterministic(&space, &tft, &wsls, &cfg);
+//! let exact = expected_outcome(
+//!     &space, &Strategy::Pure(tft.clone()), &Strategy::Pure(wsls), &cfg);
+//! assert_eq!(exact.fitness_a.to_bits(), sim.fitness_a.to_bits());
+//!
+//! // Under noise the expectation is variance-free where simulation samples.
 //! let noisy = GameConfig { noise: 0.05, ..GameConfig::default() };
-//! let exact = expected_outcome(&space, &tft, &tft, &noisy);
-//! // Errors echo: noisy TFT self-play pays well under mutual cooperation.
-//! assert!(exact.mean_fitness_a() < 2.5);
+//! let t = Strategy::Pure(tft);
+//! assert!(expected_outcome(&space, &t, &t, &noisy).mean_fitness_a() < 2.5);
 //! ```
 
 use crate::game::GameConfig;
@@ -48,46 +77,96 @@ fn coop_prob(strategy: &Strategy, state: StateId, noise: f64) -> f64 {
     p * (1.0 - noise) + (1.0 - p) * noise
 }
 
-/// One forward step of the joint-state distribution. `dist[s]` is the
-/// probability that the last *n* rounds equal state `s` (from player A's
-/// perspective). Returns the next distribution plus this round's expected
-/// `(payoff_a, payoff_b, coop_a, coop_b)`.
-fn step(
-    space: &StateSpace,
-    a: &Strategy,
-    b: &Strategy,
-    config: &GameConfig,
-    dist: &[f64],
-) -> (Vec<f64>, [f64; 4]) {
-    let mut next = vec![0.0; dist.len()];
-    let mut round = [0.0f64; 4];
-    for (s, &mass) in dist.iter().enumerate() {
-        if mass == 0.0 {
-            continue;
+/// The precomputed forward-iteration kernel for one strategy pair: each
+/// state's noisy cooperation probabilities, its four successor states, and
+/// the per-move-combination payoff/cooperation contributions. Building it
+/// once hoists every strategy lookup and state transition out of the
+/// per-round loop; [`ForwardKernel::step`] then reuses caller-owned
+/// buffers, so iterating `rounds` steps allocates nothing.
+struct ForwardKernel {
+    /// Noisy cooperation probability of A in each state (A's perspective).
+    pa: Vec<f64>,
+    /// Noisy cooperation probability of B in each state (A's perspective;
+    /// B reads the perspective-swapped state).
+    pb: Vec<f64>,
+    /// `next[s][k]` = successor of state `s` under move combination `k`
+    /// (`k = 2·a_defects + b_defects`, i.e. C/C, C/D, D/C, D/D).
+    next: Vec<[usize; 4]>,
+    /// `pay[k] = [payoff_a, payoff_b, a_cooperates, b_cooperates]` for
+    /// move combination `k`.
+    pay: [[f64; 4]; 4],
+}
+
+const MOVES: [Move; 2] = [Move::Cooperate, Move::Defect];
+
+impl ForwardKernel {
+    fn new(space: &StateSpace, a: &Strategy, b: &Strategy, config: &GameConfig) -> Self {
+        let n = space.num_states();
+        let mut pa = Vec::with_capacity(n);
+        let mut pb = Vec::with_capacity(n);
+        let mut next = Vec::with_capacity(n);
+        for s in 0..n {
+            let sa = s as StateId;
+            let sb = space.swap_perspective(sa);
+            pa.push(coop_prob(a, sa, config.noise));
+            pb.push(coop_prob(b, sb, config.noise));
+            let mut nx = [0usize; 4];
+            for (ka, move_a) in MOVES.iter().enumerate() {
+                for (kb, move_b) in MOVES.iter().enumerate() {
+                    nx[2 * ka + kb] = space.advance(sa, *move_a, *move_b) as usize;
+                }
+            }
+            next.push(nx);
         }
-        let sa = s as StateId;
-        let sb = space.swap_perspective(sa);
-        let pa = coop_prob(a, sa, config.noise);
-        let pb = coop_prob(b, sb, config.noise);
-        for (move_a, wa) in [(Move::Cooperate, pa), (Move::Defect, 1.0 - pa)] {
-            if wa == 0.0 {
+        let mut pay = [[0.0f64; 4]; 4];
+        for (ka, move_a) in MOVES.iter().enumerate() {
+            for (kb, move_b) in MOVES.iter().enumerate() {
+                let (fa, fb) = config.payoff.payoffs(*move_a, *move_b);
+                pay[2 * ka + kb] = [
+                    fa,
+                    fb,
+                    move_a.is_cooperate() as u8 as f64,
+                    move_b.is_cooperate() as u8 as f64,
+                ];
+            }
+        }
+        ForwardKernel { pa, pb, next, pay }
+    }
+
+    /// One forward step of the joint-state distribution. `dist[s]` is the
+    /// probability that the last *n* rounds equal state `s` (from player
+    /// A's perspective). Writes the next distribution into `next_dist` and
+    /// this round's expected `(payoff_a, payoff_b, coop_a, coop_b)` into
+    /// `round`. The accumulation order (and hence every f64 bit) matches
+    /// the naive re-derivation from the strategies.
+    fn step(&self, dist: &[f64], next_dist: &mut [f64], round: &mut [f64; 4]) {
+        next_dist.fill(0.0);
+        *round = [0.0; 4];
+        for (s, &mass) in dist.iter().enumerate() {
+            if mass == 0.0 {
                 continue;
             }
-            for (move_b, wb) in [(Move::Cooperate, pb), (Move::Defect, 1.0 - pb)] {
-                if wb == 0.0 {
+            let (pa, pb) = (self.pa[s], self.pb[s]);
+            for (ka, wa) in [(0usize, pa), (1, 1.0 - pa)] {
+                if wa == 0.0 {
                     continue;
                 }
-                let w = mass * wa * wb;
-                let (fa, fb) = config.payoff.payoffs(move_a, move_b);
-                round[0] += w * fa;
-                round[1] += w * fb;
-                round[2] += w * move_a.is_cooperate() as u8 as f64;
-                round[3] += w * move_b.is_cooperate() as u8 as f64;
-                next[space.advance(sa, move_a, move_b) as usize] += w;
+                for (kb, wb) in [(0usize, pb), (1, 1.0 - pb)] {
+                    if wb == 0.0 {
+                        continue;
+                    }
+                    let w = mass * wa * wb;
+                    let k = 2 * ka + kb;
+                    let p = &self.pay[k];
+                    round[0] += w * p[0];
+                    round[1] += w * p[1];
+                    round[2] += w * p[2];
+                    round[3] += w * p[3];
+                    next_dist[self.next[s][k]] += w;
+                }
             }
         }
     }
-    (next, round)
 }
 
 /// Expected game outcome (total fitness and expected cooperation counts,
@@ -119,14 +198,21 @@ impl ExpectedOutcome {
     }
 }
 
-/// Compute the exact expected outcome of a game between `a` and `b`.
+/// Compute the exact expected outcome of a game between `a` and `b` —
+/// the analytic fast path that replaces round simulation (counted in the
+/// `markov_fastpath_evals` observability counter). See the module docs
+/// for when the result is bit-identical to the simulated game.
 pub fn expected_outcome(
     space: &StateSpace,
     a: &Strategy,
     b: &Strategy,
     config: &GameConfig,
 ) -> ExpectedOutcome {
+    obs::counters().add_markov_fastpath_eval();
+    let kernel = ForwardKernel::new(space, a, b, config);
     let mut dist = vec![0.0; space.num_states()];
+    let mut next = vec![0.0; space.num_states()];
+    let mut round = [0.0f64; 4];
     dist[space.initial_state() as usize] = 1.0;
     let mut out = ExpectedOutcome {
         fitness_a: 0.0,
@@ -136,8 +222,8 @@ pub fn expected_outcome(
         rounds: config.rounds,
     };
     for _ in 0..config.rounds {
-        let (next, round) = step(space, a, b, config, &dist);
-        dist = next;
+        kernel.step(&dist, &mut next, &mut round);
+        std::mem::swap(&mut dist, &mut next);
         out.fitness_a += round[0];
         out.fitness_b += round[1];
         out.coop_a += round[2];
@@ -157,12 +243,15 @@ pub fn limit_distribution(
     iters: u32,
 ) -> Vec<f64> {
     assert!(iters > 0);
+    let kernel = ForwardKernel::new(space, a, b, config);
     let mut dist = vec![0.0; space.num_states()];
+    let mut next = vec![0.0; space.num_states()];
+    let mut round = [0.0f64; 4];
     dist[space.initial_state() as usize] = 1.0;
     let mut avg = vec![0.0; space.num_states()];
     for _ in 0..iters {
-        let (next, _) = step(space, a, b, config, &dist);
-        dist = next;
+        kernel.step(&dist, &mut next, &mut round);
+        std::mem::swap(&mut dist, &mut next);
         for (acc, d) in avg.iter_mut().zip(&dist) {
             *acc += d;
         }
@@ -183,12 +272,15 @@ pub fn long_run_payoffs(
     iters: u32,
 ) -> (f64, f64) {
     // Average the per-round expected payoffs directly (exact Cesàro mean).
+    let kernel = ForwardKernel::new(space, a, b, config);
     let mut dist = vec![0.0; space.num_states()];
+    let mut next = vec![0.0; space.num_states()];
+    let mut round = [0.0f64; 4];
     dist[space.initial_state() as usize] = 1.0;
     let (mut sa, mut sb) = (0.0, 0.0);
     for _ in 0..iters {
-        let (next, round) = step(space, a, b, config, &dist);
-        dist = next;
+        kernel.step(&dist, &mut next, &mut round);
+        std::mem::swap(&mut dist, &mut next);
         sa += round[0];
         sb += round[1];
     }
@@ -231,6 +323,82 @@ mod tests {
                 assert!((exp.coop_a - det.coop_a as f64).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn bit_identical_to_simulation_for_pure_noiseless_memory_le_3() {
+        // The fitness-mode guarantee the fast path advertises: for pure,
+        // noiseless pairs the forward iteration keeps all probability mass
+        // exactly 1.0 on the simulated trajectory, so the accumulated
+        // payoffs are the *same* f64s as `play_deterministic`, not merely
+        // close. Checked exhaustively over random pairs at every memory
+        // depth the analytic mode targets (≤ 3) and several round counts.
+        for n in [0usize, 1, 2, 3] {
+            let s = sp(n);
+            let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE + n as u64);
+            for rounds in [1u32, 7, 50, 1000] {
+                let cfg = GameConfig {
+                    rounds,
+                    ..GameConfig::default()
+                };
+                for _ in 0..8 {
+                    let a = crate::strategy::PureStrategy::random(s, &mut rng);
+                    let b = crate::strategy::PureStrategy::random(s, &mut rng);
+                    let det = play_deterministic(&s, &a, &b, &cfg);
+                    let exp = expected_outcome(
+                        &s,
+                        &Strategy::Pure(a.clone()),
+                        &Strategy::Pure(b.clone()),
+                        &cfg,
+                    );
+                    assert_eq!(
+                        exp.fitness_a.to_bits(),
+                        det.fitness_a.to_bits(),
+                        "memory-{n} rounds-{rounds}: {} vs {}",
+                        exp.fitness_a,
+                        det.fitness_a
+                    );
+                    assert_eq!(exp.fitness_b.to_bits(), det.fitness_b.to_bits());
+                    assert_eq!(exp.coop_a, det.coop_a as f64);
+                    assert_eq!(exp.coop_b, det.coop_b as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_fast_path_is_approximate_not_bit_identical() {
+        // Under noise the fast path computes the *expectation* while the
+        // simulator samples — the contract is documented tolerance, not
+        // bit-identity. The expectation must sit near the empirical mean.
+        let s = sp(2);
+        let cfg = GameConfig {
+            rounds: 64,
+            noise: 0.05,
+            ..GameConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let a = Strategy::Pure(crate::strategy::PureStrategy::random(s, &mut rng));
+        let b = Strategy::Pure(crate::strategy::PureStrategy::random(s, &mut rng));
+        let exact = expected_outcome(&s, &a, &b, &cfg);
+        let games = 20_000;
+        let mut mc = 0.0;
+        for _ in 0..games {
+            mc += play(&s, &a, &b, &cfg, &mut rng).fitness_a;
+        }
+        mc /= games as f64;
+        let rel = (exact.fitness_a - mc).abs() / exact.fitness_a.abs().max(1.0);
+        assert!(rel < 0.02, "exact {} vs MC {mc}", exact.fitness_a);
+    }
+
+    #[test]
+    fn fast_path_evals_are_counted() {
+        let before = obs::counters().snapshot().markov_fastpath_evals;
+        let s = sp(1);
+        let tft = Strategy::Pure(classic::tft(&s));
+        let _ = expected_outcome(&s, &tft, &tft, &GameConfig::default());
+        let after = obs::counters().snapshot().markov_fastpath_evals;
+        assert!(after > before);
     }
 
     #[test]

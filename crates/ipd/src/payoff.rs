@@ -224,6 +224,20 @@ impl PayoffMatrix {
     pub fn as_rstp(&self) -> [f64; 4] {
         [self.reward, self.sucker, self.temptation, self.punishment]
     }
+
+    /// `true` if every payoff is an integer-valued `f64` small enough that
+    /// `count × payoff` sums over a game are exact (no rounding at any
+    /// intermediate). This is the soundness condition for kernels that
+    /// accumulate *outcome counts* and multiply by the payoff once at the
+    /// end (the word-parallel batch kernel in `ipd::batch`), instead of
+    /// adding payoffs round by round in trajectory order: with integral
+    /// payoffs both orders are exact integer arithmetic below 2^53, so the
+    /// results are bit-identical. The paper's `[3,0,4,1]` matrix qualifies.
+    pub fn is_integral(&self) -> bool {
+        self.as_rstp()
+            .iter()
+            .all(|&p| p.fract() == 0.0 && p.abs() <= 2f64.powi(32))
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,19 @@ use std::fmt;
 ///
 /// Equality, hashing, and ordering are defined on the packed bits, so pure
 /// strategies can be interned and used as map keys by the population engine.
+///
+/// # Bit ordering
+///
+/// The packing is little-endian *within the word stream*: state `s` lives
+/// at bit `s % 64` of word `s / 64`, so the move for state 0 is the least
+/// significant bit of `words[0]` and state ids increase toward more
+/// significant bits. This is independent of host byte order — all accesses
+/// go through shifts and masks on `u64` values, never through byte
+/// reinterpretation — and it is the layout the word-parallel batch kernel
+/// ([`crate::batch`]) and the codec rely on. Words above state `4^n − 1`
+/// ("padding") are always zero so that bitwise `Eq`/`Hash` are canonical.
+/// The table is bounded by [`crate::MAX_MEMORY_STEPS`]: at most 4096
+/// states (memory-six), i.e. 64 words.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PureStrategy {
     space: StateSpace,
@@ -28,7 +41,16 @@ pub struct PureStrategy {
 impl PureStrategy {
     /// Number of `u64` words needed for a space.
     fn words_for(space: &StateSpace) -> usize {
-        space.num_states().div_ceil(64)
+        // The state table is bounded by MAX_MEMORY_STEPS: 4^6 = 4096 bits
+        // = 64 words. The word-parallel kernel and the fixed-width codec
+        // both assume this bound holds for every constructed strategy.
+        debug_assert!(
+            space.num_states() <= 4096,
+            "state table exceeds the 4096-bit strategy bound"
+        );
+        let words = space.num_states().div_ceil(64);
+        debug_assert!(words <= 64, "strategy exceeds 64 packed words");
+        words
     }
 
     /// The all-cooperate strategy (every bit 0).
@@ -144,7 +166,9 @@ impl PureStrategy {
         self.space.iter().map(|s| self.move_for(s)).collect()
     }
 
-    /// The packed words (low bit of word 0 = state 0).
+    /// The packed words (low bit of word 0 = state 0; see the type-level
+    /// bit-ordering note). Length is `ceil(4^n / 64)`, at most 64; bits at
+    /// or above `4^n` are guaranteed zero.
     #[inline]
     pub fn words(&self) -> &[u64] {
         &self.words

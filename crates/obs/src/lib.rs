@@ -110,6 +110,9 @@ pub struct Counters {
     faults_injected: AtomicU64,
     comm_timeouts: AtomicU64,
     checkpoints_written: AtomicU64,
+    payoff_cache_hits: AtomicU64,
+    payoff_cache_misses: AtomicU64,
+    markov_fastpath_evals: AtomicU64,
 }
 
 static COUNTERS: Counters = Counters {
@@ -125,6 +128,9 @@ static COUNTERS: Counters = Counters {
     faults_injected: AtomicU64::new(0),
     comm_timeouts: AtomicU64::new(0),
     checkpoints_written: AtomicU64::new(0),
+    payoff_cache_hits: AtomicU64::new(0),
+    payoff_cache_misses: AtomicU64::new(0),
+    markov_fastpath_evals: AtomicU64::new(0),
 };
 
 /// The process-global [`Counters`] instance.
@@ -207,6 +213,27 @@ impl Counters {
         self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One pairwise payoff served from the cross-generation payoff cache
+    /// (`evo_core::paycache`) without playing the game.
+    #[inline]
+    pub fn add_payoff_cache_hit(&self) {
+        self.payoff_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One pairwise payoff computed and inserted into the payoff cache.
+    #[inline]
+    pub fn add_payoff_cache_miss(&self) {
+        self.payoff_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One pairwise payoff computed analytically by Markov forward
+    /// iteration (`ipd::markov::expected_outcome`) instead of round
+    /// simulation — the expected-fitness fast path.
+    #[inline]
+    pub fn add_markov_fastpath_eval(&self) {
+        self.markov_fastpath_evals.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of every counter (each load
     /// is individually atomic; the set is not a cross-counter transaction).
     pub fn snapshot(&self) -> CounterSnapshot {
@@ -223,6 +250,9 @@ impl Counters {
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             comm_timeouts: self.comm_timeouts.load(Ordering::Relaxed),
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            payoff_cache_hits: self.payoff_cache_hits.load(Ordering::Relaxed),
+            payoff_cache_misses: self.payoff_cache_misses.load(Ordering::Relaxed),
+            markov_fastpath_evals: self.markov_fastpath_evals.load(Ordering::Relaxed),
         }
     }
 }
@@ -264,6 +294,19 @@ pub struct CounterSnapshot {
     /// manifests.
     #[serde(default)]
     pub checkpoints_written: u64,
+    /// Pairwise payoffs served from the cross-generation payoff cache.
+    /// `#[serde(default)]`: absent in pre-cache manifests.
+    #[serde(default)]
+    pub payoff_cache_hits: u64,
+    /// Pairwise payoffs computed and inserted into the payoff cache.
+    /// `#[serde(default)]`: absent in pre-cache manifests.
+    #[serde(default)]
+    pub payoff_cache_misses: u64,
+    /// Pairwise payoffs computed analytically via Markov forward iteration
+    /// (the expected-fitness fast path). `#[serde(default)]`: absent in
+    /// older manifests.
+    #[serde(default)]
+    pub markov_fastpath_evals: u64,
 }
 
 impl CounterSnapshot {
@@ -282,6 +325,9 @@ impl CounterSnapshot {
             && self.faults_injected >= earlier.faults_injected
             && self.comm_timeouts >= earlier.comm_timeouts
             && self.checkpoints_written >= earlier.checkpoints_written
+            && self.payoff_cache_hits >= earlier.payoff_cache_hits
+            && self.payoff_cache_misses >= earlier.payoff_cache_misses
+            && self.markov_fastpath_evals >= earlier.markov_fastpath_evals
     }
 
     /// Per-counter difference `self − baseline` (saturating), attributing
@@ -309,6 +355,15 @@ impl CounterSnapshot {
             checkpoints_written: self
                 .checkpoints_written
                 .saturating_sub(baseline.checkpoints_written),
+            payoff_cache_hits: self
+                .payoff_cache_hits
+                .saturating_sub(baseline.payoff_cache_hits),
+            payoff_cache_misses: self
+                .payoff_cache_misses
+                .saturating_sub(baseline.payoff_cache_misses),
+            markov_fastpath_evals: self
+                .markov_fastpath_evals
+                .saturating_sub(baseline.markov_fastpath_evals),
         }
     }
 }
@@ -613,6 +668,9 @@ mod tests {
         counters().add_fault_injected();
         counters().add_comm_timeout();
         counters().add_checkpoint_written();
+        counters().add_payoff_cache_hit();
+        counters().add_payoff_cache_miss();
+        counters().add_markov_fastpath_eval();
         let after = counters().snapshot();
         assert!(after.monotone_since(&before));
         let delta = after.delta_since(&before);
@@ -622,6 +680,9 @@ mod tests {
         assert!(delta.faults_injected >= 1);
         assert!(delta.comm_timeouts >= 1);
         assert!(delta.checkpoints_written >= 1);
+        assert!(delta.payoff_cache_hits >= 1);
+        assert!(delta.payoff_cache_misses >= 1);
+        assert!(delta.markov_fastpath_evals >= 1);
     }
 
     #[test]
@@ -637,6 +698,9 @@ mod tests {
         assert_eq!(snap.faults_injected, 0);
         assert_eq!(snap.comm_timeouts, 0);
         assert_eq!(snap.checkpoints_written, 0);
+        assert_eq!(snap.payoff_cache_hits, 0);
+        assert_eq!(snap.payoff_cache_misses, 0);
+        assert_eq!(snap.markov_fastpath_evals, 0);
         assert_eq!(snap.games_played, 1);
     }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Re-runs the two committed benchmark suites and gates the results against
+# the committed post-optimisation baselines in benchmarks/ — the "committed
+# perf trajectory" contract of docs/PERFORMANCE.md. Exits non-zero if any
+# benchmark present in both the baseline and the fresh run got slower by
+# more than the threshold (default 10%, override with first argument).
+#
+# Usage: sh scripts/bench_compare.sh [threshold-pct]
+#
+# Criterion benches run from the bench crate's directory, so --save-json
+# paths are passed absolute.
+set -eu
+cd "$(dirname "$0")/.."
+REPO=$(pwd)
+THRESHOLD="${1:-10}"
+OUT="$REPO/target/bench-current"
+mkdir -p "$OUT"
+
+for suite in generation kernel; do
+    case "$suite" in
+        generation) bench=generation ;;
+        kernel)     bench=game_kernel ;;
+    esac
+    echo "== bench: $bench =="
+    cargo bench -p bench --bench "$bench" -- --save-json "$OUT/BENCH_$suite.json"
+    echo "== compare: benchmarks/BENCH_$suite.json vs fresh run =="
+    cargo run -p bench --release --bin bench_compare -- \
+        "$REPO/benchmarks/BENCH_$suite.json" "$OUT/BENCH_$suite.json" \
+        --threshold-pct "$THRESHOLD"
+done
+echo "bench_compare.sh: OK"

@@ -84,6 +84,14 @@ for rank in 1 2 3; do
 done
 echo "fault matrix: 9/9 degraded cleanly and resumed bit-identically"
 
+if [ "${VERIFY_BENCH:-0}" = "1" ]; then
+    echo "== perf: committed baseline regression gate (opt-in) =="
+    # Re-runs both criterion suites and compares against the committed
+    # benchmarks/BENCH_*.json baselines (docs/PERFORMANCE.md). Opt-in
+    # because wall-clock benches are machine-sensitive and slow.
+    sh scripts/bench_compare.sh
+fi
+
 echo "== docs: rustdoc, warnings are errors =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

@@ -166,6 +166,20 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
     if args.flag("--on-demand") {
         pop.fitness_policy = FitnessPolicy::OnDemand;
     }
+    // Performance knobs (docs/PERFORMANCE.md). `--dedup` and
+    // `--no-payoff-cache` are cost-only: trajectories are bit-identical
+    // either way. `--expected-fitness` selects the exact Markov fast path —
+    // identical dynamics for pure noiseless populations, a documented
+    // variance-free ablation for stochastic ones.
+    if args.flag("--dedup") {
+        pop.dedup = true;
+    }
+    if args.flag("--no-payoff-cache") {
+        pop.use_payoff_cache = false;
+    }
+    if args.flag("--expected-fitness") {
+        pop.expected_fitness = true;
+    }
     let start = pop.generation();
     let total = pop.params().generations;
     let every = args.parse("--sample-every", ((total - start) / 10).max(1))?;
@@ -357,6 +371,9 @@ fn cmd_distributed(args: &Args) -> Result<ExitCode, String> {
                 .map_err(|_| format!("invalid value {ms:?} for --recv-timeout-ms"))?,
         );
     }
+    if args.flag("--no-payoff-cache") {
+        cfg.disable_payoff_cache = true;
+    }
 
     let baseline = evogame::obs::counters().snapshot();
     let (seed, generations) = (cfg.params.seed, cfg.params.generations);
@@ -471,6 +488,14 @@ run flags:     --ssets N --generations G --mem M --seed S --pc-rate R --mu R
                --manifest-out FILE.json   (JSON run manifest, see
                                            docs/OBSERVABILITY.md; also
                                            accepted by `distributed`)
+performance (docs/PERFORMANCE.md; all bit-identical for the paper's
+deterministic configurations):
+               --dedup              play each distinct strategy pair once
+               --no-payoff-cache    disable the cross-generation payoff
+                                    memo-cache (also for `distributed`)
+               --expected-fitness   exact Markov fitness (`run` only): the
+                                    analytic fast path instead of round
+                                    simulation
 checkpointing (both `run` and `distributed` — docs/FAULT_TOLERANCE.md):
                --checkpoint-out FILE.json  write a restartable checkpoint
                --checkpoint-every N        refresh it every N generations

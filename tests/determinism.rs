@@ -13,18 +13,30 @@ use evogame::engine::params::MutationKind;
 use evogame::engine::params::UpdateRule;
 use evogame::prelude::*;
 
+/// Evaluation knobs exercised by the matrix: the exact Markov fast path,
+/// the deduplicated evaluator, and the cross-generation payoff memo-cache
+/// (docs/PERFORMANCE.md). Every combination must be thread-count invariant.
+#[derive(Clone, Copy)]
+struct Knobs {
+    expected_fitness: bool,
+    dedup: bool,
+    payoff_cache: bool,
+}
+
 /// One full run at the given worker count: every generation record
 /// serialised to JSON, plus the final assignments, fitness bit patterns,
 /// and aggregate statistics.
 fn run(
     params: &Params,
     threads: &str,
-    expected_fitness: bool,
+    knobs: Knobs,
 ) -> (Vec<String>, Vec<StratId>, Vec<u64>, RunStats) {
     std::env::set_var("RAYON_NUM_THREADS", threads);
     let mut p = Population::new(params.clone()).unwrap();
     p.exec_mode = ExecMode::Rayon;
-    p.expected_fitness = expected_fitness;
+    p.expected_fitness = knobs.expected_fitness;
+    p.dedup = knobs.dedup;
+    p.use_payoff_cache = knobs.payoff_cache;
     let records: Vec<String> = (0..params.generations)
         .map(|_| serde_json::to_string(&p.step()).unwrap())
         .collect();
@@ -62,32 +74,51 @@ fn trajectories_are_bit_identical_across_thread_counts() {
             p
         },
     ];
+    // Every evaluator knob combination the engine exposes. Dedup falls back
+    // to the naive evaluator for non-deterministic configs, so it is safe in
+    // both cases; the cache is probed by the pair, dedup, and expected paths.
+    let knob_matrix = [
+        Knobs { expected_fitness: false, dedup: false, payoff_cache: true },
+        Knobs { expected_fitness: false, dedup: true, payoff_cache: true },
+        Knobs { expected_fitness: false, dedup: true, payoff_cache: false },
+        Knobs { expected_fitness: true, dedup: false, payoff_cache: true },
+        Knobs { expected_fitness: true, dedup: false, payoff_cache: false },
+    ];
     for (case, params) in configs.iter().enumerate() {
-        for expected_fitness in [false, true] {
-            let baseline = run(params, "1", expected_fitness);
+        let mut per_knob = Vec::new();
+        for (k, knobs) in knob_matrix.iter().enumerate() {
+            let baseline = run(params, "1", *knobs);
             for threads in ["2", "8"] {
-                let got = run(params, threads, expected_fitness);
+                let got = run(params, threads, *knobs);
                 assert_eq!(
                     baseline.0, got.0,
-                    "case {case} (expected_fitness={expected_fitness}): generation record \
-                     stream diverged at {threads} threads"
+                    "case {case} knobs {k}: generation record stream diverged \
+                     at {threads} threads"
                 );
                 assert_eq!(
                     baseline.1, got.1,
-                    "case {case} (expected_fitness={expected_fitness}): final assignments \
-                     diverged at {threads} threads"
+                    "case {case} knobs {k}: final assignments diverged at {threads} threads"
                 );
                 assert_eq!(
                     baseline.2, got.2,
-                    "case {case} (expected_fitness={expected_fitness}): final fitness bits \
-                     diverged at {threads} threads"
+                    "case {case} knobs {k}: final fitness bits diverged at {threads} threads"
                 );
                 assert_eq!(
                     baseline.3, got.3,
-                    "case {case} (expected_fitness={expected_fitness}): RunStats \
-                     diverged at {threads} threads"
+                    "case {case} knobs {k}: RunStats diverged at {threads} threads"
                 );
             }
+            per_knob.push(baseline);
+        }
+        // The payoff cache is a pure cost knob: with every other knob held
+        // fixed, cache-on and cache-off runs must be fully identical — same
+        // records, same bits, same games accounting (docs/PERFORMANCE.md).
+        for (on, off) in [(1usize, 2usize), (3, 4)] {
+            assert_eq!(
+                per_knob[on], per_knob[off],
+                "case {case}: payoff cache changed the trajectory \
+                 (knobs {on} vs {off})"
+            );
         }
     }
     std::env::remove_var("RAYON_NUM_THREADS");
