@@ -47,6 +47,7 @@ pub trait Messenger {
         tag: Option<Tag>,
         _timeout: Duration,
     ) -> Result<Envelope<Self::Payload>, ClusterError> {
+        // detlint: allow(comm-discipline, reason = "default for messengers without a fault model (virtual-time TimedComm): no peer can die, so blocking is deadlock-free; Comm overrides with a real deadline")
         self.recv(src, tag)
     }
 }
@@ -63,6 +64,7 @@ impl<T: Send + Clone + 'static> Messenger for Comm<T> {
         Comm::send(self, dst, tag, payload)
     }
     fn recv(&self, src: Option<Rank>, tag: Option<Tag>) -> Result<Envelope<T>, ClusterError> {
+        // detlint: allow(comm-discipline, reason = "trait plumbing: forwards to Comm::recv, which is aliveness-aware (returns PeerDead instead of hanging); deadlines are added by recv_timeout above")
         Comm::recv(self, src, tag)
     }
     fn recv_timeout(
@@ -131,6 +133,7 @@ impl<'a, M: Messenger> Collective<'a, M> {
     ) -> Result<Envelope<M::Payload>, ClusterError> {
         match self.recv_timeout {
             Some(t) => self.comm.recv_timeout(src, tag, t),
+            // detlint: allow(comm-discipline, reason = "explicit opt-out: no fault deadline configured; the source is always filtered and Comm::recv returns PeerDead on dead peers rather than hanging")
             None => self.comm.recv(src, tag),
         }
     }
@@ -141,6 +144,7 @@ impl<'a, M: Messenger> Collective<'a, M> {
         obs::counters().add_collective_op();
         let t = self.next.get();
         self.next
+            // detlint: allow(panic-path, reason = "invariant: u64 tag counter cannot overflow within any feasible run; checked_add makes the impossible overflow loud instead of wrapping")
             .set(t.checked_add(1).expect("collective tag space exhausted"));
         t
     }
@@ -181,6 +185,7 @@ impl<'a, M: Messenger> Collective<'a, M> {
             mask <<= 1;
         }
         let mut forward_mask = mask >> 1;
+        // detlint: allow(panic-path, reason = "invariant: bcast's binomial tree guarantees either this rank is root (payload passed in) or the loop above received from its parent before breaking")
         let v = payload.expect("root passed Some or value was received");
         while forward_mask > 0 {
             if vrank + forward_mask < size {
@@ -261,6 +266,7 @@ impl<'a, M: Messenger> Collective<'a, M> {
             }
             Ok(Some(
                 out.into_iter()
+                    // detlint: allow(panic-path, reason = "invariant: the source-filtered crecv loop above fills every non-root slot or returns Err first; root's own slot is set before the loop")
                     .map(|v| v.expect("every rank sent"))
                     .collect(),
             ))

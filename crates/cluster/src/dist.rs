@@ -203,6 +203,14 @@ pub enum DistError {
         /// What the protocol expected at that point.
         expected: &'static str,
     },
+    /// A worker rank's replicated strategy table diverged from the Nature
+    /// Agent's at the end of a fault-free run — the replication protocol
+    /// itself is broken (a dropped or reordered commit broadcast), so the
+    /// trajectory cannot be trusted.
+    ReplicaDivergence {
+        /// The first worker rank whose table diverged.
+        rank: Rank,
+    },
     /// The run degraded: a peer failure was detected and survived. The
     /// boxed [`DegradedRun`] carries the restartable checkpoint.
     Degraded(Box<DegradedRun>),
@@ -216,6 +224,10 @@ impl std::fmt::Display for DistError {
             DistError::Protocol { rank, expected } => {
                 write!(f, "protocol violation at rank {rank}: expected {expected}")
             }
+            DistError::ReplicaDivergence { rank } => write!(
+                f,
+                "rank {rank} diverged from the Nature Agent's strategy table in a fault-free run"
+            ),
             DistError::Degraded(d) => write!(
                 f,
                 "run degraded after {} generations (dead ranks {:?}): {}",
@@ -377,14 +389,12 @@ pub fn run_distributed(config: &DistConfig) -> Result<DistOutcome, DistError> {
     outcome.messages_sent = messages_sent;
     if fault_free {
         // Consistency of the replicated strategy view — only meaningful
-        // when no rank was killed mid-run.
+        // when no rank was killed mid-run. Divergence is a typed error,
+        // not a panic: the caller decides whether to rerun or alert.
         for (r, table) in tables.iter().enumerate() {
-            assert_eq!(
-                *table,
-                outcome.assignments,
-                "rank {} diverged from the Nature Agent's strategy table",
-                r + 1
-            );
+            if *table != outcome.assignments {
+                return Err(DistError::ReplicaDivergence { rank: r + 1 });
+            }
         }
     }
     Ok(outcome)
@@ -425,6 +435,7 @@ impl RankProvider<'_> {
     ) -> Result<crate::comm::Envelope<DistMsg>, ClusterError> {
         match self.recv_timeout {
             Some(t) => self.comm.recv_timeout(Some(src), Some(FITNESS_TAG), t),
+            // detlint: allow(comm-discipline, reason = "explicit opt-out: no fault deadline in the plan; the source filter keeps it aliveness-aware (dead owner surfaces as RankDead, not a hang)")
             None => self.comm.recv(Some(src), Some(FITNESS_TAG)),
         }
     }
@@ -470,7 +481,13 @@ impl RankProvider<'_> {
                     // owner surfaces as `RankDead` instead of a silent wait.
                     let mut ft = None;
                     let mut fl = None;
-                    while ft.is_none() || fl.is_none() {
+                    // Loop until both slots are filled; breaking with the
+                    // values makes "both set" a type-level fact instead of
+                    // an expect() at the use sites.
+                    let (ft, fl) = loop {
+                        if let (Some(t), Some(l)) = (ft, fl) {
+                            break (t, l);
+                        }
                         let want = if ft.is_none() { teacher } else { learner };
                         let owner = owner_of(want as usize, self.num_ssets, self.comm.size());
                         match self.frecv(owner)?.payload {
@@ -489,11 +506,8 @@ impl RankProvider<'_> {
                             }
                             _ => return Err(RankError::Protocol("fitness message")),
                         }
-                    }
-                    FitnessView::Pair {
-                        teacher: ft.expect("loop exits with both set"),
-                        learner: fl.expect("loop exits with both set"),
-                    }
+                    };
+                    FitnessView::Pair { teacher: ft, learner: fl }
                 } else {
                     for &(s, f) in &local {
                         if s == teacher as usize || s == learner as usize {
@@ -611,6 +625,7 @@ fn run_rank(comm: &Comm<DistMsg>, spec: &RunSpec) -> RankResult {
             let mixed = matches!(spec.params.kind, evo_core::params::StrategyKind::Mixed);
             let a = (0..num_ssets)
                 .map(|i| {
+                    // detlint: allow(rng-domain, reason = "replicated init: every rank rebuilds the identical gen-0 table with the same Init streams population::new uses, so the distributed and shared-memory backends agree bit-for-bit")
                     let mut rng = stream(spec.params.seed, Domain::Init, i as u64, 0);
                     pool.intern(Strategy::random(spec.space, mixed, &mut rng))
                 })

@@ -129,6 +129,7 @@ impl<T: Send + Clone + 'static> Messenger for TimedComm<T> {
     }
 
     fn recv(&self, src: Option<Rank>, tag: Option<Tag>) -> Result<Envelope<T>, ClusterError> {
+        // detlint: allow(comm-discipline, reason = "virtual-time wrapper: TimedComm models a fault-free network (no kills, no drops), so a blocking receive cannot deadlock; it forwards to the aliveness-aware Comm::recv underneath")
         let env = self.comm.recv(src, tag)?;
         // Conservative clock rule: the receive completes no earlier than
         // both the local clock and the message's arrival.

@@ -65,7 +65,7 @@ pub fn clean(source: &str) -> Vec<CleanedLine> {
                     state = State::Str;
                     i += 1;
                 } else if c == 'r'
-                    && (i == 0 || !is_ident_char(chars[i - 1]))
+                    && raw_prefix_ok(&chars, i)
                     && raw_str_hashes(&chars, i + 1).is_some()
                 {
                     let hashes = raw_str_hashes(&chars, i + 1).expect("just checked");
@@ -73,7 +73,9 @@ pub fn clean(source: &str) -> Vec<CleanedLine> {
                     state = State::RawStr(hashes);
                     i += 2 + hashes as usize;
                 } else if c == '\'' {
-                    // Char literal vs lifetime: a literal is '\…' or 'x'.
+                    // Char/byte-char literal vs lifetime: a literal is '\…'
+                    // or 'x' (the `b` prefix of `b'x'` stays in the code
+                    // channel; the quote lookahead is identical).
                     if at(i + 1) == Some('\\') {
                         i += 2; // skip the backslash and escaped char
                         while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
@@ -139,6 +141,17 @@ pub fn clean(source: &str) -> Vec<CleanedLine> {
         lines.push(cur);
     }
     lines
+}
+
+/// `true` when an `r` at index `i` can start a raw (or byte-raw) string:
+/// it must not be the tail of an identifier, except for the single-`b`
+/// prefix of `br"…"`/`br#"…"#`, which itself must sit at a boundary.
+fn raw_prefix_ok(chars: &[char], i: usize) -> bool {
+    match i.checked_sub(1).map(|j| chars[j]) {
+        None => true,
+        Some('b') => i < 2 || !is_ident_char(chars[i - 2]),
+        Some(p) => !is_ident_char(p),
+    }
 }
 
 /// If `chars[from..]` opens a raw string (`"` or `#…#"`), the hash count.
@@ -231,6 +244,40 @@ mod tests {
         let lines = clean("let c = 'x'; let q = '\\''; let n = '\\n'; done");
         assert!(lines[0].code.contains("done"));
         assert!(!lines[0].code.contains('x'));
+    }
+
+    #[test]
+    fn byte_raw_strings_are_dropped() {
+        // `br#"…"#` must behave like `r#"…"#`: embedded quotes and rule
+        // tokens never leak into the code channel.
+        let lines = clean("let s = br#\"say \"HashMap\" loudly\"#; let u = 2;");
+        assert!(!lines[0].code.contains("HashMap"), "{:?}", lines[0]);
+        assert!(lines[0].code.contains("let u = 2;"), "{:?}", lines[0]);
+        let lines = clean("let s = br\"Instant::now\"; tail");
+        assert!(!lines[0].code.contains("Instant::now"), "{:?}", lines[0]);
+        assert!(lines[0].code.contains("tail"), "{:?}", lines[0]);
+        // `abr#"…"#` is an identifier followed by `#` noise, not a raw
+        // string opener; the lexer must not swallow the rest of the line.
+        let lines = clean("let x = abr; let y = 1;");
+        assert!(lines[0].code.contains("let y = 1;"), "{:?}", lines[0]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_are_dropped() {
+        let lines = clean("let s = b\"HashMap bytes\"; let c = b'x'; done");
+        assert!(!lines[0].code.contains("HashMap"), "{:?}", lines[0]);
+        assert!(!lines[0].code.contains('x'), "{:?}", lines[0]);
+        assert!(lines[0].code.contains("done"), "{:?}", lines[0]);
+        let lines = clean("let nl = b'\\n'; let q = b'\\''; after");
+        assert!(lines[0].code.contains("after"), "{:?}", lines[0]);
+    }
+
+    #[test]
+    fn lifetime_followed_by_char_literal() {
+        // The `'a` must survive as a lifetime while `'x'` is dropped.
+        let lines = clean("fn f<'a>(s: &'a str, c: char) -> bool { c == 'x' }");
+        assert!(lines[0].code.contains("'a"), "{:?}", lines[0]);
+        assert!(!lines[0].code.contains('x'), "{:?}", lines[0]);
     }
 
     #[test]

@@ -34,9 +34,12 @@
 
 pub mod annot;
 pub mod clean;
+pub mod contracts;
 pub mod diag;
 pub mod paths;
 pub mod rules;
+pub mod sarif;
+pub mod structure;
 
 pub use diag::{Diagnostic, Report};
 
@@ -44,12 +47,38 @@ use annot::{Allow, AllowScope};
 use rules::{Rule, RuleKind};
 use std::path::Path;
 
-/// Check one file's source against every applicable rule.
-///
-/// `rel_path` is the workspace-relative `/`-separated path; scoping and
-/// root detection key off it, so callers (and tests) can present any
-/// content as living anywhere in the workspace.
-pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+/// One analyzed file: parsed structure plus its allow tables, so both the
+/// per-file passes and the workspace-level call-graph pass can filter
+/// diagnostics through the same annotations.
+struct Analyzed {
+    rel_path: String,
+    structure: structure::FileStructure,
+    file_allows: Vec<Allow>,
+    line_allows: Vec<Vec<Allow>>,
+}
+
+impl Analyzed {
+    /// Is `slug` allowed at 1-based `line`?
+    fn allowed(&self, slug: &str, line: usize) -> bool {
+        self.file_allows.iter().any(|a| a.rule == slug)
+            || self
+                .line_allows
+                .get(line.saturating_sub(1))
+                .is_some_and(|l| l.iter().any(|a| a.rule == slug))
+    }
+
+    /// Drop diagnostics covered by allows (`bad-annotation` never is).
+    fn filter(&self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter(|d| d.rule == rules::BAD_ANNOTATION || !self.allowed(&d.rule, d.line))
+            .collect()
+    }
+}
+
+/// Lex + parse one file: annotation tables, annotation diagnostics, and
+/// every per-file rule (lexical and local-structural), unfiltered.
+fn analyze(rel_path: &str, source: &str) -> (Analyzed, Vec<Diagnostic>) {
     let lines = clean::clean(source);
     let mut diags = Vec::new();
 
@@ -70,12 +99,7 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
         }
         let (file_scope, line_scope): (Vec<Allow>, Vec<Allow>) =
             allows.into_iter().partition(|a| a.scope == AllowScope::File);
-        for a in &file_scope {
-            if rules::rule(&a.rule).is_none() {
-                diags.push(unknown_rule(rel_path, i + 1, &a.rule));
-            }
-        }
-        for a in &line_scope {
+        for a in file_scope.iter().chain(line_scope.iter()) {
             if rules::rule(&a.rule).is_none() {
                 diags.push(unknown_rule(rel_path, i + 1, &a.rule));
             }
@@ -90,11 +114,6 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
         }
     }
 
-    let allowed = |slug: &str, i: usize| {
-        file_allows.iter().any(|a| a.rule == slug)
-            || line_allows[i].iter().any(|a| a.rule == slug)
-    };
-
     for rule in rules::REGISTRY {
         if !rule.applies(rel_path) {
             continue;
@@ -103,8 +122,7 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
             RuleKind::TokenDeny { tokens, .. } => {
                 for (i, line) in lines.iter().enumerate() {
                     for token in tokens {
-                        if clean::find_token(&line.code, token).is_some() && !allowed(rule.slug, i)
-                        {
+                        if clean::find_token(&line.code, token).is_some() {
                             diags.push(token_diag(rule, rel_path, i + 1, token));
                             break; // one diagnostic per line per rule
                         }
@@ -118,7 +136,7 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
                         .collect::<String>()
                         .contains("#![forbid(unsafe_code)]")
                 });
-                if !has && !file_allows.iter().any(|a| a.rule == rule.slug) {
+                if !has {
                     diags.push(Diagnostic {
                         rule: rule.slug.into(),
                         path: rel_path.into(),
@@ -130,11 +148,77 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
                     });
                 }
             }
+            // Dispatched below over the parsed structure (phase-purity
+            // needs the whole workspace and runs in check_sources).
+            RuleKind::Structural(_) => {}
         }
     }
 
+    let fs = structure::FileStructure::parse(rel_path, &lines);
+    diags.extend(contracts::check_file(rel_path, &fs));
+
+    let analyzed = Analyzed {
+        rel_path: rel_path.to_string(),
+        structure: fs,
+        file_allows,
+        line_allows,
+    };
+    (analyzed, diags)
+}
+
+/// Check one file's source against every applicable per-file rule.
+///
+/// `rel_path` is the workspace-relative `/`-separated path; scoping and
+/// root detection key off it, so callers (and tests) can present any
+/// content as living anywhere in the workspace. The workspace-level
+/// `phase-purity` pass needs every file at once and therefore only runs
+/// in [`check_sources`]/[`check_workspace`].
+pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let (analyzed, diags) = analyze(rel_path, source);
+    let mut diags = analyzed.filter(diags);
     diags.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
     diags
+}
+
+/// Check a set of in-memory `(rel_path, source)` files as one workspace:
+/// every per-file rule plus the cross-file `phase-purity` pass.
+pub fn check_sources(files: &[(String, String)]) -> Report {
+    let mut analyzed = Vec::with_capacity(files.len());
+    let mut per_file_diags = Vec::with_capacity(files.len());
+    for (rel, source) in files {
+        let (a, d) = analyze(rel, source);
+        analyzed.push(a);
+        per_file_diags.push(d);
+    }
+
+    let parsed: Vec<contracts::ParsedFile> = analyzed
+        .iter()
+        .map(|a| contracts::ParsedFile {
+            rel_path: a.rel_path.clone(),
+            structure: a.structure.clone(),
+        })
+        .collect();
+    for d in contracts::phase_purity(&parsed) {
+        if let Some(i) = analyzed.iter().position(|a| a.rel_path == d.path) {
+            per_file_diags[i].push(d);
+        }
+    }
+
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for (a, diags) in analyzed.iter().zip(per_file_diags) {
+        report.diagnostics.extend(a.filter(diags));
+    }
+    report.diagnostics.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.rule.cmp(&b.rule))
+    });
+    report.diagnostics.dedup();
+    report
 }
 
 fn token_diag(rule: &Rule, rel_path: &str, line: usize, token: &str) -> Diagnostic {
@@ -167,26 +251,14 @@ fn unknown_rule(rel_path: &str, line: usize, slug: &str) -> Diagnostic {
 }
 
 /// Walk the workspace at `root` and check every `.rs` file under the scan
-/// dirs ([`paths::SCAN_DIRS`]).
+/// dirs ([`paths::SCAN_DIRS`]), including the cross-file passes.
 pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
-    let files = paths::collect_rs_files(root)?;
-    let mut report = Report {
-        files_scanned: files.len(),
-        ..Report::default()
-    };
-    for rel in files {
+    let mut files = Vec::new();
+    for rel in paths::collect_rs_files(root)? {
         let source = std::fs::read_to_string(root.join(&rel))?;
-        report
-            .diagnostics
-            .extend(check_file(&paths::normalise(&rel), &source));
+        files.push((paths::normalise(&rel), source));
     }
-    report.diagnostics.sort_by(|a, b| {
-        a.path
-            .cmp(&b.path)
-            .then_with(|| a.line.cmp(&b.line))
-            .then_with(|| a.rule.cmp(&b.rule))
-    });
-    Ok(report)
+    Ok(check_sources(&files))
 }
 
 #[cfg(test)]

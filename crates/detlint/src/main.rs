@@ -1,10 +1,10 @@
-//! CLI for the determinism lint: `detlint check` / `detlint rules`.
+//! CLI for the determinism lint: `detlint check` / `rules` / `explain`.
 //!
 //! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
 
 #![forbid(unsafe_code)]
 
-use detlint::{diag, rules};
+use detlint::{diag, rules, sarif};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -12,21 +12,31 @@ const USAGE: &str = "\
 detlint — workspace determinism & concurrency static analysis
 
 USAGE:
-    detlint check [--root <dir>] [--format text|json]
+    detlint check [--root <dir>] [--format text|json|sarif] [--rules lexical|structural|all]
     detlint rules [--format text|json]
+    detlint explain <rule>
 
 COMMANDS:
     check    Walk crates/, src/, and tests/ and report contract violations
     rules    List the enforced rules
+    explain  Print one rule's summary, rationale, and annotation grammar
 
 OPTIONS:
     --root <dir>     Workspace root to scan (default: current directory)
-    --format <fmt>   Output format: text (default) or json
+    --format <fmt>   Output format: text (default), json, or sarif (check only)
+    --rules <class>  Restrict check to lexical or structural rules (default: all)
 ";
 
 enum Format {
     Text,
     Json,
+    Sarif,
+}
+
+enum RuleClass {
+    All,
+    Lexical,
+    Structural,
 }
 
 fn main() -> ExitCode {
@@ -35,8 +45,18 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::from(2);
     };
+    if command == "explain" {
+        return match args.get(1) {
+            Some(slug) => explain(slug),
+            None => {
+                eprintln!("detlint: explain needs a rule slug\n{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let mut root = PathBuf::from(".");
     let mut format = Format::Text;
+    let mut class = RuleClass::All;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,8 +72,23 @@ fn main() -> ExitCode {
                 format = match args.get(i + 1).map(String::as_str) {
                     Some("text") => Format::Text,
                     Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
                     other => {
-                        eprintln!("detlint: --format must be text or json, got {other:?}");
+                        eprintln!("detlint: --format must be text, json, or sarif, got {other:?}");
+                        return ExitCode::from(2);
+                    }
+                };
+                i += 2;
+            }
+            "--rules" => {
+                class = match args.get(i + 1).map(String::as_str) {
+                    Some("all") => RuleClass::All,
+                    Some("lexical") => RuleClass::Lexical,
+                    Some("structural") => RuleClass::Structural,
+                    other => {
+                        eprintln!(
+                            "detlint: --rules must be lexical, structural, or all, got {other:?}"
+                        );
                         return ExitCode::from(2);
                     }
                 };
@@ -66,7 +101,7 @@ fn main() -> ExitCode {
         }
     }
     match command.as_str() {
-        "check" => check(&root, &format),
+        "check" => check(&root, &format, &class),
         "rules" => {
             list_rules(&format);
             ExitCode::SUCCESS
@@ -78,25 +113,45 @@ fn main() -> ExitCode {
     }
 }
 
-fn check(root: &std::path::Path, format: &Format) -> ExitCode {
-    let report = match detlint::check_workspace(root) {
+fn check(root: &std::path::Path, format: &Format, class: &RuleClass) -> ExitCode {
+    let mut report = match detlint::check_workspace(root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("detlint: cannot scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    // `bad-annotation` (a malformed suppression) belongs to both classes.
+    report.diagnostics.retain(|d| match class {
+        RuleClass::All => true,
+        RuleClass::Lexical => rules::rule(&d.rule).is_none_or(|r| !r.is_structural()),
+        RuleClass::Structural => rules::rule(&d.rule).is_none_or(rules::Rule::is_structural),
+    });
     match format {
         Format::Json => println!("{}", report.to_json()),
+        Format::Sarif => println!("{}", sarif::to_sarif(&report)),
         Format::Text => {
             for d in &report.diagnostics {
                 println!("{}", d.render());
             }
             if report.is_clean() {
+                let enforced = rules::REGISTRY
+                    .iter()
+                    .filter(|r| match class {
+                        RuleClass::All => true,
+                        RuleClass::Lexical => !r.is_structural(),
+                        RuleClass::Structural => r.is_structural(),
+                    })
+                    .count();
                 println!(
-                    "detlint: OK — {} files clean under {} rules",
+                    "detlint: OK — {} files clean under {} {}rules",
                     report.files_scanned,
-                    rules::REGISTRY.len()
+                    enforced,
+                    match class {
+                        RuleClass::All => "",
+                        RuleClass::Lexical => "lexical ",
+                        RuleClass::Structural => "structural ",
+                    }
                 );
             } else {
                 println!(
@@ -114,6 +169,31 @@ fn check(root: &std::path::Path, format: &Format) -> ExitCode {
     }
 }
 
+fn explain(slug: &str) -> ExitCode {
+    let Some(r) = rules::rule(slug) else {
+        eprintln!(
+            "detlint: no rule named {slug} — known slugs: {}",
+            rules::REGISTRY
+                .iter()
+                .map(|r| r.slug)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    println!("{} — {}", r.slug, r.summary);
+    println!("  class: {}", if r.is_structural() { "structural" } else { "lexical" });
+    println!("\n  why it breaks the contract:\n    {}", r.rationale);
+    println!(
+        "\n  suppressing a justified site:\n    \
+         // detlint: allow({}, reason = \"...\")\n    \
+         // detlint: allow-file({}, reason = \"...\")",
+        r.slug, r.slug
+    );
+    println!("\n  full contract text: docs/STATIC_ANALYSIS.md");
+    ExitCode::SUCCESS
+}
+
 fn list_rules(format: &Format) {
     match format {
         Format::Text => {
@@ -122,17 +202,18 @@ fn list_rules(format: &Format) {
                 println!("{:<14} why: {}", "", r.rationale);
             }
         }
-        Format::Json => {
+        Format::Json | Format::Sarif => {
             let mut out = String::from("[");
             for (i, r) in rules::REGISTRY.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
                 out.push_str(&format!(
-                    "{{\"slug\":{},\"summary\":{},\"rationale\":{}}}",
+                    "{{\"slug\":{},\"summary\":{},\"rationale\":{},\"structural\":{}}}",
                     diag::json_string(r.slug),
                     diag::json_string(r.summary),
                     diag::json_string(r.rationale),
+                    r.is_structural(),
                 ));
             }
             out.push(']');

@@ -5,6 +5,7 @@
 //! forbids constructing `ChaCha8Rng` outside `evo_core::rngstream`) is a
 //! new entry in [`REGISTRY`], not new traversal machinery.
 
+use crate::contracts;
 use crate::paths;
 
 /// How a rule matches.
@@ -20,6 +21,9 @@ pub enum RuleKind {
     },
     /// Require `#![forbid(unsafe_code)]` in every crate and binary root.
     RequireForbidUnsafe,
+    /// A structural contract check over parsed fn scopes / call graph
+    /// (see [`crate::contracts`]); test context is exempt.
+    Structural(contracts::Check),
 }
 
 /// File scope of a token rule.
@@ -150,6 +154,56 @@ pub const REGISTRY: &[Rule] = &[
                     other rule here can see; the workspace opts out wholesale.",
         kind: RuleKind::RequireForbidUnsafe,
     },
+    Rule {
+        slug: "phase-purity",
+        summary: "no RNG constructor reachable from engine::plan or engine::commit",
+        rationale: "the generation transition is plan -> provide -> apply: plan draws only via \
+                    NatureAgent::schedule and commit is RNG-free (docs/ENGINE_CORE.md). A \
+                    constructor reachable through any call chain re-orders stream draws between \
+                    backends and silently forks trajectories; the rule walks the approximate \
+                    intra-workspace call graph so indirection does not hide the draw.",
+        kind: RuleKind::Structural(contracts::Check::PhasePurity),
+    },
+    Rule {
+        slug: "rng-domain",
+        summary: "each Domain::X stream drawn only in its owning module",
+        rationale: "the (seed, domain, entity, generation) keying makes streams collision-free \
+                    only while each domain has one owner: Faults in cluster::faults, Nature and \
+                    Mutation in evo-core's nature, Init in population/spatial setup. A draw \
+                    elsewhere reuses counters another module will also use, correlating what \
+                    the paper's model requires to be independent randomness.",
+        kind: RuleKind::Structural(contracts::Check::RngDomain),
+    },
+    Rule {
+        slug: "comm-discipline",
+        summary: "no deadline-free or wildcard-source recv in cluster code",
+        rationale: "a bare recv waits forever on a peer that may already be dead — the exact \
+                    gather deadlock fault injection exposed in PR 5 (docs/FAULT_TOLERANCE.md). \
+                    Receives go through the deadline-bound wrappers (recv_deadline/recv_timeout) \
+                    with an explicit source; the few aliveness-aware primitives underneath \
+                    carry annotations explaining why they are safe.",
+        kind: RuleKind::Structural(contracts::Check::CommDiscipline),
+    },
+    Rule {
+        slug: "float-order",
+        summary: "no sum/fold accumulation over HashMap/HashSet iteration",
+        rationale: "float addition is not associative, so accumulating f64 payoffs in the \
+                    per-process-random order of a hash map yields different bits per run — the \
+                    exact fitness-sum bug PR 2 fixed by moving to BTreeMap. The structural form \
+                    catches the chain (.values()...sum()) even when hash-iter is annotated away \
+                    for lookup-only use.",
+        kind: RuleKind::Structural(contracts::Check::FloatOrder),
+    },
+    Rule {
+        slug: "panic-path",
+        summary: "unwrap/expect/panic in dist/engine hot paths must be typed or justified",
+        rationale: "a panic inside a rank thread kills that rank mid-protocol and turns every \
+                    peer's matching recv into a hang; the fault-tolerance layer exists to turn \
+                    failures into typed DistError outcomes instead. Hot-path panic sites either \
+                    become typed errors or carry an annotation naming the invariant that makes \
+                    them unreachable.",
+        kind: RuleKind::Structural(contracts::Check::PanicPath),
+    },
 ];
 
 /// Look up a rule by slug.
@@ -173,7 +227,13 @@ impl Rule {
         match self.kind {
             RuleKind::TokenDeny { scope, .. } => scope.applies(rel_path),
             RuleKind::RequireForbidUnsafe => paths::is_target_root(rel_path),
+            RuleKind::Structural(check) => contracts::in_scope(check, rel_path),
         }
+    }
+
+    /// Is this a structural (parser-backed) rule, as opposed to lexical?
+    pub fn is_structural(&self) -> bool {
+        matches!(self.kind, RuleKind::Structural(_))
     }
 }
 

@@ -1,0 +1,648 @@
+//! Structural pass: a lightweight item/block parser over the cleaned token
+//! stream.
+//!
+//! The lexical rules in [`crate::rules`] match forbidden tokens anywhere in
+//! a file; the contract rules in [`crate::contracts`] need more shape than
+//! that — *which function* a token sits in, whether that function is test
+//! code, and an approximate picture of who calls whom across the
+//! workspace. This module recovers exactly that much structure and no
+//! more: module paths (from the file path plus inline `mod` items), `fn`
+//! scopes with brace-matched body spans, `#[cfg(test)]`/`#[test]`
+//! detection, and per-body call references suitable for name-based call
+//! graph resolution.
+//!
+//! It is a token-shape parser, not a Rust parser: generics, closures, and
+//! macros are traversed by bracket balance only. The known approximations
+//! (documented in `docs/STATIC_ANALYSIS.md`) are the price of staying
+//! dependency-free, and every one of them fails toward *missing* an edge,
+//! which the contract rules compensate for with conservative token checks
+//! at the leaves.
+
+use crate::clean::CleanedLine;
+
+/// One code token: an identifier/number run or a single punctuation char.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text (identifiers keep their full run; punct is one char).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Tok {
+    /// `true` when the token is an identifier (or keyword/number) run.
+    pub fn is_ident(&self) -> bool {
+        self.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+    }
+}
+
+/// Flatten cleaned code channels into a token stream.
+pub fn tokenize(lines: &[CleanedLine]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let mut chars = line.code.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c.is_whitespace() {
+                continue;
+            }
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let mut text = String::new();
+                text.push(c);
+                while let Some(&n) = chars.peek() {
+                    if n.is_ascii_alphanumeric() || n == '_' {
+                        text.push(n);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok { text, line: i + 1 });
+            } else {
+                toks.push(Tok {
+                    text: c.to_string(),
+                    line: i + 1,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// One function with a parsed body.
+#[derive(Debug, Clone)]
+pub struct FnScope {
+    /// Bare function name.
+    pub name: String,
+    /// Qualified name: crate/module path, enclosing `impl`/`trait`/`mod`
+    /// names, then the function name, `::`-joined.
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// In test context: `#[test]`, inside a `#[cfg(test)]` module, or in a
+    /// file that is test-only by path.
+    pub is_test: bool,
+    /// Token-index range of the body contents (between the outer braces).
+    pub body: (usize, usize),
+}
+
+/// A call reference found inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Path segments as written (`foo`, or `Type::method` as two segments).
+    pub path: Vec<String>,
+    /// 1-based line of the called name.
+    pub line: usize,
+}
+
+impl Call {
+    /// The final path segment — the name used for index resolution.
+    pub fn name(&self) -> &str {
+        self.path.last().map_or("", String::as_str)
+    }
+}
+
+/// Parsed structure of one file.
+#[derive(Debug, Clone)]
+pub struct FileStructure {
+    /// The token stream the spans below index into.
+    pub toks: Vec<Tok>,
+    /// Every `fn` with a body, in source order.
+    pub fns: Vec<FnScope>,
+    /// Line ranges (1-based, inclusive) that are test context.
+    test_spans: Vec<(usize, usize)>,
+    /// Whole file is test context by path (`tests/`, `benches/`).
+    all_test: bool,
+}
+
+/// `true` for paths that are test/bench code wholesale.
+pub fn is_test_path(rel_path: &str) -> bool {
+    rel_path.starts_with("tests/")
+        || rel_path.contains("/tests/")
+        || rel_path.starts_with("benches/")
+        || rel_path.contains("/benches/")
+        || rel_path.contains("/examples/")
+}
+
+/// Module path derived from the workspace-relative file path:
+/// `crates/evo-core/src/engine.rs` → `["evo_core", "engine"]`.
+fn module_path(rel_path: &str) -> Vec<String> {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let mut out = Vec::new();
+    let rest = if parts.first() == Some(&"crates") && parts.len() > 2 {
+        out.push(parts[1].replace('-', "_"));
+        &parts[2..]
+    } else {
+        &parts[..]
+    };
+    for (i, p) in rest.iter().enumerate() {
+        if *p == "src" && i == 0 {
+            continue;
+        }
+        let name = p.strip_suffix(".rs").unwrap_or(p);
+        if matches!(name, "lib" | "main" | "mod") {
+            continue;
+        }
+        out.push(name.replace('-', "_"));
+    }
+    out
+}
+
+enum ScopeKind {
+    /// `mod`, `impl`, `trait` — contributes a path segment when named.
+    Item(Option<String>),
+    /// A function body; index into `fns`.
+    Fn(usize),
+    /// Any other brace pair (blocks, match arms, struct literals, …).
+    Block,
+}
+
+struct Scope {
+    kind: ScopeKind,
+    is_test: bool,
+}
+
+impl FileStructure {
+    /// Parse the cleaned lines of `rel_path`.
+    pub fn parse(rel_path: &str, lines: &[CleanedLine]) -> FileStructure {
+        let toks = tokenize(lines);
+        let all_test = is_test_path(rel_path);
+        let base = module_path(rel_path);
+        let mut fns: Vec<FnScope> = Vec::new();
+        let mut test_spans: Vec<(usize, usize)> = Vec::new();
+        let mut scopes: Vec<Scope> = Vec::new();
+        // Open lines of scopes that started a test span, matched at pop.
+        let mut test_opens: Vec<usize> = Vec::new();
+        let mut pending_test = false;
+        let mut i = 0;
+
+        let in_test = |scopes: &[Scope]| scopes.iter().any(|s| s.is_test);
+        let qual_of = |scopes: &[Scope], base: &[String], name: &str| {
+            let mut q: Vec<String> = base.to_vec();
+            for s in scopes {
+                match &s.kind {
+                    ScopeKind::Item(Some(n)) => q.push(n.clone()),
+                    ScopeKind::Fn(_) | ScopeKind::Item(None) | ScopeKind::Block => {}
+                }
+            }
+            q.push(name.to_string());
+            q.join("::")
+        };
+
+        while i < toks.len() {
+            let t = &toks[i];
+            match t.text.as_str() {
+                "#" => {
+                    // Attribute: `#[...]` or `#![...]`; note test markers.
+                    let mut j = i + 1;
+                    if toks.get(j).is_some_and(|t| t.text == "!") {
+                        j += 1;
+                    }
+                    if toks.get(j).is_some_and(|t| t.text == "[") {
+                        let mut depth = 0usize;
+                        let mut saw_test = false;
+                        let mut saw_not = false;
+                        while j < toks.len() {
+                            match toks[j].text.as_str() {
+                                "[" => depth += 1,
+                                "]" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                "test" => saw_test = true,
+                                "not" => saw_not = true,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        if saw_test && !saw_not {
+                            pending_test = true;
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    i += 1;
+                }
+                "mod" | "trait" => {
+                    let name = toks.get(i + 1).filter(|t| t.is_ident()).map(|t| t.text.clone());
+                    // Scan to the opening brace (or `;` for `mod foo;` /
+                    // trait bounds in where clauses never reach here).
+                    let mut j = i + 1;
+                    while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+                        j += 1;
+                    }
+                    if toks.get(j).is_some_and(|t| t.text == "{") {
+                        let test = pending_test || in_test(&scopes);
+                        if test && !in_test(&scopes) {
+                            test_opens.push(toks[j].line);
+                            test_spans.push((toks[j].line, 0)); // closed at pop
+                        }
+                        scopes.push(Scope {
+                            kind: ScopeKind::Item(name),
+                            is_test: test,
+                        });
+                    }
+                    pending_test = false;
+                    i = j + 1;
+                }
+                "impl" => {
+                    // `impl<G> Trait for Type {` / `impl Type {`; the path
+                    // segment is the *type* (after `for` when present).
+                    let mut j = i + 1;
+                    let mut angle = 0i32;
+                    let mut after_for = false;
+                    let mut in_where = false;
+                    let mut first: Option<String> = None;
+                    let mut chosen: Option<String> = None;
+                    while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+                        match toks[j].text.as_str() {
+                            "<" => angle += 1,
+                            ">" => angle -= 1,
+                            "where" if angle == 0 => in_where = true,
+                            "for" if angle == 0 && !in_where => {
+                                after_for = true;
+                                chosen = None;
+                            }
+                            _ if angle == 0 && !in_where && toks[j].is_ident() => {
+                                let seg = toks[j].text.clone();
+                                // Keep the last segment of the current path
+                                // (`fmt::Display` → `Display`).
+                                if after_for || first.is_none() {
+                                    if after_for {
+                                        chosen = Some(seg);
+                                    } else {
+                                        first = Some(seg);
+                                    }
+                                } else if !after_for && chosen.is_none() {
+                                    first = Some(seg);
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let name = chosen.or(first);
+                    if toks.get(j).is_some_and(|t| t.text == "{") {
+                        let test = pending_test || in_test(&scopes);
+                        if test && !in_test(&scopes) {
+                            test_opens.push(toks[j].line);
+                            test_spans.push((toks[j].line, 0));
+                        }
+                        scopes.push(Scope {
+                            kind: ScopeKind::Item(name),
+                            is_test: test,
+                        });
+                    }
+                    pending_test = false;
+                    i = j + 1;
+                }
+                "fn" => {
+                    let Some(name_tok) = toks.get(i + 1).filter(|t| t.is_ident()) else {
+                        // `Fn(..)` trait sugar or `fn()` pointer type.
+                        pending_test = false;
+                        i += 1;
+                        continue;
+                    };
+                    let name = name_tok.text.clone();
+                    let fn_line = t.line;
+                    // Scan the signature for the body `{` (paren-balanced,
+                    // so default args/`where` clauses are crossed safely);
+                    // `;` at depth 0 means a bodyless trait method.
+                    let mut j = i + 2;
+                    let mut paren = 0i32;
+                    while j < toks.len() {
+                        match toks[j].text.as_str() {
+                            "(" | "[" => paren += 1,
+                            ")" | "]" => paren -= 1,
+                            "{" if paren == 0 => break,
+                            ";" if paren == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if toks.get(j).is_some_and(|t| t.text == "{") {
+                        let test = pending_test || in_test(&scopes) || all_test;
+                        if (pending_test && !in_test(&scopes)) && !all_test {
+                            test_opens.push(fn_line);
+                            test_spans.push((fn_line, 0));
+                        }
+                        let idx = fns.len();
+                        fns.push(FnScope {
+                            qual: qual_of(&scopes, &base, &name),
+                            name,
+                            line: fn_line,
+                            is_test: test,
+                            body: (j + 1, j + 1), // end patched at pop
+                        });
+                        scopes.push(Scope {
+                            kind: ScopeKind::Fn(idx),
+                            is_test: test,
+                        });
+                    }
+                    pending_test = false;
+                    i = j + 1;
+                }
+                "{" => {
+                    scopes.push(Scope {
+                        kind: ScopeKind::Block,
+                        is_test: in_test(&scopes),
+                    });
+                    i += 1;
+                }
+                "}" => {
+                    if let Some(s) = scopes.pop() {
+                        let was_test_root = s.is_test && !in_test(&scopes);
+                        match s.kind {
+                            ScopeKind::Fn(idx) => {
+                                fns[idx].body.1 = i;
+                                if was_test_root {
+                                    if let Some(open) = test_opens.pop() {
+                                        if let Some(span) = test_spans
+                                            .iter_mut()
+                                            .rev()
+                                            .find(|sp| sp.0 == open && sp.1 == 0)
+                                        {
+                                            span.1 = t.line;
+                                        }
+                                    }
+                                }
+                            }
+                            ScopeKind::Item(_) | ScopeKind::Block => {
+                                if was_test_root && !matches!(s.kind, ScopeKind::Block) {
+                                    if let Some(open) = test_opens.pop() {
+                                        if let Some(span) = test_spans
+                                            .iter_mut()
+                                            .rev()
+                                            .find(|sp| sp.0 == open && sp.1 == 0)
+                                        {
+                                            span.1 = t.line;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    pending_test = false;
+                    i += 1;
+                }
+                ";" => {
+                    pending_test = false;
+                    i += 1;
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+        // Any span left open (unbalanced input) runs to EOF.
+        let last_line = toks.last().map_or(0, |t| t.line);
+        for sp in &mut test_spans {
+            if sp.1 == 0 {
+                sp.1 = last_line;
+            }
+        }
+        FileStructure {
+            toks,
+            fns,
+            test_spans,
+            all_test,
+        }
+    }
+
+    /// Is `line` (1-based) inside test context?
+    pub fn in_test(&self, line: usize) -> bool {
+        self.all_test || self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Extract call references from a token range (typically an fn body).
+    ///
+    /// A call is an identifier followed by `(` (with optional turbofish),
+    /// excluding `fn` definitions, keywords, and macro names; the path
+    /// captures leading `Seg::` segments so `Type::method` resolves more
+    /// precisely than a bare name.
+    pub fn calls_in(&self, range: (usize, usize)) -> Vec<Call> {
+        const KEYWORDS: &[&str] = &[
+            "if", "while", "for", "match", "return", "loop", "in", "as", "move", "else", "fn",
+            "let", "mut", "ref", "box", "await", "unsafe",
+        ];
+        let (start, end) = range;
+        let mut out = Vec::new();
+        let mut j = start;
+        while j < end.min(self.toks.len()) {
+            let t = &self.toks[j];
+            if !t.is_ident() || KEYWORDS.contains(&t.text.as_str()) {
+                j += 1;
+                continue;
+            }
+            // Macro invocation `name!(…)` — not a call edge.
+            if self.toks.get(j + 1).is_some_and(|n| n.text == "!") {
+                j += 2;
+                continue;
+            }
+            // Definition `fn name(`.
+            if j > 0 && self.toks[j - 1].text == "fn" {
+                j += 1;
+                continue;
+            }
+            // Find the paren, skipping one turbofish `::<…>`.
+            let mut k = j + 1;
+            if self.toks.get(k).is_some_and(|n| n.text == ":")
+                && self.toks.get(k + 1).is_some_and(|n| n.text == ":")
+                && self.toks.get(k + 2).is_some_and(|n| n.text == "<")
+            {
+                let mut angle = 0i32;
+                let mut m = k + 2;
+                while m < self.toks.len() {
+                    match self.toks[m].text.as_str() {
+                        "<" => angle += 1,
+                        ">" => {
+                            angle -= 1;
+                            if angle == 0 {
+                                break;
+                            }
+                        }
+                        ";" | "{" => break,
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                k = m + 1;
+            }
+            if self.toks.get(k).is_some_and(|n| n.text == "(") {
+                // Walk back over `Seg::` prefixes.
+                let mut path = vec![t.text.clone()];
+                let mut b = j;
+                while b >= 3
+                    && self.toks[b - 1].text == ":"
+                    && self.toks[b - 2].text == ":"
+                    && self.toks[b - 3].is_ident()
+                {
+                    path.insert(0, self.toks[b - 3].text.clone());
+                    b -= 3;
+                }
+                out.push(Call { path, line: t.line });
+            }
+            j += 1;
+        }
+        out
+    }
+
+    /// Find every occurrence of `ident` followed by the given `next`
+    /// punctuation (e.g. `recv` + `(`), returning (token index, line).
+    pub fn ident_followed_by(&self, ident: &str, next: &str) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (j, t) in self.toks.iter().enumerate() {
+            if t.text == ident && self.toks.get(j + 1).is_some_and(|n| n.text == next) {
+                out.push((j, t.line));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clean;
+
+    fn parse(path: &str, src: &str) -> FileStructure {
+        FileStructure::parse(path, &clean::clean(src))
+    }
+
+    #[test]
+    fn module_paths_from_file_paths() {
+        assert_eq!(
+            module_path("crates/evo-core/src/engine.rs"),
+            vec!["evo_core", "engine"]
+        );
+        assert_eq!(module_path("crates/ipd/src/lib.rs"), vec!["ipd"]);
+        assert_eq!(module_path("src/bin/cli.rs"), vec!["bin", "cli"]);
+    }
+
+    #[test]
+    fn fn_scopes_get_qualified_names() {
+        let fs = parse(
+            "crates/evo-core/src/engine.rs",
+            "pub fn plan(x: u64) -> u64 { helper(x) }\n\
+             fn helper(x: u64) -> u64 { x }\n\
+             impl Engine { fn step(&self) {} }\n\
+             mod inner { pub fn deep() {} }\n",
+        );
+        let quals: Vec<&str> = fs.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            vec![
+                "evo_core::engine::plan",
+                "evo_core::engine::helper",
+                "evo_core::engine::Engine::step",
+                "evo_core::engine::inner::deep"
+            ]
+        );
+        assert_eq!(fs.fns[0].line, 1);
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type_name() {
+        let fs = parse(
+            "crates/cluster/src/dist.rs",
+            "impl fmt::Display for DistError { fn fmt(&self) {} }\n\
+             impl<T: Clone> Provider<T> for Remote<T> { fn provide(&self) {} }\n",
+        );
+        assert_eq!(fs.fns[0].qual, "cluster::dist::DistError::fmt");
+        assert_eq!(fs.fns[1].qual, "cluster::dist::Remote::provide");
+    }
+
+    #[test]
+    fn cfg_test_mods_and_test_fns_are_test_context() {
+        let fs = parse(
+            "crates/evo-core/src/x.rs",
+            "pub fn live() {}\n\
+             #[test]\n\
+             fn pinned() { let a = 1; }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 pub fn helper() {}\n\
+                 #[test]\n\
+                 fn t() {}\n\
+             }\n\
+             pub fn also_live() {}\n",
+        );
+        assert!(!fs.fns[0].is_test, "live");
+        assert!(fs.fns[1].is_test, "#[test] fn");
+        assert!(fs.fns[2].is_test, "helper inside cfg(test) mod");
+        assert!(fs.fns[3].is_test, "test fn inside cfg(test) mod");
+        assert!(!fs.fns[4].is_test, "after the mod closes");
+        assert!(fs.in_test(7), "line inside the test mod");
+        assert!(!fs.in_test(1), "top-level live fn");
+        assert!(!fs.in_test(10), "line after the test mod");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_context() {
+        let fs = parse(
+            "crates/evo-core/src/x.rs",
+            "#[cfg(not(test))]\nfn shipped() {}\n",
+        );
+        assert!(!fs.fns[0].is_test);
+    }
+
+    #[test]
+    fn test_paths_are_test_context_wholesale() {
+        let fs = parse("crates/ipd/tests/proptests.rs", "pub fn helper() {}\n");
+        assert!(fs.fns[0].is_test);
+        assert!(fs.in_test(1));
+        assert!(is_test_path("tests/determinism.rs"));
+        assert!(!is_test_path("crates/ipd/src/tests.rs"));
+    }
+
+    #[test]
+    fn calls_are_extracted_with_paths() {
+        let fs = parse(
+            "crates/evo-core/src/x.rs",
+            "fn f(n: &N) {\n\
+                 helper(1);\n\
+                 n.method(2);\n\
+                 Type::assoc(3);\n\
+                 path::to::g(4);\n\
+                 max::<u8>(5);\n\
+                 not_a_call;\n\
+                 println!(\"skip {}\", helper2(6));\n\
+             }\n",
+        );
+        let calls = fs.calls_in(fs.fns[0].body);
+        let names: Vec<String> = calls.iter().map(|c| c.path.join("::")).collect();
+        assert!(names.contains(&"helper".to_string()), "{names:?}");
+        assert!(names.contains(&"method".to_string()), "{names:?}");
+        assert!(names.contains(&"Type::assoc".to_string()), "{names:?}");
+        assert!(names.contains(&"path::to::g".to_string()), "{names:?}");
+        assert!(names.contains(&"max".to_string()), "turbofish: {names:?}");
+        // Calls inside macro args still produce edges; the macro name
+        // itself does not.
+        assert!(names.contains(&"helper2".to_string()), "{names:?}");
+        assert!(!names.iter().any(|n| n == "println"), "{names:?}");
+        assert!(!names.iter().any(|n| n == "not_a_call"), "{names:?}");
+        let helper = calls.iter().find(|c| c.name() == "helper").unwrap();
+        assert_eq!(helper.line, 2);
+    }
+
+    #[test]
+    fn bodies_are_brace_matched_through_nested_blocks() {
+        let fs = parse(
+            "crates/evo-core/src/x.rs",
+            "fn outer(x: u8) -> u8 {\n\
+                 match x { 0 => inner(), _ => { loop { break; } 1 } }\n\
+             }\n\
+             fn after() { tail(); }\n",
+        );
+        assert_eq!(fs.fns.len(), 2);
+        let outer_calls = fs.calls_in(fs.fns[0].body);
+        assert!(outer_calls.iter().any(|c| c.name() == "inner"));
+        assert!(!outer_calls.iter().any(|c| c.name() == "tail"));
+        let after_calls = fs.calls_in(fs.fns[1].body);
+        assert!(after_calls.iter().any(|c| c.name() == "tail"));
+    }
+}

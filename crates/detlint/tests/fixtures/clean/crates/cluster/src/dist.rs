@@ -1,0 +1,11 @@
+//! Fixture: panic paths in the distributed hot-path file are typed or
+//! carry a reasoned annotation.
+
+pub fn settle(x: Option<u64>) -> Result<u64, DistError> {
+    x.ok_or(DistError::MissingFitness)
+}
+
+pub fn confirm(x: Option<u64>) -> u64 {
+    // detlint: allow(panic-path, reason = "invariant: the receive loop above fills the slot or returns Err before reaching this line")
+    x.expect("slot filled by the loop above")
+}

@@ -1,0 +1,11 @@
+//! Fixture: comm discipline — deadline-bound receives pass untouched, and
+//! the one bare primitive carries its justification.
+
+pub fn pull(comm: &Comm, src: Rank, deadline: Duration) -> Envelope {
+    comm.recv_timeout(Some(src), Some(FITNESS_TAG), deadline)
+}
+
+pub fn drain(comm: &Comm) -> Envelope {
+    // detlint: allow(comm-discipline, reason = "aliveness-aware substrate primitive; every caller bounds it with recv_timeout")
+    comm.recv(None, None)
+}

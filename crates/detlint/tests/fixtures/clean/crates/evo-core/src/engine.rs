@@ -1,0 +1,20 @@
+//! Fixture: phase-discipline-clean engine — `plan` delegates every draw
+//! to the sanctioned scheduler, `commit` is RNG-free, and test code may
+//! draw whatever it likes.
+
+pub fn plan(seed: u64, nature: &NatureAgent) -> Schedule {
+    nature.schedule(seed)
+}
+
+pub fn commit(events: &[Event]) -> u64 {
+    events.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_draws_are_exempt() {
+        let rng = stream(7, Domain::Nature, 0, 0);
+        let _ = rng;
+    }
+}

@@ -10,6 +10,12 @@ use std::collections::HashMap;
 /// Mentioning HashMap or thread_rng in a doc comment must not fire.
 pub const DOC: &str = "call thread_rng() and Instant::now() at your peril";
 
+/// Accumulating over a *sorted* map is deterministic: float-order only
+/// fires on HashMap/HashSet iteration.
+pub fn total(m: &BTreeMap<u64, f64>) -> f64 {
+    m.values().sum()
+}
+
 pub fn sorted_counts(xs: &[u64]) -> BTreeMap<u64, u64> {
     let mut m = BTreeMap::new();
     let cache: HashMap<u64, u64> = HashMap::new(); // detlint: allow(hash-iter, reason = "lookup-only scratch cache")

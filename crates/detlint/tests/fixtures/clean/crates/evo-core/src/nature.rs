@@ -1,0 +1,7 @@
+//! Fixture: Nature/Mutation streams drawn in their owning module.
+
+pub fn decide(seed: u64, generation: u64) -> u64 {
+    let n = stream(seed, Domain::Nature, 1, generation);
+    let m = stream(seed, Domain::Mutation, 1, generation);
+    n ^ m
+}

@@ -1,0 +1,13 @@
+//! Fixture: unannotated panic paths in the distributed hot-path file.
+
+pub fn settle(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+pub fn confirm(x: Option<u64>) -> u64 {
+    x.expect("fixture invariant")
+}
+
+pub fn abort() -> u64 {
+    panic!("fixture failure")
+}

@@ -1,0 +1,9 @@
+//! Fixture: deadline-free and wildcard-source receives in cluster code.
+
+pub fn drain(comm: &Comm) -> Envelope {
+    comm.recv(None, None)
+}
+
+pub fn pull(comm: &Comm, src: Rank) -> Envelope {
+    comm.recv(Some(src), Some(FITNESS_TAG))
+}

@@ -1,0 +1,15 @@
+//! Fixture: phase purity — `plan` reaches an RNG constructor through a
+//! helper, and `commit` constructs one directly.
+
+pub fn plan(seed: u64) -> u64 {
+    jitter(seed)
+}
+
+fn jitter(seed: u64) -> u64 {
+    let rng = stream(seed, 3, 0, 0);
+    rng
+}
+
+pub fn commit(seed: u64) -> u64 {
+    seed_from_u64(seed)
+}

@@ -1,0 +1,11 @@
+//! Fixture: RNG domains drawn outside their owning modules.
+
+pub fn fault_schedule(seed: u64) -> u64 {
+    let r = stream(seed, Domain::Faults, 0, 0);
+    r
+}
+
+pub fn nature_decision(seed: u64, gen: u64) -> u64 {
+    let r = stream(seed, Domain::Nature, 1, gen);
+    r
+}

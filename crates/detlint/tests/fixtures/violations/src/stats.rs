@@ -1,0 +1,14 @@
+//! Fixture: float accumulation in unordered-map iteration order — the
+//! exact PR 2 fitness-sum bug shape, outside the engine crates where
+//! hash-iter itself does not apply.
+
+use std::collections::HashMap;
+
+pub fn mean(m: &HashMap<u32, f64>) -> f64 {
+    let total: f64 = m.values().sum();
+    total / m.len() as f64
+}
+
+pub fn spread(m: &HashMap<u32, f64>) -> f64 {
+    m.values().fold(0.0, |a, b| (a as f64).max(*b))
+}

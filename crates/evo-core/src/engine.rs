@@ -366,6 +366,7 @@ pub struct GenDecision {
 fn full_view<'a>(view: &'a FitnessView, rule: &str) -> &'a [f64] {
     match view {
         FitnessView::Full(v) => v,
+        // detlint: allow(panic-path, reason = "invariant: plan() emits EvalScope::Everyone for exactly the rules routed here, and every FitnessProvider answers Everyone with Full; a mismatch is a provider implementation bug, not a runtime condition")
         other => panic!("{rule} needs the full fitness vector, provider gave {other:?}"),
     }
 }
@@ -391,6 +392,7 @@ pub fn decide(
                 FitnessView::Pair { teacher, learner } => (*teacher, *learner),
                 FitnessView::Full(v) => (v[teacher as usize], v[learner as usize]),
                 FitnessView::None => {
+                    // detlint: allow(panic-path, reason = "invariant: plan() sets EvalScope::Pair whenever it schedules a pairwise comparison, and providers answer Pair with Pair or Full; None here is a contract break in the provider")
                     panic!("pairwise comparison scheduled but no fitness provided")
                 }
             };

@@ -488,6 +488,7 @@ pub fn evaluate_deduped_cached(
         .iter()
         .map(|&id| match pool.get(id).as_ref() {
             Strategy::Pure(p) => p,
+            // detlint: allow(panic-path, reason = "invariant: the all_pure_deterministic gate a few lines up already verified every unique strategy is Strategy::Pure before this branch runs")
             _ => unreachable!("checked deterministic"),
         })
         .collect();

@@ -137,6 +137,7 @@ impl Archipelago {
 
     fn migrate(&mut self) {
         let k = self.islands.len();
+        // detlint: allow(rng-domain, reason = "island migration is a population-level nature decision; entity id 3 is reserved for it and never drawn by NatureAgent (ids 0-2)")
         let mut rng = stream(self.seed, Domain::Nature, 3, self.generation);
         for _ in 0..self.policy.migrants {
             let from_island = rng.random_range(0..k);

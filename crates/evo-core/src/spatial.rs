@@ -287,6 +287,7 @@ impl SpatialPopulation {
                 }
                 SpatialUpdate::Fermi { beta } => {
                     use rand::Rng;
+                    // detlint: allow(rng-domain, reason = "spatial backend's per-cell Fermi adoption is its nature decision: entity = cell index, disjoint from NatureAgent's entity ids 0-2, so the streams cannot collide")
                     let mut rng = stream(self.params.seed, Domain::Nature, i as u64, gen);
                     let nb = self.neighbors(i);
                     let j = nb[rng.random_range(0..nb.len())];

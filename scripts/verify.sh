@@ -2,7 +2,9 @@
 # Full verification gate for the repository.
 #
 # The static gates run first: detlint enforces the determinism contract
-# (docs/STATIC_ANALYSIS.md) and clippy holds the workspace lint policy
+# in two stages — the lexical token rules, then the structural contract
+# checks over the recovered call graph (docs/STATIC_ANALYSIS.md) — and
+# clippy holds the workspace lint policy
 # ([workspace.lints] in Cargo.toml) to zero warnings — both are cheaper
 # than the test suite and fail fast. The tier-1 gate (ROADMAP.md) is the
 # build + test pair; the doc gates additionally hold rustdoc to zero
@@ -17,8 +19,18 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: release build =="
 cargo build --release
 
-echo "== static: detlint determinism contract =="
-cargo run -p detlint --release -- check
+echo "== static: detlint lexical determinism contract =="
+cargo run -p detlint --release -- check --rules lexical
+
+echo "== static: detlint structural contracts (phase purity, RNG domains, comm, panics) =="
+# The structural pass parses the token stream into fn scopes and an
+# approximate call graph, then checks the five contract rules
+# (docs/STATIC_ANALYSIS.md). The SARIF report is written unconditionally
+# so CI can upload it as an artifact even on a clean run.
+mkdir -p target
+cargo run -p detlint --release -- check --rules structural
+cargo run -p detlint --release -- check --format sarif > target/detlint.sarif || true
+echo "sarif report: target/detlint.sarif"
 
 echo "== static: detlint allow audit (every allow carries a reason) =="
 # The annotation grammar (docs/STATIC_ANALYSIS.md) makes `reason = "..."`
