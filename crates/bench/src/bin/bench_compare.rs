@@ -14,8 +14,10 @@
 //! `benchmarks/BENCH_*.json` naming scheme). Every `(group, id)` pair
 //! present in **both** files is compared; the run exits non-zero if any
 //! common benchmark got slower than the threshold (default 10%).
-//! Benchmarks present in only one file are listed but never fail the gate,
-//! so adding or retiring a bench does not break the comparison.
+//! Benchmarks only in the candidate are listed as `new` and never fail.
+//! Benchmarks only in the **baseline** are a hard error (exit 2): a
+//! renamed or deleted bench must be retired from the committed baseline
+//! in the same change, or the gate would silently stop watching it.
 
 #![forbid(unsafe_code)]
 
@@ -74,6 +76,7 @@ fn main() -> ExitCode {
 
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    let mut gone: Vec<String> = Vec::new();
     println!(
         "{:<44} {:>14} {:>14} {:>9}",
         "benchmark", "baseline ns", "candidate ns", "delta"
@@ -81,6 +84,7 @@ fn main() -> ExitCode {
     for ((group, id), &base_ns) in &baseline {
         let Some(&cand_ns) = candidate.get(&(group.clone(), id.clone())) else {
             println!("{:<44} {base_ns:>14.0} {:>14} {:>9}", format!("{group}/{id}"), "-", "gone");
+            gone.push(format!("{group}/{id}"));
             continue;
         };
         compared += 1;
@@ -112,6 +116,23 @@ fn main() -> ExitCode {
     );
     if compared == 0 {
         eprintln!("bench_compare: FAIL — no common benchmarks between the two files");
+        return ExitCode::from(2);
+    }
+    // A baseline benchmark missing from the candidate is a hard error,
+    // not a vacuous pass: a renamed or deleted group would otherwise
+    // silently drop out of the gate and regressions there would never be
+    // seen again. Retiring a bench for real means retiring it from the
+    // committed baseline in the same change (docs/PERFORMANCE.md §4).
+    if !gone.is_empty() {
+        eprintln!(
+            "bench_compare: FAIL — {} baseline benchmark(s) missing from candidate \
+             (renamed or deleted?): {}",
+            gone.len(),
+            gone.join(", ")
+        );
+        eprintln!(
+            "bench_compare: if intentionally retired, remove them from the baseline file too"
+        );
         return ExitCode::from(2);
     }
     if regressions > 0 {

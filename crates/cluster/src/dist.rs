@@ -47,7 +47,7 @@ use crate::collective::Collective;
 use crate::comm::{ClusterError, Comm, Rank, VirtualCluster};
 use crate::faults::FaultPlan;
 use evo_core::engine::{self, EvalScope, FitnessNeed, FitnessView, GenPlan, Provided};
-use evo_core::fitness::{evaluate_one_with_kernel_cached, FitnessPolicy, GameKernel};
+use evo_core::fitness::{evaluate_one_with_kernel_cached, prewarm_cache, FitnessPolicy, GameKernel};
 use evo_core::nature::{Event, NatureAgent};
 use evo_core::params::Params;
 use evo_core::paycache::PayoffCache;
@@ -168,7 +168,8 @@ pub struct DistOutcome {
 /// A distributed run that terminated early but *cleanly*: dead peers were
 /// detected, surviving state was snapshotted, and the caller can restart
 /// from [`DegradedRun::checkpoint`] to reproduce the uninterrupted
-/// trajectory bit for bit.
+/// trajectory bit for bit ([`DegradedRun::retry_config`] builds that
+/// restart configuration).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DegradedRun {
     /// Ranks observed dead when the Nature Agent degraded. Includes ranks
@@ -184,6 +185,32 @@ pub struct DegradedRun {
     /// `Some` whenever a fault plan was active; `None` only for failures
     /// outside any fault plan (when no boundary snapshot was maintained).
     pub checkpoint: Option<Checkpoint>,
+}
+
+impl DegradedRun {
+    /// Build the [`DistConfig`] that resumes this degraded run from its
+    /// checkpoint — the re-enqueue plumbing the service layer's automatic
+    /// retry uses (docs/SERVICE.md). Returns `None` when no restartable
+    /// checkpoint was captured (failure outside any fault plan).
+    ///
+    /// The retry keeps `base`'s rank count, fitness policy, cache setting,
+    /// and periodic-checkpoint interval, resumes from the degraded run's
+    /// checkpoint, and **clears the injected fault schedule** (rank kills
+    /// and message faults): those faults already executed, and replaying
+    /// them against the resumed generation range would either be a no-op
+    /// or degrade the retry identically forever. The receive deadline is
+    /// kept so emergent failures in the retry still surface as typed
+    /// degraded outcomes rather than hangs. Resuming reproduces the
+    /// uninterrupted trajectory bit for bit (docs/FAULT_TOLERANCE.md §4).
+    pub fn retry_config(&self, base: &DistConfig) -> Option<DistConfig> {
+        let cp = self.checkpoint.clone()?;
+        let mut cfg = base.clone();
+        cfg.params = cp.params.clone();
+        cfg.resume = Some(cp);
+        cfg.faults.kills.clear();
+        cfg.faults.messages = crate::faults::MessageFaults::default();
+        Some(cfg)
+    }
 }
 
 /// Typed failure of a distributed run — what every `expect`/`panic!` in
@@ -644,6 +671,22 @@ fn run_rank(comm: &Comm<DistMsg>, spec: &RunSpec) -> RankResult {
         periodic: None,
         cache: PayoffCache::new(spec.params.game),
     };
+    if spec.payoff_cache && spec.resume.is_some() {
+        // Resume cold-start fix (docs/PERFORMANCE.md): the cache is
+        // excluded from checkpoints, so pre-warm it from the restored
+        // strategy table instead of replaying the pair matrix on the
+        // first post-resume evaluation. Cost-only; every value comes
+        // from the same pure functions a cache miss would call.
+        prewarm_cache(
+            &spec.space,
+            &ctx.assignments,
+            &ctx.pool,
+            &spec.params.game,
+            GameKernel::Naive,
+            false,
+            &ctx.cache,
+        );
+    }
     let fault_aware = !spec.faults.is_empty();
     if is_nature && fault_aware {
         ctx.boundary = Some(snapshot(&spec.params, &ctx));

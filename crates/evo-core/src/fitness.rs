@@ -429,6 +429,57 @@ pub fn evaluate_expected_one_cached(
         .sum()
 }
 
+/// Pre-warm `cache` from a strategy table: compute and memoise the focal
+/// payoff of every ordered pair of *distinct assigned* strategies that the
+/// cached evaluators would legally memoise — [`PayoffKind::Expected`]
+/// entries for every pair when `expected` is set, [`PayoffKind::Sampled`]
+/// entries for deterministic pairs (both pure, zero noise) otherwise.
+/// Returns the number of entries inserted.
+///
+/// This is the resume/retry cold-start fix (docs/PERFORMANCE.md): the
+/// payoff cache is deliberately excluded from checkpoints, so a restored
+/// run used to replay its whole pair matrix on the first post-resume
+/// evaluation. Pre-warming replays it once, up front, from the
+/// checkpoint's own strategy table. Cost-only: every value comes from the
+/// same pure functions the evaluators call on a miss
+/// ([`play_deterministic`] / [`ipd::markov::expected_outcome`]), so a
+/// pre-warmed run's trajectory, fitness bits, and statistics are
+/// bit-identical to a cold one (tested in `population`).
+pub fn prewarm_cache(
+    space: &StateSpace,
+    assignments: &[StratId],
+    pool: &StrategyPool,
+    game: &GameConfig,
+    kernel: GameKernel,
+    expected: bool,
+    cache: &PayoffCache,
+) -> usize {
+    cache.assert_game(game);
+    // BTreeSet: ascending-id iteration, so insertion order is stable (the
+    // cache itself is order-insensitive, but determinism costs nothing).
+    let unique: Vec<StratId> = assignments.iter().copied().collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+    let mut inserted = 0;
+    for &a in &unique {
+        for &b in &unique {
+            if expected {
+                let v = ipd::markov::expected_outcome(space, pool.get(a), pool.get(b), game)
+                    .fitness_a;
+                cache.insert(a, b, PayoffKind::Expected, v);
+                inserted += 1;
+            } else if game.noise == 0.0 {
+                if let (Strategy::Pure(pa), Strategy::Pure(pb)) =
+                    (pool.get(a).as_ref(), pool.get(b).as_ref())
+                {
+                    let v = det_fitness(kernel, space, pa, pb, game);
+                    cache.insert(a, b, PayoffKind::Sampled, v);
+                    inserted += 1;
+                }
+            }
+        }
+    }
+    inserted
+}
+
 /// `true` when fitness evaluation is fully deterministic — pure strategies
 /// only and no execution noise — which is the soundness condition for
 /// [`evaluate_deduped`].
@@ -1028,6 +1079,76 @@ mod tests {
         let after = obs::counters().snapshot();
         assert!(after.payoff_cache_hits >= mid.payoff_cache_hits + 4);
         assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn prewarmed_cache_serves_identical_values() {
+        use crate::paycache::PayoffCache;
+        let (space, asg, pool) = setup_pure(24, 2, 61);
+        // Cold reference.
+        let plain = evaluate_deduped(&space, &asg, &pool, &cfg(), ExecMode::Sequential);
+        // Pre-warmed cache: the first evaluation must be all hits and
+        // bit-identical to the cold result.
+        let cache = PayoffCache::new(cfg());
+        let n = prewarm_cache(&space, &asg, &pool, &cfg(), GameKernel::Naive, false, &cache);
+        let unique = asg.iter().collect::<std::collections::BTreeSet<_>>().len();
+        assert_eq!(n, unique * unique, "every ordered distinct pair memoised");
+        assert_eq!(cache.len(), n);
+        let before = obs::counters().snapshot();
+        let warm = evaluate_deduped_cached(&space, &asg, &pool, &cfg(), ExecMode::Sequential, Some(&cache));
+        let after = obs::counters().snapshot();
+        assert_eq!(
+            after.payoff_cache_misses, before.payoff_cache_misses,
+            "a pre-warmed first evaluation must not miss"
+        );
+        for i in 0..asg.len() {
+            assert_eq!(plain[i].to_bits(), warm[i].to_bits(), "sset {i}");
+        }
+    }
+
+    #[test]
+    fn prewarm_expected_kind_serves_expected_evaluators() {
+        use crate::paycache::PayoffCache;
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let mut rng = stream(62, Domain::Init, 0, 0);
+        let ids: Vec<StratId> = (0..4)
+            .map(|_| pool.intern(Strategy::Mixed(MixedStrategy::random(space, &mut rng))))
+            .collect();
+        let asg: Vec<StratId> = (0..12).map(|i| ids[i % 4]).collect();
+        let noisy = GameConfig {
+            rounds: 40,
+            noise: 0.03,
+            payoff: PayoffMatrix::default(),
+        };
+        let plain = evaluate_expected(&space, &asg, &pool, &noisy, ExecMode::Sequential);
+        let cache = PayoffCache::new(noisy);
+        let n = prewarm_cache(&space, &asg, &pool, &noisy, GameKernel::Naive, true, &cache);
+        assert_eq!(n, 16, "4 distinct strategies → 16 Expected entries");
+        let warm = evaluate_expected_cached(&space, &asg, &pool, &noisy, ExecMode::Sequential, Some(&cache));
+        for i in 0..asg.len() {
+            assert_eq!(plain[i].to_bits(), warm[i].to_bits(), "sset {i}");
+        }
+    }
+
+    #[test]
+    fn prewarm_inserts_nothing_for_stochastic_sampled_games() {
+        use crate::paycache::PayoffCache;
+        let space = StateSpace::new(1).unwrap();
+        let mut pool = StrategyPool::new();
+        let mut rng = stream(63, Domain::Init, 0, 0);
+        let asg: Vec<StratId> = (0..6)
+            .map(|_| pool.intern(Strategy::Mixed(MixedStrategy::random(space, &mut rng))))
+            .collect();
+        let noisy = GameConfig {
+            rounds: 20,
+            noise: 0.05,
+            payoff: PayoffMatrix::default(),
+        };
+        let cache = PayoffCache::new(noisy);
+        let n = prewarm_cache(&space, &asg, &pool, &noisy, GameKernel::Naive, false, &cache);
+        assert_eq!(n, 0, "stochastic sampled payoffs must never be memoised");
+        assert!(cache.is_empty());
     }
 
     #[test]

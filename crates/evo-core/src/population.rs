@@ -290,9 +290,13 @@ impl Population {
 
     /// Rebuild a population from a checkpoint. Execution knobs
     /// (`exec_mode`, `fitness_policy`, `dedup`, `use_payoff_cache`) reset
-    /// to defaults and the payoff cache restarts cold — none of them
-    /// affect trajectories, only cost, so the resumed run is identical to
-    /// an uninterrupted one.
+    /// to defaults — none of them affect trajectories, only cost, so the
+    /// resumed run is identical to an uninterrupted one. The payoff cache
+    /// (deliberately excluded from checkpoints) is pre-warmed from the
+    /// checkpoint's own strategy table, so a resumed run no longer pays
+    /// the cold-start replay its first post-resume evaluation used to
+    /// (docs/PERFORMANCE.md); pre-warming is cost-only and the trajectory
+    /// stays bit-identical (tested below).
     pub fn restore(cp: Checkpoint) -> Result<Self, ParamsError> {
         let mut pop = Population::new(cp.params)?;
         let mut pool = StrategyPool::new();
@@ -303,7 +307,33 @@ impl Population {
         pop.assignments = cp.assignments;
         pop.generation = cp.generation;
         pop.stats = cp.stats;
+        pop.prewarm_payoff_cache();
         Ok(pop)
+    }
+
+    /// Pre-warm the cross-generation payoff cache from the current
+    /// strategy table ([`crate::fitness::prewarm_cache`]): memoise every
+    /// ordered pair of distinct assigned strategies that the cached
+    /// evaluators would legally memoise, honouring the population's
+    /// `kernel` and `expected_fitness` configuration. No-op when
+    /// `use_payoff_cache` is off. Returns the number of entries inserted.
+    ///
+    /// [`Population::restore`] calls this automatically; call it again
+    /// after flipping `expected_fitness` on a restored population so the
+    /// `Expected`-kind entries are warmed too.
+    pub fn prewarm_payoff_cache(&self) -> usize {
+        if !self.use_payoff_cache {
+            return 0;
+        }
+        crate::fitness::prewarm_cache(
+            &self.space,
+            &self.assignments,
+            &self.pool,
+            &self.params.game,
+            self.kernel,
+            self.expected_fitness,
+            &self.payoff_cache,
+        )
     }
 
     /// Number of distinct-pair payoffs memoised so far in the
@@ -867,7 +897,7 @@ mod tests {
     }
 
     #[test]
-    fn restore_restarts_payoff_cache_cold_with_identical_trajectory() {
+    fn restore_prewarms_payoff_cache_with_identical_trajectory() {
         let mut straight = Population::new(small_params(73)).unwrap();
         straight.dedup = true;
         straight.run(100);
@@ -877,11 +907,71 @@ mod tests {
         first.run(40);
         let cp = first.checkpoint();
         let mut resumed = Population::restore(cp).unwrap();
-        assert_eq!(resumed.payoff_cache_len(), 0, "restore must start cold");
+        assert!(
+            resumed.payoff_cache_len() > 0,
+            "restore must pre-warm the cache from the checkpoint's strategy table"
+        );
         resumed.dedup = true;
         resumed.run(60);
         assert_eq!(resumed.assignments(), straight.assignments());
         assert_eq!(resumed.stats(), straight.stats());
+    }
+
+    #[test]
+    fn prewarmed_resume_bit_identical_to_cold_resume() {
+        // The cold-start bugfix must be cost-only: a resumed run with the
+        // pre-warmed cache and one with the cache dropped back to empty
+        // must agree on every record, every fitness bit, and the stats.
+        let mut first = Population::new(small_params(74)).unwrap();
+        first.dedup = true;
+        first.run(40);
+        let cp = first.checkpoint();
+
+        let mut warm = Population::restore(cp.clone()).unwrap();
+        warm.dedup = true;
+        assert!(warm.payoff_cache_len() > 0);
+
+        let mut cold = Population::restore(cp).unwrap();
+        cold.dedup = true;
+        cold.payoff_cache.clear();
+        assert_eq!(cold.payoff_cache_len(), 0);
+
+        for _ in 0..60 {
+            let a = warm.step();
+            let b = cold.step();
+            assert_eq!(a, b);
+            let wa = warm.fitness();
+            let ca = cold.fitness();
+            assert_eq!(wa.len(), ca.len());
+            for (x, y) in wa.iter().zip(ca) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(warm.assignments(), cold.assignments());
+        assert_eq!(warm.stats(), cold.stats());
+    }
+
+    #[test]
+    fn prewarm_respects_cache_toggle_and_expected_mode() {
+        let mut pop = Population::new(small_params(75)).unwrap();
+        pop.run(30);
+        let cp = pop.checkpoint();
+
+        let mut off = Population::restore(cp.clone()).unwrap();
+        off.payoff_cache.clear();
+        off.use_payoff_cache = false;
+        assert_eq!(off.prewarm_payoff_cache(), 0, "no-op when the cache is off");
+
+        let exact = Population::restore(cp).unwrap();
+        let sampled_entries = exact.payoff_cache_len();
+        assert!(sampled_entries > 0);
+        // Flipping to expected-fitness mode and re-warming adds the
+        // Expected-kind entries that mode reads.
+        let mut exact = exact;
+        exact.expected_fitness = true;
+        let added = exact.prewarm_payoff_cache();
+        assert!(added > 0);
+        assert_eq!(exact.payoff_cache_len(), sampled_entries + added);
     }
 
     #[test]

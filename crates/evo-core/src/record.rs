@@ -180,6 +180,22 @@ impl<W: std::io::Write> RecordWriter<W> {
     }
 }
 
+/// FNV-1a over the serialised final state (assignments plus per-SSet
+/// feature vectors): a cheap deterministic fingerprint that scripts and
+/// the service layer compare across backends, across
+/// interrupted-then-resumed vs straight-through runs, and across repeated
+/// submissions of the same job (docs/SERVICE.md). The CLI prints it as the
+/// `state digest` stderr line; `svc` receipts carry it as `state_digest`.
+pub fn state_digest<A: Serialize, F: Serialize>(assignments: &A, features: &F) -> u64 {
+    let json = serde_json::to_string(&(assignments, features)).expect("state serialises");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
 /// Parse a JSONL stream of generation records (inverse of
 /// [`RecordWriter::write_generation`]); stops with an error on the first
 /// malformed line.
@@ -298,6 +314,16 @@ mod tests {
         assert_eq!(snap.num_ssets(), 4);
         assert_eq!(snap.num_states(), 2);
         assert_eq!(snap.distinct_strategies(), 3);
+    }
+
+    #[test]
+    fn state_digest_is_stable_and_input_sensitive() {
+        let a = (vec![0u32, 1, 2], vec![vec![1.0f64, 0.0]]);
+        let d1 = state_digest(&a.0, &a.1);
+        let d2 = state_digest(&a.0, &a.1);
+        assert_eq!(d1, d2, "same state, same digest");
+        let d3 = state_digest(&vec![0u32, 1, 3], &a.1);
+        assert_ne!(d1, d3, "different assignments, different digest");
     }
 
     #[test]

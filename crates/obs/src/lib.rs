@@ -113,6 +113,10 @@ pub struct Counters {
     payoff_cache_hits: AtomicU64,
     payoff_cache_misses: AtomicU64,
     markov_fastpath_evals: AtomicU64,
+    jobs_accepted: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_retried: AtomicU64,
 }
 
 static COUNTERS: Counters = Counters {
@@ -131,6 +135,10 @@ static COUNTERS: Counters = Counters {
     payoff_cache_hits: AtomicU64::new(0),
     payoff_cache_misses: AtomicU64::new(0),
     markov_fastpath_evals: AtomicU64::new(0),
+    jobs_accepted: AtomicU64::new(0),
+    jobs_rejected: AtomicU64::new(0),
+    jobs_completed: AtomicU64::new(0),
+    jobs_retried: AtomicU64::new(0),
 };
 
 /// The process-global [`Counters`] instance.
@@ -234,6 +242,33 @@ impl Counters {
         self.markov_fastpath_evals.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One simulation job admitted by the service layer's queue
+    /// (`svc::JobQueue`, docs/SERVICE.md).
+    #[inline]
+    pub fn add_job_accepted(&self) {
+        self.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One simulation job refused admission (queue full, duplicate id, or
+    /// invalid request).
+    #[inline]
+    pub fn add_job_rejected(&self) {
+        self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One simulation job finished with a receipt (docs/SERVICE.md).
+    #[inline]
+    pub fn add_job_completed(&self) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One degraded simulation job automatically re-enqueued from its
+    /// `DegradedRun` checkpoint (docs/SERVICE.md retry semantics).
+    #[inline]
+    pub fn add_job_retried(&self) {
+        self.jobs_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of every counter (each load
     /// is individually atomic; the set is not a cross-counter transaction).
     pub fn snapshot(&self) -> CounterSnapshot {
@@ -253,6 +288,10 @@ impl Counters {
             payoff_cache_hits: self.payoff_cache_hits.load(Ordering::Relaxed),
             payoff_cache_misses: self.payoff_cache_misses.load(Ordering::Relaxed),
             markov_fastpath_evals: self.markov_fastpath_evals.load(Ordering::Relaxed),
+            jobs_accepted: self.jobs_accepted.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
         }
     }
 }
@@ -307,6 +346,22 @@ pub struct CounterSnapshot {
     /// older manifests.
     #[serde(default)]
     pub markov_fastpath_evals: u64,
+    /// Simulation jobs admitted by the service layer (docs/SERVICE.md).
+    /// `#[serde(default)]`: absent in pre-service manifests.
+    #[serde(default)]
+    pub jobs_accepted: u64,
+    /// Simulation jobs refused admission (queue full, duplicate id,
+    /// invalid request). `#[serde(default)]`: absent in older manifests.
+    #[serde(default)]
+    pub jobs_rejected: u64,
+    /// Simulation jobs completed with a receipt. `#[serde(default)]`:
+    /// absent in older manifests.
+    #[serde(default)]
+    pub jobs_completed: u64,
+    /// Degraded simulation jobs automatically re-enqueued from their
+    /// checkpoint. `#[serde(default)]`: absent in older manifests.
+    #[serde(default)]
+    pub jobs_retried: u64,
 }
 
 impl CounterSnapshot {
@@ -328,6 +383,10 @@ impl CounterSnapshot {
             && self.payoff_cache_hits >= earlier.payoff_cache_hits
             && self.payoff_cache_misses >= earlier.payoff_cache_misses
             && self.markov_fastpath_evals >= earlier.markov_fastpath_evals
+            && self.jobs_accepted >= earlier.jobs_accepted
+            && self.jobs_rejected >= earlier.jobs_rejected
+            && self.jobs_completed >= earlier.jobs_completed
+            && self.jobs_retried >= earlier.jobs_retried
     }
 
     /// Per-counter difference `self − baseline` (saturating), attributing
@@ -364,6 +423,10 @@ impl CounterSnapshot {
             markov_fastpath_evals: self
                 .markov_fastpath_evals
                 .saturating_sub(baseline.markov_fastpath_evals),
+            jobs_accepted: self.jobs_accepted.saturating_sub(baseline.jobs_accepted),
+            jobs_rejected: self.jobs_rejected.saturating_sub(baseline.jobs_rejected),
+            jobs_completed: self.jobs_completed.saturating_sub(baseline.jobs_completed),
+            jobs_retried: self.jobs_retried.saturating_sub(baseline.jobs_retried),
         }
     }
 }
@@ -671,6 +734,10 @@ mod tests {
         counters().add_payoff_cache_hit();
         counters().add_payoff_cache_miss();
         counters().add_markov_fastpath_eval();
+        counters().add_job_accepted();
+        counters().add_job_rejected();
+        counters().add_job_completed();
+        counters().add_job_retried();
         let after = counters().snapshot();
         assert!(after.monotone_since(&before));
         let delta = after.delta_since(&before);
@@ -683,6 +750,10 @@ mod tests {
         assert!(delta.payoff_cache_hits >= 1);
         assert!(delta.payoff_cache_misses >= 1);
         assert!(delta.markov_fastpath_evals >= 1);
+        assert!(delta.jobs_accepted >= 1);
+        assert!(delta.jobs_rejected >= 1);
+        assert!(delta.jobs_completed >= 1);
+        assert!(delta.jobs_retried >= 1);
     }
 
     #[test]
@@ -701,6 +772,10 @@ mod tests {
         assert_eq!(snap.payoff_cache_hits, 0);
         assert_eq!(snap.payoff_cache_misses, 0);
         assert_eq!(snap.markov_fastpath_evals, 0);
+        assert_eq!(snap.jobs_accepted, 0);
+        assert_eq!(snap.jobs_rejected, 0);
+        assert_eq!(snap.jobs_completed, 0);
+        assert_eq!(snap.jobs_retried, 0);
         assert_eq!(snap.games_played, 1);
     }
 

@@ -1,0 +1,702 @@
+//! The worker pool: std threads draining the [`JobQueue`] through the
+//! engine contract.
+//!
+//! Concurrency model (deliberately boring, per the determinism rules in
+//! docs/STATIC_ANALYSIS.md — no atomics, no clocks, no channels): one
+//! `Mutex<State>` holds the queue and every job's lifecycle entry; two
+//! `Condvar`s signal "work available" (workers) and "something changed"
+//! (waiters). Workers hold the lock only to dequeue and to apply
+//! outcomes — simulation itself runs lock-free, so `workers` jobs
+//! genuinely execute in parallel. Job results never depend on worker
+//! count: each job is a pure function of its request (the engines are
+//! deterministic), and per-job artefacts are keyed by job id. Worker
+//! count only reorders *wall-clock* completion, which nothing in a
+//! receipt records.
+//!
+//! Lifecycle mechanics:
+//!
+//! - **Pause** ([`Server::pause`]): a queued job is parked immediately;
+//!   a running shared-memory job observes the flag at its next
+//!   generation boundary, takes a [`Checkpoint`], and parks. Distributed
+//!   jobs run to completion or degradation (the virtual cluster owns its
+//!   ranks mid-flight); pausing one is refused.
+//! - **Resume** ([`Server::resume`]): re-enqueues the parked job with
+//!   its checkpoint; the engine's generation-keyed RNG streams make the
+//!   continuation bit-identical to never having paused
+//!   (docs/FAULT_TOLERANCE.md §4), and the payoff cache is pre-warmed on
+//!   restore so the resume costs no fidelity *and* little extra replay
+//!   (docs/PERFORMANCE.md §2).
+//! - **Degraded retry**: a distributed job that returns
+//!   [`DistError::Degraded`] is re-enqueued from the degraded
+//!   checkpoint via [`cluster::dist::DegradedRun::retry_config`]
+//!   semantics (fault schedule cleared — those faults already fired;
+//!   receive deadline kept) while `retry_budget` lasts, then fails with
+//!   the degradation reason.
+
+use crate::job::{AdmitError, Backend, JobRequest, JobStatus, Receipt};
+use crate::queue::{JobQueue, QueuedJob};
+use crate::spool::Spool;
+use cluster::dist::{run_distributed, DistConfig, DistError};
+use evo_core::fitness::FitnessPolicy;
+use evo_core::population::Population;
+use evo_core::record::{state_digest, Checkpoint, GenerationRecord};
+use serde::Serialize as _;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// How many streamed records accumulate before a flush to the spool and
+/// the in-memory tail.
+const RECORD_FLUSH: usize = 64;
+
+/// Server sizing. `Default` is two workers over a 64-deep queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads. `0` is legal and means "admit but never execute"
+    /// — useful for inspecting queue behaviour; pair it with
+    /// [`Server::pause`]/[`Server::resume`] tests.
+    pub workers: usize,
+    /// Queue depth bound ([`JobQueue::new`]).
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// Everything the server knows about one admitted job.
+#[derive(Debug)]
+struct JobEntry {
+    status: JobStatus,
+    /// The request's backend, mirrored here so `pause` can tell a
+    /// running shared job (pausable) from a running distributed one.
+    backend: Backend,
+    /// Set by [`Server::pause`] on a running job; observed at the next
+    /// generation boundary.
+    pause_requested: bool,
+    /// The work to re-enqueue on [`Server::resume`] (paused jobs only).
+    parked: Option<QueuedJob>,
+    receipt: Option<Receipt>,
+    /// In-memory copy of the streamed records (shared-memory jobs).
+    records: Vec<GenerationRecord>,
+}
+
+impl JobEntry {
+    fn new(backend: Backend) -> Self {
+        JobEntry {
+            status: JobStatus::Queued,
+            backend,
+            pause_requested: false,
+            parked: None,
+            receipt: None,
+            records: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    queue: JobQueue,
+    jobs: BTreeMap<String, JobEntry>,
+    /// Jobs currently being executed by a worker.
+    active: usize,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: Mutex<State>,
+    /// Signalled when the queue gains work or shutdown begins.
+    work: Condvar,
+    /// Signalled on any job state change (waiters re-check predicates).
+    changed: Condvar,
+    spool: Option<Spool>,
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("svc state mutex poisoned")
+    }
+
+    /// Best-effort spool write: spool I/O failure must not wedge the
+    /// lifecycle, so errors are swallowed here; the receipt path
+    /// ([`finish`]) is the one place a spool error is surfaced (as a
+    /// failed job) because a missing receipt would otherwise look like
+    /// silent success.
+    fn spool_status(&self, id: &str, status: &JobStatus) {
+        if let Some(sp) = &self.spool {
+            let _ = sp.write_status(id, status);
+        }
+    }
+}
+
+/// The job server. Construction spawns the worker pool; jobs flow
+/// `submit → (queue) → worker → receipt` with pause/resume/retry in
+/// between. Dropping the server initiates shutdown and joins the
+/// workers (queued jobs are drained first; paused jobs stay parked).
+#[derive(Debug)]
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// A server with no spool: artefacts are kept in memory only
+    /// (receipts via [`Server::receipt`], records via
+    /// [`Server::records`]).
+    pub fn new(config: ServerConfig) -> Self {
+        Server::with_spool(config, None)
+    }
+
+    /// A server that additionally streams every job's records, status,
+    /// checkpoints, and receipt into `spool` (layout in
+    /// [`crate::spool`]).
+    pub fn with_spool(config: ServerConfig, spool: Option<Spool>) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: JobQueue::new(config.queue_depth),
+                jobs: BTreeMap::new(),
+                active: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            changed: Condvar::new(),
+            spool,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning svc worker thread")
+            })
+            .collect();
+        Server { inner, workers }
+    }
+
+    /// Admit a job ([`JobQueue::admit`] rules) and wake a worker.
+    pub fn submit(&self, request: JobRequest) -> Result<(), AdmitError> {
+        let id = request.id.clone();
+        let backend = request.backend;
+        let mut st = self.inner.lock();
+        st.queue.admit(request)?;
+        st.jobs.insert(id.clone(), JobEntry::new(backend));
+        drop(st);
+        self.inner.spool_status(&id, &JobStatus::Queued);
+        self.inner.work.notify_one();
+        Ok(())
+    }
+
+    /// Request a pause. Returns `true` if the request was accepted:
+    /// immediately parking a queued job, or flagging a running
+    /// shared-memory job to park at its next generation boundary (watch
+    /// [`Server::wait`] for the transition). Returns `false` for unknown
+    /// ids, terminal jobs, already-paused jobs, and running distributed
+    /// jobs (not pausable mid-flight).
+    pub fn pause(&self, id: &str) -> bool {
+        let mut st = self.inner.lock();
+        let State { queue, jobs, .. } = &mut *st;
+        let Some(entry) = jobs.get_mut(id) else {
+            return false;
+        };
+        let (accepted, parked_now) = match entry.status {
+            JobStatus::Queued => {
+                // Status Queued ⇔ still in the queue: both are updated
+                // under this same lock, so `take` cannot miss.
+                let job = queue.take(id).expect("queued job is in the queue");
+                let generation = job.resume.as_ref().map_or(0, |cp| cp.generation);
+                entry.parked = Some(job);
+                entry.status = JobStatus::Paused { generation };
+                (true, true)
+            }
+            JobStatus::Running if matches!(entry.backend, Backend::Shared) => {
+                entry.pause_requested = true;
+                (true, false)
+            }
+            _ => (false, false),
+        };
+        let status = entry.status.clone();
+        drop(st);
+        if parked_now {
+            self.inner.spool_status(id, &status);
+        }
+        self.inner.changed.notify_all();
+        accepted
+    }
+
+    /// Resume a paused job (re-enqueue its parked work, checkpoint
+    /// included) or cancel a not-yet-honoured pause request on a running
+    /// job. Returns `false` if there is nothing to resume.
+    pub fn resume(&self, id: &str) -> bool {
+        let mut st = self.inner.lock();
+        let State { queue, jobs, .. } = &mut *st;
+        let Some(entry) = jobs.get_mut(id) else {
+            return false;
+        };
+        match entry.status {
+            JobStatus::Paused { .. } => {
+                let job = entry.parked.take().expect("paused job has parked work");
+                entry.status = JobStatus::Queued;
+                queue.requeue(job);
+                drop(st);
+                self.inner.spool_status(id, &JobStatus::Queued);
+                self.inner.work.notify_one();
+                self.inner.changed.notify_all();
+                true
+            }
+            JobStatus::Running if entry.pause_requested => {
+                entry.pause_requested = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Current status of `id`, if known.
+    pub fn status(&self, id: &str) -> Option<JobStatus> {
+        self.inner.lock().jobs.get(id).map(|e| e.status.clone())
+    }
+
+    /// The receipt of a completed job.
+    pub fn receipt(&self, id: &str) -> Option<Receipt> {
+        self.inner.lock().jobs.get(id).and_then(|e| e.receipt.clone())
+    }
+
+    /// The generation records streamed so far for `id` (shared-memory
+    /// jobs; distributed jobs produce a receipt only).
+    pub fn records(&self, id: &str) -> Option<Vec<GenerationRecord>> {
+        self.inner.lock().jobs.get(id).map(|e| e.records.clone())
+    }
+
+    /// Block until `id` leaves the scheduler (reaches `Paused`,
+    /// `Completed`, or `Failed`) and return that status. `None` for
+    /// unknown ids.
+    pub fn wait(&self, id: &str) -> Option<JobStatus> {
+        let mut st = self.inner.lock();
+        loop {
+            let status = st.jobs.get(id)?.status.clone();
+            match status {
+                JobStatus::Queued | JobStatus::Running => {
+                    st = self
+                        .inner
+                        .changed
+                        .wait(st)
+                        .expect("svc state mutex poisoned");
+                }
+                _ => return Some(status),
+            }
+        }
+    }
+
+    /// Block until the queue is empty and no worker is executing.
+    /// (Paused jobs don't count — they are parked, not pending.) With
+    /// `workers = 0` this returns only once the queue is drained by
+    /// pauses, so don't call it on a zero-worker server with live jobs.
+    pub fn wait_idle(&self) {
+        let mut st = self.inner.lock();
+        while st.active > 0 || !st.queue.is_empty() {
+            st = self
+                .inner
+                .changed
+                .wait(st)
+                .expect("svc state mutex poisoned");
+        }
+    }
+
+    /// Ids of every admitted job, in sorted order.
+    pub fn job_ids(&self) -> Vec<String> {
+        self.inner.lock().jobs.keys().cloned().collect()
+    }
+
+    /// Drain queued jobs, then stop the workers and join them. (Also
+    /// runs on drop; calling it explicitly just makes the join point
+    /// visible.)
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.lock().shutdown = true;
+        self.inner.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// What one execution attempt produced.
+enum Outcome {
+    /// Ran to the final generation.
+    Done { receipt: Receipt },
+    /// Honoured a pause request at a generation boundary.
+    Paused { checkpoint: Checkpoint },
+    /// Distributed run degraded; `resume` is the retry checkpoint
+    /// derived via [`cluster::dist::DegradedRun::retry_config`].
+    Degraded {
+        resume: Option<Checkpoint>,
+        reason: String,
+    },
+    /// Engine or I/O error — terminal.
+    Failed { reason: String },
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut st = inner.lock();
+            let job = loop {
+                if let Some(job) = st.queue.pop() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = inner.work.wait(st).expect("svc state mutex poisoned");
+            };
+            st.active += 1;
+            if let Some(entry) = st.jobs.get_mut(&job.request.id) {
+                entry.status = JobStatus::Running;
+                entry.pause_requested = false;
+            }
+            job
+        };
+        inner.spool_status(&job.request.id, &JobStatus::Running);
+        inner.changed.notify_all();
+        let outcome = execute(inner, &job);
+        finish(inner, job, outcome);
+    }
+}
+
+/// Run one attempt of `job` (no lock held during simulation).
+fn execute(inner: &Inner, job: &QueuedJob) -> Outcome {
+    match job.request.backend {
+        Backend::Shared => execute_shared(inner, job),
+        Backend::Distributed { ranks } => execute_distributed(job, ranks),
+    }
+}
+
+fn execute_shared(inner: &Inner, job: &QueuedJob) -> Outcome {
+    let built = match &job.resume {
+        Some(cp) => Population::restore(cp.clone()),
+        None => Population::new(job.request.params.clone()),
+    };
+    let mut pop = match built {
+        Ok(p) => p,
+        Err(e) => {
+            return Outcome::Failed {
+                reason: e.to_string(),
+            }
+        }
+    };
+    if job.request.on_demand {
+        pop.fitness_policy = FitnessPolicy::OnDemand;
+    }
+    let id = &job.request.id;
+    let total = pop.params().generations;
+    let mut chunk: Vec<GenerationRecord> = Vec::new();
+    while pop.generation() < total {
+        if pause_requested(inner, id) {
+            stream_records(inner, id, &mut chunk);
+            return Outcome::Paused {
+                checkpoint: pop.checkpoint(),
+            };
+        }
+        chunk.push(pop.step());
+        if chunk.len() >= RECORD_FLUSH {
+            stream_records(inner, id, &mut chunk);
+        }
+        if let Some(every) = job.request.checkpoint_every {
+            if every > 0 && pop.generation() % every == 0 {
+                if let Some(sp) = &inner.spool {
+                    let _ = sp.write_checkpoint(id, &pop.checkpoint());
+                }
+            }
+        }
+    }
+    stream_records(inner, id, &mut chunk);
+    let digest = format!(
+        "{:016x}",
+        state_digest(&pop.assignments(), &pop.snapshot().features)
+    );
+    Outcome::Done {
+        receipt: Receipt {
+            schema_version: crate::SVC_SCHEMA_VERSION,
+            job_id: id.clone(),
+            seed: pop.params().seed,
+            generations: pop.generation(),
+            retries: job.retries,
+            state_digest: digest,
+            // svc reads no clock (docs/STATIC_ANALYSIS.md wall-clock
+            // rule): elapsed is reported as 0; cost attribution lives in
+            // the counter deltas and span timings.
+            manifest: pop.manifest(0.0),
+        },
+    }
+}
+
+fn execute_distributed(job: &QueuedJob, ranks: usize) -> Outcome {
+    let policy = if job.request.on_demand {
+        FitnessPolicy::OnDemand
+    } else {
+        FitnessPolicy::EveryGeneration
+    };
+    let mut cfg = DistConfig::new(job.request.params.clone(), ranks, policy);
+    cfg.checkpoint_every = job.request.checkpoint_every;
+    cfg.resume = job.resume.clone();
+    if job.faults_spent {
+        // Retry attempt: DegradedRun::retry_config semantics — injected
+        // schedule already fired, only the receive deadline survives.
+        cfg.faults.recv_timeout_ms = job.request.faults.recv_timeout_ms;
+    } else {
+        cfg.faults = job.request.faults.clone();
+    }
+    let baseline = obs::counters().snapshot();
+    match run_distributed(&cfg) {
+        Ok(out) => {
+            let digest = format!("{:016x}", state_digest(&out.assignments, &out.features));
+            let manifest = obs::RunManifest::capture(
+                job.request.params.to_value(),
+                job.request.params.seed,
+                ranks,
+                out.stats.generations,
+                0.0,
+                &baseline,
+                &out.generation_ns,
+            );
+            Outcome::Done {
+                receipt: Receipt {
+                    schema_version: crate::SVC_SCHEMA_VERSION,
+                    job_id: job.request.id.clone(),
+                    seed: job.request.params.seed,
+                    generations: out.stats.generations,
+                    retries: job.retries,
+                    state_digest: digest,
+                    manifest,
+                },
+            }
+        }
+        Err(DistError::Degraded(d)) => {
+            let reason = format!("degraded run: {}", d.reason);
+            let resume = d.retry_config(&cfg).and_then(|next| next.resume);
+            Outcome::Degraded { resume, reason }
+        }
+        Err(e) => Outcome::Failed {
+            reason: e.to_string(),
+        },
+    }
+}
+
+fn pause_requested(inner: &Inner, id: &str) -> bool {
+    inner
+        .lock()
+        .jobs
+        .get(id)
+        .is_some_and(|e| e.pause_requested)
+}
+
+/// Flush a chunk of generation records to the spool (streaming path) and
+/// the in-memory tail.
+fn stream_records(inner: &Inner, id: &str, chunk: &mut Vec<GenerationRecord>) {
+    if chunk.is_empty() {
+        return;
+    }
+    if let Some(sp) = &inner.spool {
+        // Best-effort: record streaming must not wedge the run; the
+        // receipt is the authoritative artefact.
+        let _ = sp.append_records(id, chunk);
+    }
+    let mut st = inner.lock();
+    if let Some(entry) = st.jobs.get_mut(id) {
+        entry.records.append(chunk);
+    } else {
+        chunk.clear();
+    }
+}
+
+/// Apply an execution outcome: settle, park, retry, or fail the job.
+fn finish(inner: &Inner, job: QueuedJob, outcome: Outcome) {
+    let id = job.request.id.clone();
+    let mut st = inner.lock();
+    st.active -= 1;
+    let State { queue, jobs, .. } = &mut *st;
+    let Some(entry) = jobs.get_mut(&id) else {
+        drop(st);
+        inner.changed.notify_all();
+        return;
+    };
+    let mut spool_checkpoint: Option<Checkpoint> = None;
+    let mut spool_receipt: Option<Receipt> = None;
+    let mut wake_worker = false;
+    match outcome {
+        Outcome::Done { receipt } => {
+            entry.status = JobStatus::Completed {
+                state_digest: receipt.state_digest.clone(),
+                retries: receipt.retries,
+            };
+            entry.receipt = Some(receipt.clone());
+            spool_receipt = Some(receipt);
+            obs::counters().add_job_completed();
+        }
+        Outcome::Paused { checkpoint } => {
+            entry.pause_requested = false;
+            entry.status = JobStatus::Paused {
+                generation: checkpoint.generation,
+            };
+            spool_checkpoint = Some(checkpoint.clone());
+            entry.parked = Some(QueuedJob {
+                request: job.request.clone(),
+                resume: Some(checkpoint),
+                retries: job.retries,
+                faults_spent: job.faults_spent,
+            });
+        }
+        Outcome::Degraded { resume, reason } => {
+            match resume {
+                Some(cp) if job.retries < job.request.retry_budget => {
+                    obs::counters().add_job_retried();
+                    entry.status = JobStatus::Queued;
+                    spool_checkpoint = Some(cp.clone());
+                    queue.requeue(QueuedJob {
+                        request: job.request.clone(),
+                        resume: Some(cp),
+                        retries: job.retries + 1,
+                        faults_spent: true,
+                    });
+                    wake_worker = true;
+                }
+                Some(_) => {
+                    entry.status = JobStatus::Failed {
+                        reason: format!(
+                            "{reason}; retry budget exhausted ({} allowed)",
+                            job.request.retry_budget
+                        ),
+                        retries: job.retries,
+                    };
+                }
+                None => {
+                    entry.status = JobStatus::Failed {
+                        reason: format!("{reason}; no checkpoint to retry from"),
+                        retries: job.retries,
+                    };
+                }
+            }
+        }
+        Outcome::Failed { reason } => {
+            entry.status = JobStatus::Failed {
+                reason,
+                retries: job.retries,
+            };
+        }
+    }
+    let status = entry.status.clone();
+    drop(st);
+    if let Some(cp) = &spool_checkpoint {
+        if let Some(sp) = &inner.spool {
+            let _ = sp.write_checkpoint(&id, cp);
+        }
+    }
+    if let Some(receipt) = &spool_receipt {
+        if let Some(sp) = &inner.spool {
+            if let Err(e) = sp.write_receipt(&id, receipt) {
+                // A receipt that failed to spool would make success
+                // unverifiable — demote the job to Failed, loudly.
+                let mut st = inner.lock();
+                if let Some(entry) = st.jobs.get_mut(&id) {
+                    entry.status = JobStatus::Failed {
+                        reason: format!("receipt spool write failed: {e}"),
+                        retries: receipt.retries,
+                    };
+                    entry.receipt = None;
+                }
+                let status = st.jobs[&id].status.clone();
+                drop(st);
+                inner.spool_status(&id, &status);
+                inner.changed.notify_all();
+                return;
+            }
+        }
+    }
+    inner.spool_status(&id, &status);
+    inner.changed.notify_all();
+    if wake_worker {
+        inner.work.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evo_core::params::Params;
+
+    fn small(seed: u64, generations: u64) -> Params {
+        Params {
+            num_ssets: 8,
+            generations,
+            seed,
+            ..Params::default()
+        }
+    }
+
+    #[test]
+    fn submit_run_receipt_matches_direct_engine_run() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+        });
+        let req = JobRequest::new("direct", small(11, 40));
+        server.submit(req.clone()).unwrap();
+        let status = server.wait("direct").unwrap();
+        let JobStatus::Completed { state_digest, retries } = status else {
+            panic!("expected completion, got {status:?}");
+        };
+        assert_eq!(retries, 0);
+
+        let mut pop = Population::new(small(11, 40)).unwrap();
+        pop.run_to_end();
+        let expect = format!(
+            "{:016x}",
+            state_digest_direct(&pop)
+        );
+        assert_eq!(state_digest, expect, "receipt digest == direct engine digest");
+
+        let receipt = server.receipt("direct").unwrap();
+        assert_eq!(receipt.state_digest, state_digest);
+        assert_eq!(receipt.generations, 40);
+        assert_eq!(receipt.manifest.elapsed_seconds, 0.0, "svc reads no clock");
+        assert_eq!(server.records("direct").unwrap().len(), 40);
+        server.shutdown();
+    }
+
+    fn state_digest_direct(pop: &Population) -> u64 {
+        state_digest(&pop.assignments(), &pop.snapshot().features)
+    }
+
+    #[test]
+    fn zero_worker_server_parks_and_requeues_without_executing() {
+        let server = Server::new(ServerConfig {
+            workers: 0,
+            queue_depth: 4,
+        });
+        server.submit(JobRequest::new("idle", small(1, 10))).unwrap();
+        assert_eq!(server.status("idle"), Some(JobStatus::Queued));
+        assert!(server.pause("idle"), "queued job parks immediately");
+        assert_eq!(server.status("idle"), Some(JobStatus::Paused { generation: 0 }));
+        assert!(!server.pause("idle"), "already paused");
+        assert!(server.resume("idle"), "resume re-enqueues");
+        assert_eq!(server.status("idle"), Some(JobStatus::Queued));
+        assert!(!server.resume("idle"), "nothing parked now");
+        assert!(!server.pause("nope"), "unknown id");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,177 @@
+//! The filesystem spool: one directory per job, no network anywhere.
+//!
+//! Layout under the spool root (`evogame-cli serve --spool DIR`):
+//!
+//! ```text
+//! <spool>/<job id>/status.json      current JobStatus (rewritten on change)
+//! <spool>/<job id>/records.jsonl    generation records, streamed as produced
+//! <spool>/<job id>/receipt.json     final Receipt (written once, on completion)
+//! <spool>/<job id>/checkpoint.json  latest restartable checkpoint
+//! ```
+//!
+//! Job ids are validated path-safe (`[A-Za-z0-9._-]+`) at admission
+//! ([`crate::JobQueue::admit`]), so joining them onto the root cannot
+//! escape it. `records.jsonl` uses the same JSONL schema as
+//! `evogame-cli run --record-out` ([`evo_core::record::RecordWriter`]),
+//! and `checkpoint.json` the same schema as `--checkpoint-out` — every
+//! spooled artefact can be fed back to the ordinary CLI.
+
+use crate::job::{JobStatus, Receipt};
+use evo_core::record::{read_generations, Checkpoint, GenerationRecord};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+fn to_io(e: serde_json::Error) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+}
+
+/// Handle to a spool root directory. Cloneable; all methods take `&self`
+/// (the filesystem is the shared state).
+#[derive(Debug, Clone)]
+pub struct Spool {
+    root: PathBuf,
+}
+
+impl Spool {
+    /// Open (creating if needed) a spool rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Spool { root })
+    }
+
+    /// The spool root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory holding `id`'s artefacts.
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.root.join(id)
+    }
+
+    fn ensure_dir(&self, id: &str) -> std::io::Result<PathBuf> {
+        let dir = self.job_dir(id);
+        std::fs::create_dir_all(&dir)?;
+        Ok(dir)
+    }
+
+    /// Rewrite `id`'s `status.json`.
+    pub fn write_status(&self, id: &str, status: &JobStatus) -> std::io::Result<()> {
+        let dir = self.ensure_dir(id)?;
+        let json = serde_json::to_string(status).map_err(to_io)?;
+        std::fs::write(dir.join("status.json"), json)
+    }
+
+    /// Read `id`'s `status.json` back.
+    pub fn read_status(&self, id: &str) -> std::io::Result<JobStatus> {
+        let text = std::fs::read_to_string(self.job_dir(id).join("status.json"))?;
+        serde_json::from_str(&text).map_err(to_io)
+    }
+
+    /// Append generation records to `id`'s `records.jsonl` (one JSON
+    /// object per line, [`evo_core::record`] schema). Called repeatedly
+    /// while the job runs — this is the streaming path.
+    pub fn append_records(&self, id: &str, recs: &[GenerationRecord]) -> std::io::Result<()> {
+        if recs.is_empty() {
+            return Ok(());
+        }
+        let dir = self.ensure_dir(id)?;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("records.jsonl"))?;
+        let mut buf = String::new();
+        for r in recs {
+            buf.push_str(&serde_json::to_string(r).map_err(to_io)?);
+            buf.push('\n');
+        }
+        file.write_all(buf.as_bytes())
+    }
+
+    /// Read every record streamed so far for `id`.
+    pub fn read_records(&self, id: &str) -> std::io::Result<Vec<GenerationRecord>> {
+        let path = self.job_dir(id).join("records.jsonl");
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let text = std::fs::read_to_string(path)?;
+        read_generations(&text).map_err(to_io)
+    }
+
+    /// Write `id`'s final `receipt.json` (pretty-printed, written once).
+    pub fn write_receipt(&self, id: &str, receipt: &Receipt) -> std::io::Result<()> {
+        let dir = self.ensure_dir(id)?;
+        let json = serde_json::to_string_pretty(receipt).map_err(to_io)?;
+        std::fs::write(dir.join("receipt.json"), json)
+    }
+
+    /// Read `id`'s receipt, if the job completed.
+    pub fn read_receipt(&self, id: &str) -> std::io::Result<Receipt> {
+        let text = std::fs::read_to_string(self.job_dir(id).join("receipt.json"))?;
+        serde_json::from_str(&text).map_err(to_io)
+    }
+
+    /// Rewrite `id`'s latest restartable `checkpoint.json` (same schema
+    /// as `evogame-cli --checkpoint-out`; bumps the `checkpoints_written`
+    /// counter like every other checkpoint producer).
+    pub fn write_checkpoint(&self, id: &str, cp: &Checkpoint) -> std::io::Result<()> {
+        let dir = self.ensure_dir(id)?;
+        let json = serde_json::to_string(cp).map_err(to_io)?;
+        std::fs::write(dir.join("checkpoint.json"), json)?;
+        obs::counters().add_checkpoint_written();
+        Ok(())
+    }
+
+    /// Read `id`'s latest checkpoint, if one was spooled.
+    pub fn read_checkpoint(&self, id: &str) -> std::io::Result<Checkpoint> {
+        let text = std::fs::read_to_string(self.job_dir(id).join("checkpoint.json"))?;
+        serde_json::from_str(&text).map_err(to_io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        // detlint: allow(env-read, reason = "test-only scratch directory; production spool roots are caller-provided paths")
+        let dir = std::env::temp_dir().join(format!("svc-spool-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn status_receipt_and_records_roundtrip() {
+        let spool = Spool::new(tmp("roundtrip")).unwrap();
+        spool.write_status("j1", &JobStatus::Queued).unwrap();
+        assert_eq!(spool.read_status("j1").unwrap(), JobStatus::Queued);
+
+        let recs: Vec<GenerationRecord> = (0..3)
+            .map(|g| GenerationRecord {
+                generation: g,
+                events: vec![],
+                mean_fitness: Some(g as f64),
+                max_fitness: None,
+                distinct_strategies: 1,
+            })
+            .collect();
+        spool.append_records("j1", &recs[..2]).unwrap();
+        spool.append_records("j1", &recs[2..]).unwrap();
+        spool.append_records("j1", &[]).unwrap();
+        assert_eq!(spool.read_records("j1").unwrap(), recs);
+        assert!(spool.read_records("no-such-job").unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(spool.root());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_engine_schema() {
+        let spool = Spool::new(tmp("checkpoint")).unwrap();
+        let pop =
+            evo_core::population::Population::new(evo_core::params::Params::default()).unwrap();
+        let cp = pop.checkpoint();
+        spool.write_checkpoint("j1", &cp).unwrap();
+        assert_eq!(spool.read_checkpoint("j1").unwrap(), cp);
+        let _ = std::fs::remove_dir_all(spool.root());
+    }
+}

@@ -96,6 +96,50 @@ for rank in 1 2 3; do
 done
 echo "fault matrix: 9/9 degraded cleanly and resumed bit-identically"
 
+echo "== service: serve smoke — deterministic receipts + degraded auto-retry =="
+# A three-job batch through the in-process job server (docs/SERVICE.md):
+# the same run as the fault matrix above on the shared backend, on the
+# distributed backend, and on the distributed backend with an injected
+# rank kill plus a retry budget. All three must complete with the *same*
+# state digest (the faulty job by auto-resuming from its degraded
+# checkpoint), the retry counter must show exactly one re-enqueue, and
+# resubmitting the identical request file into a fresh spool must
+# reproduce every receipt digest bit for bit.
+SV_DIR="target/verify-serve"
+rm -rf "$SV_DIR"
+mkdir -p "$SV_DIR"
+SV_PARAMS='{"mem_steps":1,"num_ssets":12,"agents_per_sset":0,"game":{"rounds":200,"noise":0.0,"payoff":{"reward":3.0,"sucker":0.0,"temptation":4.0,"punishment":1.0}},"pc_rate":0.25,"mutation_rate":0.05,"beta":1.0,"kind":"Pure","teacher_must_be_fitter":true,"rule":"PairwiseComparison","mutation_kind":"Fresh","generations":60,"seed":7}'
+{
+    echo "{\"id\":\"clean-shared\",\"params\":$SV_PARAMS}"
+    echo "{\"id\":\"clean-dist\",\"params\":$SV_PARAMS,\"backend\":{\"Distributed\":{\"ranks\":4}}}"
+    echo "{\"id\":\"faulty-dist\",\"params\":$SV_PARAMS,\"backend\":{\"Distributed\":{\"ranks\":4}},\"retry_budget\":2,\"faults\":{\"kills\":[{\"rank\":2,\"generation\":30}],\"recv_timeout_ms\":200}}"
+} > "$SV_DIR/jobs.jsonl"
+for n in 1 2; do
+    $CLI serve --spool "$SV_DIR/spool$n" --requests "$SV_DIR/jobs.jsonl" \
+        > "$SV_DIR/out$n" 2> "$SV_DIR/err$n"
+done
+for id in clean-shared clean-dist faulty-dist; do
+    [ -s "$SV_DIR/spool1/$id/receipt.json" ] \
+        || { echo "verify: FAIL — serve left no receipt for $id" >&2; exit 1; }
+done
+if ! cmp -s "$SV_DIR/out1" "$SV_DIR/out2"; then
+    echo "verify: FAIL — identical serve submissions produced different results" >&2
+    diff "$SV_DIR/out1" "$SV_DIR/out2" >&2 || true
+    exit 1
+fi
+SV_D1=$(grep -h '"state_digest"' "$SV_DIR"/spool1/*/receipt.json | sort -u)
+SV_D2=$(grep -h '"state_digest"' "$SV_DIR"/spool2/*/receipt.json | sort -u)
+if [ "$SV_D1" != "$SV_D2" ] || [ "$(printf '%s\n' "$SV_D1" | wc -l)" -ne 1 ]; then
+    echo "verify: FAIL — receipt digests differ across jobs or resubmissions" >&2
+    printf 'spool1:\n%s\nspool2:\n%s\n' "$SV_D1" "$SV_D2" >&2
+    exit 1
+fi
+grep -q "faulty-dist: completed" "$SV_DIR/out1" \
+    || { echo "verify: FAIL — injected-fault job did not complete" >&2; exit 1; }
+grep -q "retried 1" "$SV_DIR/err1" \
+    || { echo "verify: FAIL — retry counter does not show the auto-resume" >&2; exit 1; }
+echo "serve smoke: 3/3 receipts, one auto-retry, resubmission bit-identical"
+
 if [ "${VERIFY_BENCH:-0}" = "1" ]; then
     echo "== perf: committed baseline regression gate (opt-in) =="
     # Re-runs both criterion suites and compares against the committed

@@ -13,6 +13,8 @@
 //!                         [--rule pc|moran|best] [--every-generation]
 //!                         [--manifest-out run.json]
 //!                         [--kill-rank R --kill-at G] [--recv-timeout-ms MS]
+//! evogame-cli serve       --spool DIR [--requests FILE.jsonl]
+//!                         [--workers N] [--queue-depth N]
 //! ```
 //!
 //! Every subcommand prints human-readable output; `run` can also emit the
@@ -36,7 +38,8 @@ use evogame::analysis::timeseries::Trajectory;
 use evogame::cluster::dist::{run_distributed, DistConfig, DistError};
 use evogame::cluster::faults::RankKill;
 use evogame::engine::params::UpdateRule;
-use evogame::engine::record::Checkpoint;
+use evogame::engine::record::{state_digest, Checkpoint};
+use evogame::svc::{JobRequest, JobStatus, Server, ServerConfig, Spool};
 use evogame::ipd::classic;
 use evogame::ipd::tournament::{Entrant, RoundRobin};
 use evogame::prelude::*;
@@ -122,19 +125,6 @@ fn write_checkpoint(path: &str, cp: &Checkpoint) -> Result<(), String> {
 fn read_checkpoint(path: &str) -> Result<Checkpoint, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("{path}: not a checkpoint: {e}"))
-}
-
-/// FNV-1a over the serialised final state (assignments plus per-SSet
-/// feature vectors): a cheap fingerprint scripts compare across backends
-/// and across interrupted-then-resumed vs straight-through runs.
-fn state_digest<A: serde::Serialize, F: serde::Serialize>(assignments: &A, features: &F) -> u64 {
-    let json = serde_json::to_string(&(assignments, features)).expect("state serialises");
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in json.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0100_0000_01b3);
-    }
-    h
 }
 
 fn cmd_run(args: &Args) -> Result<ExitCode, String> {
@@ -331,6 +321,12 @@ fn cmd_distributed(args: &Args) -> Result<ExitCode, String> {
         evogame::obs::set_enabled(true);
     }
     let checkpoint_out = args.value("--checkpoint-out").map(str::to_string);
+    // Same validation as `run`: an interval with nowhere to write is a
+    // usage error, not a silent no-op (tests/cli.rs pins both subcommands
+    // to the identical message).
+    if args.value("--checkpoint-every").is_some() && checkpoint_out.is_none() {
+        return Err("--checkpoint-every needs --checkpoint-out FILE".into());
+    }
     let policy = if args.flag("--every-generation") {
         FitnessPolicy::EveryGeneration
     } else {
@@ -455,6 +451,109 @@ fn cmd_distributed(args: &Args) -> Result<ExitCode, String> {
     }
 }
 
+/// `serve`: the simulation-as-a-service front end (docs/SERVICE.md).
+///
+/// Reads line-delimited JSON [`JobRequest`]s from `--requests FILE` or
+/// stdin, drives them through the `svc` job server, and spools each
+/// job's status, streamed records, checkpoints, and final receipt under
+/// `--spool DIR/<job id>/`. No network anywhere: submission is a file or
+/// a pipe, results are files.
+///
+/// Exit code: 0 when every submitted job completed; 4 when any job was
+/// rejected or failed (the per-job lines on stdout say which).
+fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
+    let Some(spool_dir) = args.value("--spool") else {
+        return Err("serve needs --spool DIR (per-job artefact directory)".into());
+    };
+    let workers = args.parse("--workers", 2usize)?.max(1);
+    let queue_depth = args.parse("--queue-depth", 64usize)?;
+    let text = match args.value("--requests") {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            buf
+        }
+    };
+    let spool = Spool::new(spool_dir).map_err(|e| format!("{spool_dir}: {e}"))?;
+    let baseline = evogame::obs::counters().snapshot();
+    let server = Server::with_spool(
+        ServerConfig {
+            workers,
+            queue_depth,
+        },
+        Some(spool.clone()),
+    );
+
+    let mut submitted: Vec<String> = Vec::new();
+    let mut rejected = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match serde_json::from_str::<JobRequest>(line) {
+            Ok(req) => {
+                let id = req.id.clone();
+                match server.submit(req) {
+                    Ok(()) => submitted.push(id),
+                    Err(e) => {
+                        rejected += 1;
+                        eprintln!("job {id}: rejected: {e}");
+                    }
+                }
+            }
+            Err(e) => {
+                // Malformed lines count as rejections too — nothing is
+                // dropped silently.
+                rejected += 1;
+                evogame::obs::counters().add_job_rejected();
+                eprintln!("line {}: not a job request: {e}", lineno + 1);
+            }
+        }
+    }
+    server.wait_idle();
+
+    let (mut completed, mut failed) = (0usize, 0usize);
+    for id in &submitted {
+        match server.status(id) {
+            Some(JobStatus::Completed {
+                state_digest,
+                retries,
+            }) => {
+                completed += 1;
+                println!("job {id}: completed | state digest {state_digest} | retries {retries}");
+            }
+            Some(JobStatus::Failed { reason, retries }) => {
+                failed += 1;
+                println!("job {id}: failed | {reason} | retries {retries}");
+            }
+            other => {
+                failed += 1;
+                println!("job {id}: not settled ({other:?})");
+            }
+        }
+    }
+    server.shutdown();
+    let delta = evogame::obs::counters().snapshot().delta_since(&baseline);
+    eprintln!(
+        "serve: {completed} completed, {failed} failed, {rejected} rejected | counters: \
+         accepted {} rejected {} completed {} retried {}",
+        delta.jobs_accepted, delta.jobs_rejected, delta.jobs_completed, delta.jobs_retried
+    );
+    eprintln!("receipts in {}", spool.root().display());
+    if failed == 0 && rejected == 0 {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        // 4 = batch finished but not everything succeeded (3 is taken by
+        // `distributed`'s clean-degraded-run code).
+        Ok(ExitCode::from(4))
+    }
+}
+
 fn cmd_classify(args: &Args) -> Result<(), String> {
     let Some(code) = args.rest.first() else {
         return Err("usage: evogame-cli classify <m<n>:...> (see ipd::codec)".into());
@@ -475,12 +574,14 @@ fn cmd_classify(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: evogame-cli <run|tournament|predict|distributed|classify> [flags]
+const USAGE: &str = "usage: evogame-cli <run|tournament|predict|distributed|serve|classify> [flags]
   run          evolve a population, print the sampled trajectory as CSV
   tournament   Axelrod round robin over the classic roster
   predict      Blue Gene-scale runtime/efficiency from the perf model
   distributed  run the virtual-cluster engine (any --rule; same trajectory
                as `run`, bit for bit — docs/ENGINE_CORE.md)
+  serve        job server: line-delimited JSON job requests from stdin or
+               --requests FILE, receipts spooled per job (docs/SERVICE.md)
   classify     name a strategy given its compact code (e.g. 'classify m1:6')
 run flags:     --ssets N --generations G --mem M --seed S --pc-rate R --mu R
                --beta B --noise E --rounds N --mixed --rule pc|moran|best
@@ -504,6 +605,12 @@ checkpointing (both `run` and `distributed` — docs/FAULT_TOLERANCE.md):
 fault injection (`distributed` only; exit code 3 = clean degraded run):
                --kill-rank R --kill-at G   kill rank R at generation G
                --recv-timeout-ms MS        receive deadline for survivors
+serve flags (docs/SERVICE.md; exit code 4 = some job failed/rejected):
+               --spool DIR          required; <DIR>/<job id>/ gets status,
+                                    records.jsonl, checkpoint, receipt
+               --requests FILE      JSONL job requests (default: stdin)
+               --workers N          worker threads (default 2)
+               --queue-depth N      admission bound (default 64)
 ";
 
 fn main() -> ExitCode {
@@ -518,6 +625,7 @@ fn main() -> ExitCode {
         "tournament" => cmd_tournament(&args).map(|()| ExitCode::SUCCESS),
         "predict" => cmd_predict(&args).map(|()| ExitCode::SUCCESS),
         "distributed" => cmd_distributed(&args),
+        "serve" => cmd_serve(&args),
         "classify" => cmd_classify(&args).map(|()| ExitCode::SUCCESS),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");

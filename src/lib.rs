@@ -54,6 +54,7 @@ pub use cluster;
 pub use evo_core as engine;
 pub use ipd;
 pub use obs;
+pub use svc;
 
 /// The most commonly used items across all workspace crates.
 pub mod prelude {

@@ -147,3 +147,145 @@ fn classify_rejects_malformed_codes() {
     let out = cli().args(["classify", "m1:zz"]).output().expect("spawn");
     assert!(!out.status.success());
 }
+
+#[test]
+fn checkpoint_every_without_out_rejected_identically_by_both_engines() {
+    // Satellite contract: `run` and `distributed` validate the
+    // checkpoint flag pair the same way, with the same message.
+    let mut errors = Vec::new();
+    for sub in ["run", "distributed"] {
+        let out = cli()
+            .args([
+                sub, "--ssets", "6", "--generations", "10", "--checkpoint-every", "5",
+            ])
+            .output()
+            .expect("spawn");
+        assert!(
+            !out.status.success(),
+            "{sub} must reject --checkpoint-every without --checkpoint-out"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(
+            stderr.contains("--checkpoint-every needs --checkpoint-out FILE"),
+            "{sub} stderr: {stderr}"
+        );
+        errors.push(stderr.lines().last().unwrap_or("").to_string());
+    }
+    assert_eq!(errors[0], errors[1], "identical validation in both engines");
+}
+
+/// One JSONL job-request line for the serve tests.
+fn job_line(id: &str, extra: &str) -> String {
+    use evogame::prelude::*;
+    let params = Params {
+        num_ssets: 12,
+        generations: 60,
+        seed: 7,
+        pc_rate: 0.25,
+        ..Params::default()
+    };
+    let params_json = serde_json::to_string(&params).expect("params serialise");
+    if extra.is_empty() {
+        format!("{{\"id\":\"{id}\",\"params\":{params_json}}}")
+    } else {
+        format!("{{\"id\":\"{id}\",\"params\":{params_json},{extra}}}")
+    }
+}
+
+#[test]
+fn serve_runs_mixed_batch_with_deterministic_receipts() {
+    let base = std::env::temp_dir().join(format!("evogame_serve_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let requests = base.join("jobs.jsonl");
+    let lines = [
+        job_line("clean-shared", ""),
+        job_line("clean-dist", "\"backend\":{\"Distributed\":{\"ranks\":4}}"),
+        job_line(
+            "faulty-dist",
+            "\"backend\":{\"Distributed\":{\"ranks\":4}},\"retry_budget\":2,\
+             \"faults\":{\"kills\":[{\"rank\":2,\"generation\":30}],\"recv_timeout_ms\":200}",
+        ),
+    ];
+    std::fs::write(&requests, lines.join("\n") + "\n").unwrap();
+
+    let serve = |spool: &std::path::Path| -> (String, String) {
+        run_ok(&[
+            "serve",
+            "--requests",
+            requests.to_str().unwrap(),
+            "--spool",
+            spool.to_str().unwrap(),
+        ])
+    };
+    let spool1 = base.join("spool1");
+    let spool2 = base.join("spool2");
+    let (stdout, stderr) = serve(&spool1);
+    let (stdout2, _) = serve(&spool2);
+
+    // All three jobs completed; the killed-rank job auto-retried.
+    for id in ["clean-shared", "clean-dist", "faulty-dist"] {
+        assert!(stdout.contains(&format!("job {id}: completed")), "{stdout}");
+    }
+    assert!(stdout.contains("faulty-dist: completed | state digest"), "{stdout}");
+    assert!(stdout.contains("retries 1"), "retry visible in summary: {stdout}");
+    assert!(stderr.contains("retried 1"), "retry counted: {stderr}");
+    assert_eq!(stdout, stdout2, "re-running the same submission file is bit-identical");
+
+    // Receipts exist and carry identical digests across the two runs —
+    // and the shared and distributed backends agree on the same state.
+    let digest = |spool: &std::path::Path, id: &str| -> String {
+        let text =
+            std::fs::read_to_string(spool.join(id).join("receipt.json")).expect("receipt spooled");
+        let receipt: serde::Value = serde_json::from_str(&text).unwrap();
+        match receipt.get("state_digest") {
+            Some(serde::Value::Str(s)) => s.clone(),
+            other => panic!("receipt missing state_digest: {other:?}"),
+        }
+    };
+    let d1 = digest(&spool1, "clean-shared");
+    for id in ["clean-shared", "clean-dist", "faulty-dist"] {
+        assert_eq!(digest(&spool1, id), digest(&spool2, id), "{id} deterministic");
+        assert_eq!(digest(&spool1, id), d1, "{id} agrees with the shared-memory digest");
+    }
+    // The shared job streamed its full record trail.
+    let records = std::fs::read_to_string(spool1.join("clean-shared/records.jsonl")).unwrap();
+    assert_eq!(records.lines().count(), 60);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn serve_reports_rejections_and_exits_nonzero() {
+    let base = std::env::temp_dir().join(format!("evogame_serve_rej_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let requests = base.join("jobs.jsonl");
+    // One good job, one malformed line, one duplicate id.
+    let lines = [job_line("ok", ""), "not json at all".to_string(), job_line("ok", "")];
+    std::fs::write(&requests, lines.join("\n") + "\n").unwrap();
+    let out = cli()
+        .args([
+            "serve",
+            "--requests",
+            requests.to_str().unwrap(),
+            "--spool",
+            base.join("spool").to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(4), "partial failure exit code");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("job ok: completed"), "{stdout}");
+    assert!(stderr.contains("not a job request"), "{stderr}");
+    assert!(stderr.contains("duplicate job id"), "{stderr}");
+    assert!(stderr.contains("2 rejected"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn serve_requires_spool_dir() {
+    let out = cli().args(["serve"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--spool"));
+}
