@@ -1,0 +1,103 @@
+//! Criterion bench: spatial lattice generation throughput.
+//!
+//! Covers the structured-population operating points: lattice size sweep,
+//! neighbourhood shape (Moore-8 vs von Neumann-4), update rule
+//! (deterministic best-takes-over vs stochastic Fermi), and one-shot vs
+//! iterated games (docs/GRAPH.md). One generation = plan → provide (every
+//! cell plays its neighbourhood) → decide → commit.
+//!
+//! For a machine-readable baseline:
+//!
+//! ```text
+//! cargo bench -p bench --bench spatial -- --save-json BENCH_spatial.json
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evo_core::spatial::{InitPattern, Neighborhood, SpatialParams, SpatialPopulation, SpatialUpdate};
+use std::hint::black_box;
+
+fn params(side: usize) -> SpatialParams {
+    SpatialParams {
+        width: side,
+        height: side,
+        seed: 3,
+        ..SpatialParams::default()
+    }
+}
+
+fn bench_lattice_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation/spatial");
+    group.sample_size(10);
+    for side in [16usize, 32, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("side", side),
+            &side,
+            |bencher, &s| {
+                let mut pop = SpatialPopulation::new(params(s), InitPattern::SingleDefector);
+                bencher.iter(|| black_box(pop.step()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_neighborhood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation/spatial");
+    group.sample_size(10);
+    for (label, shape) in [
+        ("moore8", Neighborhood::Moore8),
+        ("vn4", Neighborhood::VonNeumann4),
+    ] {
+        group.bench_function(BenchmarkId::new("neighborhood", label), |bencher| {
+            let mut p = params(32);
+            p.neighborhood = shape;
+            let mut pop = SpatialPopulation::new(p, InitPattern::SingleDefector);
+            bencher.iter(|| black_box(pop.step()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_rule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation/spatial");
+    group.sample_size(10);
+    for (label, update) in [
+        ("best_neighbor", SpatialUpdate::BestNeighbor),
+        ("fermi", SpatialUpdate::Fermi { beta: 0.5 }),
+    ] {
+        group.bench_function(BenchmarkId::new("update", label), |bencher| {
+            let mut p = params(32);
+            p.update = update;
+            let mut pop = SpatialPopulation::new(p, InitPattern::RandomDefectors(0.5));
+            bencher.iter(|| black_box(pop.step()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_iterated_games(c: &mut Criterion) {
+    // One-shot play (the Nowak-May regime) against memory-1 iterated games:
+    // the provide phase goes from a single payoff lookup per edge to a
+    // 16-round replay, which is where the per-edge game cost lives.
+    let mut group = c.benchmark_group("generation/spatial");
+    group.sample_size(10);
+    for (label, mem, rounds) in [("one_shot", 0usize, 1u32), ("iterated", 1, 16)] {
+        group.bench_function(BenchmarkId::new("games", label), |bencher| {
+            let mut p = params(32);
+            p.mem_steps = mem;
+            p.game.rounds = rounds;
+            let mut pop = SpatialPopulation::new(p, InitPattern::RandomDefectors(0.5));
+            bencher.iter(|| black_box(pop.step()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_lattice_size, bench_neighborhood, bench_update_rule, bench_iterated_games
+}
+criterion_main!(benches);

@@ -43,6 +43,8 @@
 //!   a degraded run is always restartable — and resuming reproduces the
 //!   uninterrupted trajectory bit for bit.
 
+pub mod graph;
+
 use crate::collective::Collective;
 use crate::comm::{ClusterError, Comm, Rank, VirtualCluster};
 use crate::faults::FaultPlan;
@@ -241,6 +243,11 @@ pub enum DistError {
     /// The run degraded: a peer failure was detected and survived. The
     /// boxed [`DegradedRun`] carries the restartable checkpoint.
     Degraded(Box<DegradedRun>),
+    /// A *spatial* run degraded ([`graph::run_spatial_distributed`]): same
+    /// clean-termination contract, but the restartable snapshot is a
+    /// [`evo_core::spatial::SpatialCheckpoint`] rather than the well-mixed
+    /// [`Checkpoint`].
+    SpatialDegraded(Box<graph::SpatialDegradedRun>),
 }
 
 impl std::fmt::Display for DistError {
@@ -258,6 +265,11 @@ impl std::fmt::Display for DistError {
             DistError::Degraded(d) => write!(
                 f,
                 "run degraded after {} generations (dead ranks {:?}): {}",
+                d.completed_generations, d.dead_ranks, d.reason
+            ),
+            DistError::SpatialDegraded(d) => write!(
+                f,
+                "spatial run degraded after {} generations (dead ranks {:?}): {}",
                 d.completed_generations, d.dead_ranks, d.reason
             ),
         }
@@ -478,6 +490,12 @@ impl RankProvider<'_> {
                     .filter(|&s| s == teacher as usize || s == learner as usize)
                     .collect(),
                 EvalScope::Full => self.owned.clone().collect(),
+                // Lattice plans belong to the spatial engine
+                // ([`graph::run_spatial_distributed`]), which shards by
+                // rows, not SSet blocks.
+                EvalScope::Neighborhood(_) => {
+                    return Err(RankError::Protocol("well-mixed evaluation scope"))
+                }
             };
             needed
                 .into_iter()
@@ -587,6 +605,8 @@ impl RankProvider<'_> {
             EvalScope::None => 0,
             EvalScope::Pair { .. } => 2 * s,
             EvalScope::Full => s * s,
+            // Unreachable: a Neighborhood plan already errored above.
+            EvalScope::Neighborhood(_) => 0,
         };
         Ok(Provided { view, games })
     }

@@ -45,6 +45,9 @@ pub mod topology;
 pub mod prelude {
     pub use crate::collective::{Collective, Messenger};
     pub use crate::comm::{ClusterError, Comm, Envelope, Rank, Tag, VirtualCluster};
+    pub use crate::dist::graph::{
+        run_spatial_distributed, SpatialDegradedRun, SpatialDistConfig, SpatialOutcome,
+    };
     pub use crate::dist::{DegradedRun, DistConfig, DistError, DistOutcome};
     pub use crate::faults::{FaultAction, FaultPlan, MessageFault, MessageFaults, RankKill};
     pub use crate::perf::{MachineProfile, PerfModel, Workload};

@@ -68,6 +68,18 @@ pub const PURITY_ROOTS: &[PurityRoot] = &[
         suffix: "engine::commit",
         sanctioned: &[],
     },
+    // The structured-population commit phases are RNG-free too: every
+    // spatial/migration draw happens in the decide step
+    // (`spatial::decide_cell`, `Archipelago::plan_migration`), so the
+    // apply steps get no sanctioned delegates at all.
+    PurityRoot {
+        suffix: "SpatialPopulation::commit_update",
+        sanctioned: &[],
+    },
+    PurityRoot {
+        suffix: "Archipelago::commit_migration",
+        sanctioned: &[],
+    },
 ];
 
 /// Function names that construct an RNG when called.
@@ -128,12 +140,21 @@ pub const DOMAIN_OWNERS: &[(&str, &[&str])] = &[
         "Faults",
         &["crates/evo-core/src/rngstream.rs", "crates/cluster/src/faults.rs"],
     ),
+    (
+        "Graph",
+        &[
+            "crates/evo-core/src/rngstream.rs",
+            "crates/evo-core/src/spatial.rs",
+            "crates/evo-core/src/islands.rs",
+        ],
+    ),
 ];
 
 /// Files whose panic paths must be typed or reason-annotated: the
 /// distributed protocol layer and the engine transition hot path.
 pub const PANIC_SCOPE: &[&str] = &[
     "crates/cluster/src/dist.rs",
+    "crates/cluster/src/dist/graph.rs",
     "crates/cluster/src/collective.rs",
     "crates/cluster/src/comm.rs",
     "crates/evo-core/src/engine.rs",

@@ -42,6 +42,7 @@ use crate::fitness::{
     evaluate_one_with_kernel_cached, evaluate_with_kernel, is_deterministic, ExecMode,
     FitnessPolicy, GameKernel,
 };
+use crate::graph::GraphScope;
 use crate::nature::{Event, GenSchedule, NatureAgent};
 use crate::params::UpdateRule;
 use crate::paycache::PayoffCache;
@@ -68,6 +69,14 @@ pub enum EvalScope {
     },
     /// Every SSet's fitness.
     Full,
+    /// Per-vertex payoffs over an explicit topology
+    /// ([`crate::graph::GraphView`]): each vertex accumulates game payoffs
+    /// against its graph neighbours (plus itself when
+    /// [`GraphScope::include_self`]), in the view's canonical neighbour
+    /// order. The scope carries only the plan-level descriptor; the
+    /// adjacency lives with the provider that owns the population
+    /// (docs/GRAPH.md).
+    Neighborhood(GraphScope),
 }
 
 /// What fitness data must reach the Nature Agent for resolution. Distinct
@@ -147,6 +156,31 @@ pub fn plan(
         schedule,
         eval,
         need,
+    }
+}
+
+/// Phase 1 for graph-structured populations: every generation evaluates
+/// the full per-vertex payoff field over the topology `scope` describes
+/// and resolves it locally at each vertex — there is no Nature-Agent event
+/// schedule, so `schedule` is empty, `need` is [`FitnessNeed::None`]
+/// (nothing travels to a central decider), and [`GenPlan::has_update`] is
+/// `false` (the distributed backend never broadcasts a decision; per-cell
+/// update draws are replicated from counter-based `Domain::Graph`
+/// streams). Pure in `(scope, generation)` — it draws nothing at all.
+pub fn graph_plan(scope: GraphScope, generation: u64) -> GenPlan {
+    GenPlan {
+        generation,
+        // The well-mixed rule/policy fields are inert under a Neighborhood
+        // scope; PairwiseComparison + OnDemand are the neutral values
+        // (OnDemand keeps fitness_summary record columns policy-stable).
+        rule: UpdateRule::PairwiseComparison,
+        policy: FitnessPolicy::OnDemand,
+        schedule: GenSchedule {
+            pc: None,
+            mutation: None,
+        },
+        eval: EvalScope::Neighborhood(scope),
+        need: FitnessNeed::None,
     }
 }
 
@@ -308,6 +342,10 @@ impl FitnessProvider for LocalProvider<'_> {
                         games: s * s,
                     }
                 }
+            }
+            EvalScope::Neighborhood(_) => {
+                // detlint: allow(panic-path, reason = "invariant: graph_plan() plans are driven only by graph-structured populations, whose providers implement Neighborhood; routing one into the well-mixed LocalProvider is a backend wiring bug, not a runtime condition")
+                panic!("LocalProvider is well-mixed; Neighborhood plans need a graph provider")
             }
         }
     }
@@ -707,6 +745,21 @@ mod tests {
         assert_eq!(stats_a.adoptions, 1);
         assert_eq!(stats_a.mutations, 1);
         assert_eq!(asg_a[0], asg_a[1], "victim copied parent");
+    }
+
+    #[test]
+    fn graph_plan_is_pure_inert_and_broadcast_free() {
+        let scope = GraphScope {
+            vertices: 9,
+            include_self: true,
+        };
+        let p = graph_plan(scope, 5);
+        assert_eq!(p.generation, 5);
+        assert_eq!(p.eval, EvalScope::Neighborhood(scope));
+        assert_eq!(p.need, FitnessNeed::None);
+        assert!(!p.has_update(), "no decision broadcast for graph plans");
+        assert_eq!(p, graph_plan(scope, 5), "pure in (scope, generation)");
+        assert_ne!(p, graph_plan(scope, 6));
     }
 
     #[test]

@@ -10,8 +10,15 @@
 //! traffic crossing ranks.
 //!
 //! Determinism: islands get derived seeds `seed ⊕ mix(k)`; migration draws
-//! from its own counter-based stream, so the whole archipelago replays
-//! exactly and is independent of execution order.
+//! from its own counter-based `Domain::Graph` stream (the structured-
+//! population domain, shared with the spatial per-cell updates), so the
+//! whole archipelago replays exactly and is independent of execution
+//! order. Migration itself runs through the same decide/commit split as
+//! every other update: `decide_migration` is the only RNG user and reads
+//! state without writing it; the RNG-free `commit_migration` performs the
+//! copies and emits standard [`Event::Migration`] records, so archipelago
+//! runs stream through `record.rs` like any other backend
+//! (docs/GRAPH.md §islands).
 //!
 //! ```
 //! use evo_core::islands::{Archipelago, MigrationPolicy};
@@ -24,13 +31,20 @@
 //! assert!(!arch.migrations().is_empty()); // interval 100 fired once
 //! ```
 
+use crate::nature::Event;
 use crate::params::{Params, ParamsError};
 use crate::population::Population;
-use crate::record::RunStats;
+use crate::record::{Checkpoint, GenerationRecord, RunStats};
 use crate::rngstream::{stream, Domain};
 use ipd::strategy::Strategy;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// `Domain::Graph` entity id reserved for migration scheduling. Far above
+/// any lattice cell index, so an archipelago and a spatial population
+/// sharing one master seed still draw disjoint streams.
+const MIGRATION_ENTITY: u64 = u64::MAX;
 
 /// Migration settings.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -124,42 +138,103 @@ impl Archipelago {
     }
 
     /// Advance every island one generation, then migrate if the interval
-    /// elapsed.
-    pub fn step(&mut self) {
+    /// elapsed. Returns the archipelago-level record: every island's
+    /// events concatenated in island order, migration events appended, and
+    /// the cross-island fitness/diversity summary.
+    pub fn step(&mut self) -> GenerationRecord {
+        let gen = self.generation;
+        let mut events = Vec::new();
+        let mut means = Vec::new();
+        let mut max = None::<f64>;
         for island in &mut self.islands {
-            island.step();
+            let rec = island.step();
+            events.extend(rec.events);
+            if let Some(m) = rec.mean_fitness {
+                means.push(m);
+            }
+            max = match (max, rec.max_fitness) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
         }
         self.generation += 1;
         if self.generation.is_multiple_of(self.policy.interval) && self.islands.len() > 1 {
-            self.migrate();
+            let migrations = self.decide_migration();
+            events.extend(self.commit_migration(&migrations));
+        }
+        // Record-shape stability: the mean travels only when every island
+        // evaluated (they share one fitness policy in practice).
+        let mean = (means.len() == self.islands.len())
+            .then(|| means.iter().sum::<f64>() / means.len() as f64);
+        GenerationRecord {
+            generation: gen,
+            events,
+            mean_fitness: mean,
+            max_fitness: max,
+            distinct_strategies: self.distinct_strategies(),
         }
     }
 
-    fn migrate(&mut self) {
+    /// Decide a migration round — the *only* archipelago RNG user (per
+    /// docs/GRAPH.md, `Domain::Graph` entity [`MIGRATION_ENTITY`]). Reads
+    /// island state, never writes it.
+    fn decide_migration(&self) -> Vec<Migration> {
         let k = self.islands.len();
-        // detlint: allow(rng-domain, reason = "island migration is a population-level nature decision; entity id 3 is reserved for it and never drawn by NatureAgent (ids 0-2)")
-        let mut rng = stream(self.seed, Domain::Nature, 3, self.generation);
-        for _ in 0..self.policy.migrants {
-            let from_island = rng.random_range(0..k);
-            let to_island = loop {
-                let t = rng.random_range(0..k);
-                if t != from_island {
-                    break t;
+        let mut rng = stream(self.seed, Domain::Graph, MIGRATION_ENTITY, self.generation);
+        (0..self.policy.migrants)
+            .map(|_| {
+                let from_island = rng.random_range(0..k);
+                let to_island = loop {
+                    let t = rng.random_range(0..k);
+                    if t != from_island {
+                        break t;
+                    }
+                };
+                let from_sset =
+                    rng.random_range(0..self.islands[from_island].assignments().len());
+                let to_sset = rng.random_range(0..self.islands[to_island].assignments().len());
+                Migration {
+                    generation: self.generation,
+                    from_island,
+                    from_sset,
+                    to_island,
+                    to_sset,
                 }
-            };
-            let from_sset = rng.random_range(0..self.islands[from_island].assignments().len());
-            let to_sset = rng.random_range(0..self.islands[to_island].assignments().len());
-            let strategy: Strategy =
-                (**self.islands[from_island].strategy_of(from_sset)).clone();
-            self.islands[to_island].set_strategy(to_sset, strategy);
-            self.migrations.push(Migration {
-                generation: self.generation,
-                from_island,
-                from_sset,
-                to_island,
-                to_sset,
-            });
-        }
+            })
+            .collect()
+    }
+
+    /// Commit a decided migration round: perform the copies in order,
+    /// append to the migration log, and emit the standard events.
+    /// Deterministic and RNG-free (detlint phase-purity root).
+    fn commit_migration(&mut self, migrations: &[Migration]) -> Vec<Event> {
+        migrations
+            .iter()
+            .map(|m| {
+                let strategy: Strategy =
+                    (**self.islands[m.from_island].strategy_of(m.from_sset)).clone();
+                self.islands[m.to_island].set_strategy(m.to_sset, strategy);
+                self.migrations.push(*m);
+                Event::Migration {
+                    from_island: m.from_island as u32,
+                    from_sset: m.from_sset as u32,
+                    to_island: m.to_island as u32,
+                    to_sset: m.to_sset as u32,
+                }
+            })
+            .collect()
+    }
+
+    /// Number of distinct strategies across the whole archipelago, by
+    /// feature-vector bit pattern (ids are island-local, so id counts
+    /// cannot be unioned).
+    pub fn distinct_strategies(&self) -> usize {
+        self.islands
+            .iter()
+            .flat_map(|island| island.snapshot().features)
+            .map(|f| f.iter().map(|p| p.to_bits()).collect::<Vec<u64>>())
+            .collect::<BTreeSet<_>>()
+            .len()
     }
 
     /// Run `generations` lock-step generations.
@@ -189,6 +264,63 @@ impl Archipelago {
         let total: f64 = self.islands.iter().map(|i| i.mean_cooperativity()).sum();
         total / self.islands.len() as f64
     }
+
+    /// Serialise the complete archipelago state: one standard island
+    /// [`Checkpoint`] per deme plus the coupling state. Like every
+    /// checkpoint in the system, this is the *entire* state — streams are
+    /// generation-keyed, so restore-and-continue is bit-identical to never
+    /// stopping.
+    pub fn checkpoint(&self) -> ArchipelagoCheckpoint {
+        ArchipelagoCheckpoint {
+            schema_version: ARCHIPELAGO_CHECKPOINT_SCHEMA_VERSION,
+            islands: self.islands.iter().map(|i| i.checkpoint()).collect(),
+            policy: self.policy,
+            seed: self.seed,
+            generation: self.generation,
+            migrations: self.migrations.clone(),
+        }
+    }
+
+    /// Rebuild an archipelago from a checkpoint.
+    pub fn restore(cp: ArchipelagoCheckpoint) -> Result<Self, ParamsError> {
+        let islands: Result<Vec<Population>, ParamsError> =
+            cp.islands.into_iter().map(Population::restore).collect();
+        Ok(Archipelago {
+            islands: islands?,
+            policy: cp.policy,
+            seed: cp.seed,
+            generation: cp.generation,
+            migrations: cp.migrations,
+        })
+    }
+}
+
+/// Version of the [`ArchipelagoCheckpoint`] JSON schema. Bump on any
+/// backwards-incompatible change and update docs/FAULT_TOLERANCE.md.
+pub const ARCHIPELAGO_CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// A serialisable snapshot of the complete archipelago state
+/// (docs/GRAPH.md §islands): the per-island [`Checkpoint`]s plus the
+/// archipelago-level coupling state (policy, master seed, generation, and
+/// the migration log).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchipelagoCheckpoint {
+    /// Schema version this file was written with
+    /// ([`ARCHIPELAGO_CHECKPOINT_SCHEMA_VERSION`]); 0 for pre-versioning
+    /// files.
+    #[serde(default)]
+    pub schema_version: u32,
+    /// One standard checkpoint per island, in island order.
+    pub islands: Vec<Checkpoint>,
+    /// Migration settings.
+    pub policy: MigrationPolicy,
+    /// The archipelago's master seed (the migration stream key; island
+    /// seeds are stored in their own checkpoints).
+    pub seed: u64,
+    /// Archipelago generation at which the checkpoint was taken.
+    pub generation: u64,
+    /// Migration log so far.
+    pub migrations: Vec<Migration>,
 }
 
 #[cfg(test)]
@@ -316,6 +448,95 @@ mod tests {
             a.island(m.from_island).strategy_of(m.from_sset),
             "migrant strategy must arrive verbatim"
         );
+    }
+
+    #[test]
+    fn step_records_stream_island_events_and_migrations() {
+        let mut a = archipelago(17, 3, 4);
+        let mut migration_records = 0;
+        for g in 0..12u64 {
+            let rec = a.step();
+            assert_eq!(rec.generation, g);
+            assert!(rec.distinct_strategies >= 1);
+            let migs = rec
+                .events
+                .iter()
+                .filter(|e| matches!(e, Event::Migration { .. }))
+                .count();
+            if (g + 1).is_multiple_of(4) {
+                assert_eq!(migs, 1, "gen {g}: interval elapsed, migration expected");
+                migration_records += 1;
+            } else {
+                assert_eq!(migs, 0, "gen {g}: off-interval migration");
+            }
+        }
+        assert_eq!(migration_records, 3);
+        assert_eq!(a.migrations().len(), 3);
+        // Records must serialise through the standard JSONL writer.
+        let rec = a.step();
+        let mut w = crate::record::RecordWriter::new(Vec::new());
+        w.write_generation(&rec).unwrap();
+        let text = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert_eq!(crate::record::read_generations(&text).unwrap()[0], rec);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_mid_run() {
+        // Straight-through vs checkpoint-at-g/restore/continue must agree
+        // on every record, every island's assignments, the migration log,
+        // and the stats — including splits that land just before and just
+        // after a migration round.
+        for split in [1u64, 7, 8, 15] {
+            let total = 24u64;
+            let mut straight = archipelago(19, 3, 8);
+            let straight_recs: Vec<GenerationRecord> =
+                (0..total).map(|_| straight.step()).collect();
+
+            let mut first = archipelago(19, 3, 8);
+            let mut resumed_recs: Vec<GenerationRecord> =
+                (0..split).map(|_| first.step()).collect();
+            let cp = first.checkpoint();
+            assert_eq!(cp.schema_version, ARCHIPELAGO_CHECKPOINT_SCHEMA_VERSION);
+            // Through the JSON wire, as the CLI/service would.
+            let json = serde_json::to_string(&cp).unwrap();
+            let back: ArchipelagoCheckpoint = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, cp);
+            let mut resumed = Archipelago::restore(back).unwrap();
+            // Resumed islands keep the restored policy knobs the originals
+            // had at runtime.
+            for i in 0..resumed.islands.len() {
+                resumed.islands[i].fitness_policy = FitnessPolicy::OnDemand;
+            }
+            resumed_recs.extend((split..total).map(|_| resumed.step()));
+
+            assert_eq!(resumed_recs, straight_recs, "split {split}: record stream");
+            assert_eq!(resumed.migrations(), straight.migrations(), "split {split}");
+            assert_eq!(resumed.stats(), straight.stats(), "split {split}");
+            for k in 0..3 {
+                assert_eq!(
+                    resumed.island(k).assignments(),
+                    straight.island(k).assignments(),
+                    "split {split}: island {k} assignments"
+                );
+                assert_eq!(
+                    resumed.island(k).snapshot().features,
+                    straight.island(k).snapshot().features,
+                    "split {split}: island {k} features"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pre_versioning_checkpoints_deserialize_as_version_zero() {
+        let a = archipelago(21, 2, 8);
+        let cp = a.checkpoint();
+        let json = serde_json::to_string(&cp).unwrap();
+        let stripped = json.replacen("\"schema_version\":1,", "", 1);
+        assert_ne!(stripped, json, "schema_version field must have been present");
+        let back: ArchipelagoCheckpoint = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.schema_version, 0);
+        assert_eq!(back.islands, cp.islands);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 pub mod engine;
 pub mod fermi;
+pub mod graph;
 pub mod islands;
 pub mod fitness;
 pub mod nature;
@@ -62,6 +63,7 @@ pub mod prelude {
     };
     pub use crate::fermi::fermi_probability;
     pub use crate::fitness::{ExecMode, FitnessPolicy, GameKernel};
+    pub use crate::graph::{AdjacencyGraph, GraphScope, GraphView, Lattice};
     pub use crate::islands::{Archipelago, Migration, MigrationPolicy};
     pub use crate::nature::{Event, NatureAgent};
     pub use crate::params::{Params, ParamsError, StrategyKind, UpdateRule};
@@ -72,7 +74,8 @@ pub mod prelude {
     pub use crate::replicator::{payoff_matrix, Replicator};
     pub use crate::record::{Checkpoint, GenerationRecord, PopulationSnapshot};
     pub use crate::spatial::{
-        InitPattern, Neighborhood, SpatialParams, SpatialPopulation, SpatialUpdate,
+        InitPattern, LatticeProvider, Neighborhood, SpatialCheckpoint, SpatialParams,
+        SpatialPopulation, SpatialUpdate,
     };
     pub use crate::sset::{agents_required, opponents_for_agent, SSetLayout};
 }

@@ -35,6 +35,7 @@ impl GenerationRecord {
             Event::Mutation { .. } => true,
             Event::Moran { parent, victim } => parent != victim,
             Event::ImitateBest { best, learner } => best != learner,
+            Event::Migration { .. } => true,
         })
     }
 }

@@ -33,6 +33,11 @@ pub enum Domain {
     /// evolution domain so drawing a fault plan can never perturb a
     /// trajectory.
     Faults = 6,
+    /// Structured-population dynamics: per-vertex spatial update draws
+    /// (Fermi neighbor choice and adoption on lattices/graphs) and island
+    /// migration selection. Disjoint from `Nature` so well-mixed and
+    /// graph-structured dynamics can never perturb each other's schedules.
+    Graph = 7,
 }
 
 /// SplitMix64 — the standard 64-bit mixer; used only for key derivation.

@@ -1,10 +1,28 @@
 //! Spatial evolutionary games on a lattice — the spatialised Prisoner's
 //! Dilemma lineage the paper builds on (its reference \[30\], and the
-//! cellular-automata models of §II).
+//! cellular-automata models of §II) — driven through the engine contract.
 //!
-//! Agents sit on a `width × height` torus grid, each holding a strategy.
-//! Every generation each cell plays an iterated game against every
-//! neighbour, accumulating a payoff; then all cells update synchronously:
+//! Agents sit on a `width × height` torus [`Lattice`], each holding a
+//! strategy. A generation is one pass of the `plan → provide → apply`
+//! phases (docs/ENGINE_CORE.md, docs/GRAPH.md):
+//!
+//! 1. [`crate::engine::graph_plan`] describes the generation: a
+//!    [`crate::engine::EvalScope::Neighborhood`] evaluation over the
+//!    lattice's [`crate::graph::GraphScope`]. Pure, draws nothing.
+//! 2. [`LatticeProvider`] (a [`FitnessProvider`]) plays every cell against
+//!    its neighbours — rayon-parallel, like the paper's §V-A game phase —
+//!    and returns the per-cell payoff field as
+//!    [`crate::engine::FitnessView::Full`]. Pure noiseless pairs go
+//!    through the deterministic kernel and the cross-generation
+//!    [`PayoffCache`]; stochastic games draw only per-pair
+//!    `Domain::GamePlay` streams.
+//! 3. [`SpatialPopulation::step`] applies the update: `decide_update`
+//!    resolves every cell synchronously against the frozen payoff field
+//!    (the only spatial RNG user — per-cell `Domain::Graph` streams), and
+//!    the RNG-free `commit_update` writes the new grid, accounts
+//!    [`RunStats`], and emits the generation's [`GenerationRecord`].
+//!
+//! Update rules:
 //!
 //! - [`SpatialUpdate::BestNeighbor`] — adopt the strategy of the
 //!   highest-scoring cell in the neighbourhood, self included (the
@@ -16,44 +34,27 @@
 //!
 //! The module reuses the whole game substrate: any memory depth, pure or
 //! mixed strategies, any payoff matrix, optional noise — one-shot
-//! Nowak-May is simply `mem_steps = 0, rounds = 1`.
+//! Nowak-May is simply `mem_steps = 0, rounds = 1`. Because payoffs
+//! accumulate in the lattice's canonical neighbour order and every random
+//! draw comes from a counter-based stream, trajectories are bit-identical
+//! at any rayon thread count and across the shared and distributed
+//! backends (`cluster::dist::graph`).
 
+use crate::engine::{EvalScope, FitnessProvider, FitnessView, GenPlan, Provided};
 use crate::fitness::GameKernel;
+use crate::graph::{GraphScope, GraphView, Lattice};
+use crate::paycache::{PayoffCache, PayoffKind};
 use crate::pool::{StratId, StrategyPool};
+use crate::record::{GenerationRecord, PopulationSnapshot, RunStats};
 use crate::rngstream::{stream, Domain};
 use ipd::game::{play, play_deterministic, play_deterministic_cycle, GameConfig};
 use ipd::state::StateSpace;
 use ipd::strategy::Strategy;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
-/// Which cells count as neighbours.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Neighborhood {
-    /// 4-neighbourhood (N, S, E, W).
-    VonNeumann4,
-    /// 8-neighbourhood (including diagonals) — Nowak & May's choice.
-    Moore8,
-}
-
-impl Neighborhood {
-    /// Relative offsets of the neighbourhood (excluding the cell itself).
-    pub fn offsets(&self) -> &'static [(i64, i64)] {
-        match self {
-            Neighborhood::VonNeumann4 => &[(0, -1), (0, 1), (-1, 0), (1, 0)],
-            Neighborhood::Moore8 => &[
-                (-1, -1),
-                (0, -1),
-                (1, -1),
-                (-1, 0),
-                (1, 0),
-                (-1, 1),
-                (0, 1),
-                (1, 1),
-            ],
-        }
-    }
-}
+pub use crate::graph::Neighborhood;
 
 /// The synchronous update rule.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,7 +71,7 @@ pub enum SpatialUpdate {
 }
 
 /// Parameters of a spatial population.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpatialParams {
     /// Grid width (≥ 3 so neighbourhoods don't self-overlap via wrap).
     pub width: usize,
@@ -88,6 +89,12 @@ pub struct SpatialParams {
     /// original model — self-interaction is what opens their celebrated
     /// 1.8 < b < 2 coexistence window.
     pub include_self: bool,
+    /// Generations a full run executes (the CLI/service stop condition;
+    /// [`SpatialPopulation::step`] itself is unbounded). `0` when absent
+    /// from a serialised request (the vendored serde supports only bare
+    /// defaults); the CLI and service always set it explicitly.
+    #[serde(default)]
+    pub generations: u64,
     /// Master seed.
     pub seed: u64,
 }
@@ -105,13 +112,37 @@ impl Default for SpatialParams {
             neighborhood: Neighborhood::Moore8,
             update: SpatialUpdate::BestNeighbor,
             include_self: true,
+            generations: 100,
             seed: 0,
         }
     }
 }
 
+impl SpatialParams {
+    /// Non-panicking validation, for service admission and CLI parsing.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width < 3 || self.height < 3 {
+            return Err(format!(
+                "grid must be at least 3×3, got {}×{}",
+                self.width, self.height
+            ));
+        }
+        if let SpatialUpdate::Fermi { beta } = self.update {
+            if !beta.is_finite() || beta < 0.0 {
+                return Err(format!("Fermi beta must be finite and ≥ 0, got {beta}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The torus topology these parameters describe.
+    pub fn lattice(&self) -> Lattice {
+        Lattice::new(self.width, self.height, self.neighborhood)
+    }
+}
+
 /// How the grid is initially seeded.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum InitPattern {
     /// Every cell cooperates except a single defector at the centre —
     /// Nowak & May's kaleidoscope initial condition.
@@ -122,23 +153,248 @@ pub enum InitPattern {
     Explicit(Vec<Strategy>),
 }
 
-/// A lattice population of strategies.
+impl InitPattern {
+    /// Non-panicking validation against the given parameters.
+    pub fn validate(&self, params: &SpatialParams) -> Result<(), String> {
+        match self {
+            InitPattern::SingleDefector => Ok(()),
+            InitPattern::RandomDefectors(p) => {
+                if (0.0..=1.0).contains(p) {
+                    Ok(())
+                } else {
+                    Err(format!("defector probability must be in [0, 1], got {p}"))
+                }
+            }
+            InitPattern::Explicit(strats) => {
+                let n = params.width * params.height;
+                if strats.len() == n {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "explicit init needs {n} strategies (width × height), got {}",
+                        strats.len()
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Version of the [`SpatialCheckpoint`] JSON schema. Bump on any
+/// backwards-incompatible change and update docs/FAULT_TOLERANCE.md.
+pub const SPATIAL_CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// A serialisable snapshot of the complete spatial-run state. Because
+/// every stream is `(seed, domain, entity, generation)`-keyed, pool +
+/// grid + stats *is* the whole state: restoring and continuing is
+/// bit-identical to never stopping (docs/FAULT_TOLERANCE.md,
+/// docs/GRAPH.md).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialCheckpoint {
+    /// Schema version this file was written with
+    /// ([`SPATIAL_CHECKPOINT_SCHEMA_VERSION`]); 0 for pre-versioning
+    /// files.
+    #[serde(default)]
+    pub schema_version: u32,
+    /// The run's parameters (seed included).
+    pub params: SpatialParams,
+    /// Generation at which the checkpoint was taken.
+    pub generation: u64,
+    /// Every interned strategy, in id order.
+    pub pool: Vec<Strategy>,
+    /// Per-cell strategy ids, row-major.
+    pub grid: Vec<StratId>,
+    /// Aggregate statistics at checkpoint time.
+    pub stats: RunStats,
+}
+
+/// Per-row payoff sums, rows in order. This is the *canonical* f64
+/// reduction order of the spatial record stream: the shared backend folds
+/// these row sums in row order, and the distributed backend has each rank
+/// compute the row sums of its owned rows and rank 0 fold them in the
+/// identical order — so the mean payoff is bit-identical across backends
+/// and rank counts despite f64 addition being non-associative.
+pub fn row_sums(payoffs: &[f64], width: usize) -> Vec<f64> {
+    payoffs.chunks(width).map(|row| row.iter().sum()).collect()
+}
+
+/// Mean cell payoff in the canonical reduction order of [`row_sums`].
+pub fn row_major_mean(payoffs: &[f64], width: usize) -> f64 {
+    let total: f64 = row_sums(payoffs, width).iter().sum();
+    total / payoffs.len() as f64
+}
+
+/// The graph-structured [`FitnessProvider`]: plays every vertex against
+/// its neighbours over an explicit topology and returns the payoff field
+/// as [`FitnessView::Full`]. The shared backend borrows the population's
+/// own tables; the distributed backend builds one over each rank's halo
+/// view.
+#[derive(Debug)]
+pub struct LatticeProvider<'a> {
+    /// State space of all strategies.
+    pub space: &'a StateSpace,
+    /// The topology.
+    pub view: &'a Lattice,
+    /// Per-vertex strategy ids (the full grid, or a rank's halo view).
+    pub grid: &'a [StratId],
+    /// The interning pool.
+    pub pool: &'a StrategyPool,
+    /// Game configuration.
+    pub game: &'a GameConfig,
+    /// Master seed.
+    pub seed: u64,
+    /// Inner-loop kernel for deterministic games.
+    pub kernel: GameKernel,
+    /// Cross-generation payoff memo-cache (cost-only; docs/PERFORMANCE.md).
+    pub cache: Option<&'a PayoffCache>,
+    /// Restrict evaluation to `vertices[start..end)`. The shared backend
+    /// passes the whole range; a distributed rank passes its owned rows
+    /// plus the 1-ring halo it needs for the update phase.
+    pub range: std::ops::Range<usize>,
+}
+
+impl LatticeProvider<'_> {
+    /// Focal payoff of the game vertex `a` plays against vertex `b`.
+    /// Deterministic pure noiseless pairs replay through the kernel and
+    /// memoise in the cache; anything else draws the per-pair
+    /// `Domain::GamePlay` stream (entity = `a·n + b`, so the (a, b) and
+    /// (b, a) games are independent).
+    fn pair_payoff(&self, a: usize, b: usize, generation: u64) -> f64 {
+        let ia = self.grid[a];
+        let ib = self.grid[b];
+        let sa = self.pool.get(ia);
+        let sb = self.pool.get(ib);
+        if self.game.noise == 0.0 {
+            if let (Strategy::Pure(pa), Strategy::Pure(pb)) = (sa.as_ref(), sb.as_ref()) {
+                if let Some(hit) = self
+                    .cache
+                    .and_then(|c| c.get(ia, ib, PayoffKind::Sampled))
+                {
+                    return hit;
+                }
+                let value = match self.kernel {
+                    GameKernel::Naive => {
+                        play_deterministic(self.space, pa, pb, self.game).fitness_a
+                    }
+                    GameKernel::Cycle => {
+                        play_deterministic_cycle(self.space, pa, pb, self.game).fitness_a
+                    }
+                };
+                if let Some(c) = self.cache {
+                    c.insert(ia, ib, PayoffKind::Sampled, value);
+                }
+                return value;
+            }
+        }
+        let entity = (a as u64) * self.grid.len() as u64 + b as u64;
+        let mut rng = stream(self.seed, Domain::GamePlay, entity, generation);
+        play(self.space, sa, sb, self.game, &mut rng).fitness_a
+    }
+}
+
+impl FitnessProvider for LatticeProvider<'_> {
+    fn provide(&mut self, plan: &GenPlan) -> Provided {
+        let scope = match plan.eval {
+            EvalScope::Neighborhood(scope) => scope,
+            // detlint: allow(panic-path, reason = "invariant: LatticeProvider is driven only by graph_plan() plans, which always carry EvalScope::Neighborhood; any other scope is a backend wiring bug, not a runtime condition")
+            ref other => panic!("LatticeProvider needs a Neighborhood scope, got {other:?}"),
+        };
+        let _span = obs::span("spatial.fitness");
+        let gen = plan.generation;
+        let per_cell = self.view.degree(0) as u64 + u64::from(scope.include_self);
+        // The payoff phase is embarrassingly parallel (§V-A): each vertex
+        // accumulates its neighbour games in the lattice's canonical
+        // stencil order, so the per-vertex sum is thread-count invariant.
+        let payoffs: Vec<f64> = self
+            .range
+            .clone()
+            .into_par_iter()
+            .map(|i| {
+                let mut total: f64 = (0..self.view.degree(i))
+                    .map(|k| self.pair_payoff(i, self.view.neighbor(i, k), gen))
+                    .sum();
+                if scope.include_self {
+                    total += self.pair_payoff(i, i, gen);
+                }
+                total
+            })
+            .collect();
+        Provided {
+            view: FitnessView::Full(payoffs),
+            games: per_cell * self.range.len() as u64,
+        }
+    }
+}
+
+/// Resolve one cell's synchronous update against the frozen payoff field.
+/// `payoff_of(j)` must be defined for `j == cell` and every neighbour of
+/// `cell`. The *only* spatial RNG user: Fermi draws the cell's
+/// `Domain::Graph` stream (entity = cell index), so the decision is a pure
+/// function of `(seed, cell, generation, payoff field)` — which is what
+/// lets distributed ranks resolve their owned cells with no decision
+/// broadcast.
+pub fn decide_cell(
+    view: &Lattice,
+    update: SpatialUpdate,
+    seed: u64,
+    generation: u64,
+    cell: usize,
+    grid_at: &impl Fn(usize) -> StratId,
+    payoff_of: &impl Fn(usize) -> f64,
+) -> StratId {
+    match update {
+        SpatialUpdate::BestNeighbor => {
+            let mut best = cell;
+            let mut best_pay = payoff_of(cell);
+            for k in 0..view.degree(cell) {
+                let j = view.neighbor(cell, k);
+                // Strict improvement, lowest-index tie-break: the rule
+                // stays fully deterministic.
+                if payoff_of(j) > best_pay || (payoff_of(j) == best_pay && j < best) {
+                    best = j;
+                    best_pay = payoff_of(j);
+                }
+            }
+            grid_at(best)
+        }
+        SpatialUpdate::Fermi { beta } => {
+            use rand::Rng;
+            let mut rng = stream(seed, Domain::Graph, cell as u64, generation);
+            let j = view.neighbor(cell, rng.random_range(0..view.degree(cell)));
+            let p = crate::fermi::fermi_probability(beta, payoff_of(j), payoff_of(cell));
+            if rng.random::<f64>() < p {
+                grid_at(j)
+            } else {
+                grid_at(cell)
+            }
+        }
+    }
+}
+
+/// A lattice population of strategies, stepped through the engine
+/// contract.
 #[derive(Debug, Clone)]
 pub struct SpatialPopulation {
     params: SpatialParams,
+    lattice: Lattice,
     space: StateSpace,
     pool: StrategyPool,
     grid: Vec<StratId>,
     payoffs: Vec<f64>,
     generation: u64,
+    stats: RunStats,
+    cache: PayoffCache,
     /// Deterministic-game kernel (outcome-identical options).
     pub kernel: GameKernel,
+    /// Probe the cross-generation payoff cache (cost-only knob).
+    pub use_payoff_cache: bool,
 }
 
 impl SpatialPopulation {
     /// Build a grid population.
     pub fn new(params: SpatialParams, init: InitPattern) -> Self {
         assert!(params.width >= 3 && params.height >= 3, "grid must be at least 3x3");
+        let lattice = params.lattice();
         let space = StateSpace::new(params.mem_steps).expect("valid memory steps");
         let mut pool = StrategyPool::new();
         let n = params.width * params.height;
@@ -170,14 +426,19 @@ impl SpatialPopulation {
                 strats.into_iter().map(|s| pool.intern(s)).collect()
             }
         };
+        let cache = PayoffCache::new(params.game);
         SpatialPopulation {
             params,
+            lattice,
             space,
             pool,
             grid,
             payoffs: vec![0.0; n],
             generation: 0,
+            stats: RunStats::default(),
+            cache,
             kernel: GameKernel::Naive,
+            use_payoff_cache: true,
         }
     }
 
@@ -186,14 +447,34 @@ impl SpatialPopulation {
         (self.params.width, self.params.height)
     }
 
+    /// The run's parameters.
+    pub fn params(&self) -> &SpatialParams {
+        &self.params
+    }
+
+    /// The torus topology.
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
     /// Completed generations.
     pub fn generation(&self) -> u64 {
         self.generation
     }
 
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
     /// Strategy id at `(x, y)`.
     pub fn at(&self, x: usize, y: usize) -> StratId {
         self.grid[y * self.params.width + x]
+    }
+
+    /// Per-cell strategy ids, row-major.
+    pub fn grid(&self) -> &[StratId] {
+        &self.grid
     }
 
     /// The interning pool.
@@ -206,106 +487,165 @@ impl SpatialPopulation {
         &self.payoffs
     }
 
-    fn index(&self, x: i64, y: i64) -> usize {
-        let w = self.params.width as i64;
-        let h = self.params.height as i64;
-        let xi = x.rem_euclid(w) as usize;
-        let yi = y.rem_euclid(h) as usize;
-        yi * self.params.width + xi
+    /// Neighbour indices of cell `i` (torus wraparound, canonical stencil
+    /// order).
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        GraphView::neighbors(&self.lattice, i)
     }
 
-    /// Neighbour indices of cell `i` (torus wraparound).
-    pub fn neighbors(&self, i: usize) -> Vec<usize> {
-        let x = (i % self.params.width) as i64;
-        let y = (i / self.params.width) as i64;
-        self.params
-            .neighborhood
-            .offsets()
-            .iter()
-            .map(|&(dx, dy)| self.index(x + dx, y + dy))
+    /// Number of distinct strategies on the grid.
+    pub fn distinct_strategies(&self) -> usize {
+        self.grid.iter().collect::<BTreeSet<_>>().len()
+    }
+
+    /// A full state view (grid ids plus per-cell feature vectors) — the
+    /// structure the state digest and record snapshots are computed over,
+    /// shared with the well-mixed engine.
+    pub fn snapshot(&self) -> PopulationSnapshot {
+        PopulationSnapshot {
+            generation: self.generation,
+            assignments: self.grid.clone(),
+            features: self
+                .grid
+                .iter()
+                .map(|&id| self.pool.get(id).feature_vector())
+                .collect(),
+        }
+    }
+
+    /// Serialise the complete run state (docs/GRAPH.md §checkpoints).
+    pub fn checkpoint(&self) -> SpatialCheckpoint {
+        SpatialCheckpoint {
+            schema_version: SPATIAL_CHECKPOINT_SCHEMA_VERSION,
+            params: self.params.clone(),
+            generation: self.generation,
+            pool: self.pool.iter().map(|(_, s)| (**s).clone()).collect(),
+            grid: self.grid.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuild a population from a checkpoint. Continuing is bit-identical
+    /// to never stopping; the payoff cache restarts cold (cost-only).
+    pub fn restore(cp: SpatialCheckpoint) -> Result<Self, String> {
+        cp.params.validate()?;
+        let n = cp.params.width * cp.params.height;
+        if cp.grid.len() != n {
+            return Err(format!(
+                "checkpoint grid has {} cells, params say {n}",
+                cp.grid.len()
+            ));
+        }
+        let mut pool = StrategyPool::new();
+        for s in cp.pool {
+            pool.intern(s);
+        }
+        if let Some(&bad) = cp.grid.iter().find(|&&id| id as usize >= pool.len()) {
+            return Err(format!("checkpoint grid references unknown strategy id {bad}"));
+        }
+        let lattice = cp.params.lattice();
+        let space = StateSpace::new(cp.params.mem_steps)
+            .map_err(|e| format!("invalid memory depth: {e}"))?;
+        let cache = PayoffCache::new(cp.params.game);
+        Ok(SpatialPopulation {
+            lattice,
+            space,
+            pool,
+            grid: cp.grid,
+            payoffs: vec![0.0; n],
+            generation: cp.generation,
+            stats: cp.stats,
+            cache,
+            kernel: GameKernel::Naive,
+            use_payoff_cache: true,
+            params: cp.params,
+        })
+    }
+
+    /// Resolve every cell's update against the frozen payoff field — the
+    /// spatial `decide` phase. Reads state, never writes it; Fermi draws
+    /// per-cell `Domain::Graph` streams, so the result is rayon
+    /// schedule-invariant.
+    fn decide_update(&self, payoffs: &[f64]) -> Vec<StratId> {
+        let gen = self.generation;
+        (0..self.grid.len())
+            .into_par_iter()
+            .map(|i| {
+                decide_cell(
+                    &self.lattice,
+                    self.params.update,
+                    self.params.seed,
+                    gen,
+                    i,
+                    &|j| self.grid[j],
+                    &|j| payoffs[j],
+                )
+            })
             .collect()
     }
 
-    /// Focal payoff of the game cell `a` plays against cell `b`.
-    fn game_payoff(&self, a: usize, b: usize, generation: u64) -> f64 {
-        let sa = self.pool.get(self.grid[a]);
-        let sb = self.pool.get(self.grid[b]);
-        if self.params.game.noise == 0.0 {
-            if let (Strategy::Pure(pa), Strategy::Pure(pb)) = (sa.as_ref(), sb.as_ref()) {
-                return match self.kernel {
-                    GameKernel::Naive => {
-                        play_deterministic(&self.space, pa, pb, &self.params.game).fitness_a
-                    }
-                    GameKernel::Cycle => {
-                        play_deterministic_cycle(&self.space, pa, pb, &self.params.game).fitness_a
-                    }
-                };
-            }
-        }
-        let entity = (a as u64) * self.grid.len() as u64 + b as u64;
-        let mut rng = stream(self.params.seed, Domain::GamePlay, entity, generation);
-        play(&self.space, sa, sb, &self.params.game, &mut rng).fitness_a
-    }
-
-    /// Advance one generation: play all neighbour games, then update all
-    /// cells synchronously. Deterministic for `BestNeighbor`;
-    /// schedule-invariant for `Fermi` (counter-based streams).
-    pub fn step(&mut self) {
+    /// Commit a decided update: write the grid and payoff field, account
+    /// stats, and build the generation's record. Deterministic and
+    /// RNG-free (detlint phase-purity root, like `engine::commit`).
+    fn commit_update(
+        &mut self,
+        new_grid: Vec<StratId>,
+        payoffs: Vec<f64>,
+        games: u64,
+    ) -> GenerationRecord {
         let gen = self.generation;
-        let n = self.grid.len();
-        // Phase 1: payoffs (embarrassingly parallel, like §V-A).
-        let payoffs: Vec<f64> = (0..n)
-            .into_par_iter()
-            .map(|i| {
-                let mut total: f64 = self
-                    .neighbors(i)
-                    .iter()
-                    .map(|&j| self.game_payoff(i, j, gen))
-                    .sum();
-                if self.params.include_self {
-                    total += self.game_payoff(i, i, gen);
-                }
-                total
-            })
-            .collect();
-        // Phase 2: synchronous update against the frozen payoff field.
-        let new_grid: Vec<StratId> = (0..n)
-            .into_par_iter()
-            .map(|i| match self.params.update {
-                SpatialUpdate::BestNeighbor => {
-                    let mut best = i;
-                    let mut best_pay = payoffs[i];
-                    for j in self.neighbors(i) {
-                        // Strict improvement, lowest-index tie-break: the
-                        // rule stays fully deterministic.
-                        if payoffs[j] > best_pay || (payoffs[j] == best_pay && j < best) {
-                            best = j;
-                            best_pay = payoffs[j];
-                        }
-                    }
-                    self.grid[best]
-                }
-                SpatialUpdate::Fermi { beta } => {
-                    use rand::Rng;
-                    // detlint: allow(rng-domain, reason = "spatial backend's per-cell Fermi adoption is its nature decision: entity = cell index, disjoint from NatureAgent's entity ids 0-2, so the streams cannot collide")
-                    let mut rng = stream(self.params.seed, Domain::Nature, i as u64, gen);
-                    let nb = self.neighbors(i);
-                    let j = nb[rng.random_range(0..nb.len())];
-                    let p = crate::fermi::fermi_probability(beta, payoffs[j], payoffs[i]);
-                    if rng.random::<f64>() < p {
-                        self.grid[j]
-                    } else {
-                        self.grid[i]
-                    }
-                }
-            })
-            .collect();
-        self.payoffs = payoffs;
+        let adoptions = self
+            .grid
+            .iter()
+            .zip(&new_grid)
+            .filter(|(old, new)| old != new)
+            .count() as u64;
+        let mean = row_major_mean(&payoffs, self.params.width);
+        let max = payoffs.iter().cloned().fold(f64::MIN, f64::max);
         self.grid = new_grid;
+        self.payoffs = payoffs;
         self.generation += 1;
+        self.stats.generations += 1;
+        self.stats.fitness_evaluations += 1;
+        self.stats.games_played += games;
+        self.stats.adoptions += adoptions;
+        GenerationRecord {
+            generation: gen,
+            events: Vec::new(),
+            mean_fitness: Some(mean),
+            max_fitness: Some(max),
+            distinct_strategies: self.distinct_strategies(),
+        }
     }
 
-    /// Run `generations` steps.
+    /// Advance one generation through the engine phases: `graph_plan`,
+    /// [`LatticeProvider::provide`], then decide + commit. Deterministic
+    /// for `BestNeighbor`; schedule-invariant for `Fermi` (counter-based
+    /// streams).
+    pub fn step(&mut self) -> GenerationRecord {
+        let scope = GraphScope::of(&self.lattice, self.params.include_self);
+        let plan = crate::engine::graph_plan(scope, self.generation);
+        let mut provider = LatticeProvider {
+            space: &self.space,
+            view: &self.lattice,
+            grid: &self.grid,
+            pool: &self.pool,
+            game: &self.params.game,
+            seed: self.params.seed,
+            kernel: self.kernel,
+            cache: self.use_payoff_cache.then_some(&self.cache),
+            range: 0..self.grid.len(),
+        };
+        let provided = provider.provide(&plan);
+        let FitnessView::Full(payoffs) = provided.view else {
+            // detlint: allow(panic-path, reason = "invariant: LatticeProvider always answers a Neighborhood plan with FitnessView::Full; anything else is a provider implementation bug")
+            panic!("spatial provider must return the full payoff field")
+        };
+        let new_grid = self.decide_update(&payoffs);
+        self.commit_update(new_grid, payoffs, provided.games)
+    }
+
+    /// Run `generations` steps, discarding the records.
     pub fn run(&mut self, generations: u64) {
         for _ in 0..generations {
             self.step();
@@ -548,5 +888,115 @@ mod tests {
             pop.render()
         };
         assert_eq!(mk(GameKernel::Naive), mk(GameKernel::Cycle));
+    }
+
+    #[test]
+    fn payoff_cache_is_cost_only_for_spatial_runs() {
+        let mk = |cache_on: bool| {
+            let mut p = params(1.85, 12, SpatialUpdate::Fermi { beta: 0.8 });
+            p.seed = 11;
+            let mut pop =
+                SpatialPopulation::new(p, InitPattern::RandomDefectors(0.4));
+            pop.use_payoff_cache = cache_on;
+            let records: Vec<String> = (0..12)
+                .map(|_| serde_json::to_string(&pop.step()).unwrap())
+                .collect();
+            (records, pop.render(), *pop.stats())
+        };
+        assert_eq!(mk(true), mk(false), "cache must not change the trajectory");
+    }
+
+    #[test]
+    fn step_record_reports_payoff_summary_and_accounting() {
+        let mut pop = SpatialPopulation::new(
+            params(1.85, 8, SpatialUpdate::BestNeighbor),
+            InitPattern::RandomDefectors(0.3),
+        );
+        let rec = pop.step();
+        assert_eq!(rec.generation, 0);
+        assert!(rec.events.is_empty());
+        let mean = rec.mean_fitness.expect("spatial records carry the mean");
+        let max = rec.max_fitness.expect("spatial records carry the max");
+        assert!(max >= mean);
+        assert_eq!(mean, row_major_mean(pop.payoffs(), 8));
+        assert!(rec.distinct_strategies >= 1);
+        // 8×8 Moore grid with self-games: 64 cells × 9 games each.
+        assert_eq!(pop.stats().games_played, 64 * 9);
+        assert_eq!(pop.stats().generations, 1);
+        assert_eq!(pop.stats().fitness_evaluations, 1);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_mid_run() {
+        for update in [SpatialUpdate::BestNeighbor, SpatialUpdate::Fermi { beta: 1.2 }] {
+            let mut p = params(1.9, 9, update);
+            p.seed = 21;
+            let mut straight = SpatialPopulation::new(p.clone(), InitPattern::RandomDefectors(0.35));
+            let straight_records: Vec<String> = (0..20)
+                .map(|_| serde_json::to_string(&straight.step()).unwrap())
+                .collect();
+
+            for split in [1u64, 7, 19] {
+                let mut first =
+                    SpatialPopulation::new(p.clone(), InitPattern::RandomDefectors(0.35));
+                let mut records: Vec<String> = (0..split)
+                    .map(|_| serde_json::to_string(&first.step()).unwrap())
+                    .collect();
+                // Through the wire format: the JSON round trip itself must
+                // preserve every bit.
+                let json = serde_json::to_string(&first.checkpoint()).unwrap();
+                let cp: SpatialCheckpoint = serde_json::from_str(&json).unwrap();
+                assert_eq!(cp.schema_version, SPATIAL_CHECKPOINT_SCHEMA_VERSION);
+                let mut resumed = SpatialPopulation::restore(cp).unwrap();
+                records.extend(
+                    (split..20).map(|_| serde_json::to_string(&resumed.step()).unwrap()),
+                );
+                assert_eq!(records, straight_records, "{update:?} split {split}");
+                assert_eq!(resumed.grid(), straight.grid(), "{update:?} split {split}");
+                assert_eq!(resumed.stats(), straight.stats(), "{update:?} split {split}");
+                assert_eq!(
+                    crate::record::state_digest(
+                        &resumed.snapshot().assignments,
+                        &resumed.snapshot().features
+                    ),
+                    crate::record::state_digest(
+                        &straight.snapshot().assignments,
+                        &straight.snapshot().features
+                    ),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_checkpoints() {
+        let pop = SpatialPopulation::new(
+            params(1.5, 5, SpatialUpdate::BestNeighbor),
+            InitPattern::SingleDefector,
+        );
+        let mut bad_grid = pop.checkpoint();
+        bad_grid.grid.pop();
+        assert!(SpatialCheckpoint::restore_err(bad_grid).contains("cells"));
+        let mut bad_id = pop.checkpoint();
+        bad_id.grid[0] = 999;
+        assert!(SpatialCheckpoint::restore_err(bad_id).contains("unknown strategy id"));
+        let mut bad_dims = pop.checkpoint();
+        bad_dims.params.width = 2;
+        assert!(SpatialCheckpoint::restore_err(bad_dims).contains("3×3"));
+    }
+
+    impl SpatialCheckpoint {
+        fn restore_err(self) -> String {
+            SpatialPopulation::restore(self).expect_err("must reject")
+        }
+    }
+
+    #[test]
+    fn row_sums_define_the_canonical_mean() {
+        let payoffs: Vec<f64> = (0..12).map(|i| i as f64 * 0.1).collect();
+        let rs = row_sums(&payoffs, 4);
+        assert_eq!(rs.len(), 3);
+        let mean = row_major_mean(&payoffs, 4);
+        assert_eq!(mean, rs.iter().sum::<f64>() / 12.0);
     }
 }

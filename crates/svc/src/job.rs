@@ -7,6 +7,7 @@
 
 use cluster::faults::FaultPlan;
 use evo_core::params::Params;
+use evo_core::spatial::{InitPattern, SpatialParams};
 use serde::{Deserialize, Serialize};
 
 /// Queue lane. High-priority jobs are always dispatched before normal
@@ -38,17 +39,38 @@ pub enum Backend {
     },
 }
 
-/// One job submission. Only `id` and `params` are required; everything
-/// else defaults to the plain shared-memory run the CLI's `run`
-/// subcommand would do.
+/// What a spatial job runs: lattice parameters plus grid seeding
+/// (docs/GRAPH.md). One spec fully determines the trajectory on either
+/// backend — shared and rank-sharded runs of the same spec produce the
+/// identical receipt digest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialJobSpec {
+    /// Lattice parameters, seed and generation target included.
+    pub params: SpatialParams,
+    /// Initial grid seeding.
+    pub init: InitPattern,
+}
+
+/// One job submission. Only `id` and `params` (or `spatial`) are
+/// required; everything else defaults to the plain shared-memory run the
+/// CLI's `run` subcommand would do.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobRequest {
     /// Unique job id — the spool directory name and the dedup key.
     /// Restricted to `[A-Za-z0-9._-]` so it is path-safe.
     pub id: String,
     /// Full engine parameters, seed included. Determinism of the receipt
-    /// rests on these alone.
+    /// rests on these alone. Ignored (and defaulted) when `spatial` is
+    /// set.
+    #[serde(default)]
     pub params: Params,
+    /// Run a lattice job instead of a well-mixed one. `backend` selects
+    /// the engine exactly as for well-mixed jobs: [`Backend::Shared`] is
+    /// the generation-loop [`evo_core::spatial::SpatialPopulation`]
+    /// (pausable), [`Backend::Distributed`] the row-sharded
+    /// `cluster::dist::graph` runner (retryable on degradation).
+    #[serde(default)]
+    pub spatial: Option<SpatialJobSpec>,
     /// Queue lane.
     #[serde(default)]
     pub priority: Priority,
@@ -85,12 +107,21 @@ impl JobRequest {
         JobRequest {
             id: id.into(),
             params,
+            spatial: None,
             priority: Priority::Normal,
             backend: Backend::Shared,
             on_demand: false,
             checkpoint_every: None,
             retry_budget: 0,
             faults: FaultPlan::default(),
+        }
+    }
+
+    /// A shared-memory spatial request with all other knobs defaulted.
+    pub fn new_spatial(id: impl Into<String>, params: SpatialParams, init: InitPattern) -> Self {
+        JobRequest {
+            spatial: Some(SpatialJobSpec { params, init }),
+            ..JobRequest::new(id, Params::default())
         }
     }
 }

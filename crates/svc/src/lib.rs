@@ -46,7 +46,7 @@ pub mod queue;
 pub mod server;
 pub mod spool;
 
-pub use job::{AdmitError, Backend, JobRequest, JobStatus, Priority, Receipt};
+pub use job::{AdmitError, Backend, JobRequest, JobStatus, Priority, Receipt, SpatialJobSpec};
 pub use queue::JobQueue;
 pub use server::{Server, ServerConfig};
 pub use spool::Spool;

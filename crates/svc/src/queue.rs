@@ -9,6 +9,7 @@
 
 use crate::job::{AdmitError, Backend, JobRequest, Priority};
 use evo_core::record::Checkpoint;
+use evo_core::spatial::SpatialCheckpoint;
 use std::collections::{BTreeSet, VecDeque};
 
 /// A queued unit of work: the original request plus the lifecycle state
@@ -18,8 +19,11 @@ pub struct QueuedJob {
     /// The request as admitted.
     pub request: JobRequest,
     /// Checkpoint to resume from — `Some` after a pause-resume cycle or a
-    /// degraded-run retry, `None` for a fresh start.
+    /// degraded-run retry, `None` for a fresh start. Well-mixed jobs only.
     pub resume: Option<Checkpoint>,
+    /// The spatial counterpart of `resume` (lattice jobs checkpoint as
+    /// [`SpatialCheckpoint`]); at most one of the two is ever `Some`.
+    pub resume_spatial: Option<SpatialCheckpoint>,
     /// Degraded-run retries already consumed.
     pub retries: u32,
     /// `true` once the request's injected fault schedule has fired —
@@ -33,6 +37,7 @@ impl QueuedJob {
         QueuedJob {
             request,
             resume: None,
+            resume_spatial: None,
             retries: 0,
             faults_spent: false,
         }
@@ -151,7 +156,18 @@ impl JobQueue {
                 ),
             });
         }
-        if let Err(e) = request.params.validate() {
+        if let Some(spec) = &request.spatial {
+            if let Err(e) = spec.params.validate() {
+                return Err(AdmitError::Invalid {
+                    reason: format!("spatial params: {e}"),
+                });
+            }
+            if let Err(e) = spec.init.validate(&spec.params) {
+                return Err(AdmitError::Invalid {
+                    reason: format!("spatial init: {e}"),
+                });
+            }
+        } else if let Err(e) = request.params.validate() {
             return Err(AdmitError::Invalid {
                 reason: format!("params: {e}"),
             });
@@ -266,5 +282,45 @@ mod tests {
             Err(AdmitError::Invalid { ref reason }) if reason.contains("distributed")
         ));
         assert!(q.is_empty(), "no invalid request was queued");
+    }
+
+    #[test]
+    fn spatial_requests_validate_the_spatial_spec() {
+        use evo_core::spatial::{InitPattern, SpatialParams};
+        let mut q = JobQueue::new(8);
+
+        let bad_grid = JobRequest::new_spatial(
+            "sp-grid",
+            SpatialParams {
+                width: 2,
+                ..SpatialParams::default()
+            },
+            InitPattern::SingleDefector,
+        );
+        assert!(matches!(
+            q.admit(bad_grid),
+            Err(AdmitError::Invalid { ref reason }) if reason.starts_with("spatial params:")
+        ));
+
+        let bad_init = JobRequest::new_spatial(
+            "sp-init",
+            SpatialParams::default(),
+            InitPattern::RandomDefectors(1.5),
+        );
+        assert!(matches!(
+            q.admit(bad_init),
+            Err(AdmitError::Invalid { ref reason }) if reason.starts_with("spatial init:")
+        ));
+
+        // The well-mixed params are documented as ignored for spatial
+        // jobs — an invalid (defaulted-over) Params must not block one.
+        let mut ok = JobRequest::new_spatial(
+            "sp-ok",
+            SpatialParams::default(),
+            InitPattern::SingleDefector,
+        );
+        ok.params.num_ssets = 0;
+        q.admit(ok).unwrap();
+        assert_eq!(q.len(), 1);
     }
 }

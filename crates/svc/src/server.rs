@@ -33,13 +33,15 @@
 //!   receive deadline kept) while `retry_budget` lasts, then fails with
 //!   the degradation reason.
 
-use crate::job::{AdmitError, Backend, JobRequest, JobStatus, Receipt};
+use crate::job::{AdmitError, Backend, JobRequest, JobStatus, Receipt, SpatialJobSpec};
 use crate::queue::{JobQueue, QueuedJob};
 use crate::spool::Spool;
+use cluster::dist::graph::{run_spatial_distributed, SpatialDistConfig};
 use cluster::dist::{run_distributed, DistConfig, DistError};
 use evo_core::fitness::FitnessPolicy;
 use evo_core::population::Population;
 use evo_core::record::{state_digest, Checkpoint, GenerationRecord};
+use evo_core::spatial::{SpatialCheckpoint, SpatialPopulation};
 use serde::Serialize as _;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -209,7 +211,12 @@ impl Server {
                 // Status Queued ⇔ still in the queue: both are updated
                 // under this same lock, so `take` cannot miss.
                 let job = queue.take(id).expect("queued job is in the queue");
-                let generation = job.resume.as_ref().map_or(0, |cp| cp.generation);
+                let generation = job
+                    .resume
+                    .as_ref()
+                    .map(|cp| cp.generation)
+                    .or_else(|| job.resume_spatial.as_ref().map(|cp| cp.generation))
+                    .unwrap_or(0);
                 entry.parked = Some(job);
                 entry.status = JobStatus::Paused { generation };
                 (true, true)
@@ -268,7 +275,9 @@ impl Server {
     }
 
     /// The generation records streamed so far for `id` (shared-memory
-    /// jobs; distributed jobs produce a receipt only).
+    /// jobs stream per generation; spatial distributed jobs deliver the
+    /// rank-0 record fold on completion; well-mixed distributed jobs
+    /// produce a receipt only).
     pub fn records(&self, id: &str) -> Option<Vec<GenerationRecord>> {
         self.inner.lock().jobs.get(id).map(|e| e.records.clone())
     }
@@ -341,10 +350,18 @@ enum Outcome {
     Done { receipt: Receipt },
     /// Honoured a pause request at a generation boundary.
     Paused { checkpoint: Checkpoint },
+    /// A shared spatial job honoured a pause request.
+    PausedSpatial { checkpoint: SpatialCheckpoint },
     /// Distributed run degraded; `resume` is the retry checkpoint
     /// derived via [`cluster::dist::DegradedRun::retry_config`].
     Degraded {
         resume: Option<Checkpoint>,
+        reason: String,
+    },
+    /// Distributed spatial run degraded
+    /// ([`cluster::dist::graph::SpatialDegradedRun::retry_config`]).
+    DegradedSpatial {
+        resume: Option<SpatialCheckpoint>,
         reason: String,
     },
     /// Engine or I/O error — terminal.
@@ -380,9 +397,13 @@ fn worker_loop(inner: &Inner) {
 
 /// Run one attempt of `job` (no lock held during simulation).
 fn execute(inner: &Inner, job: &QueuedJob) -> Outcome {
-    match job.request.backend {
-        Backend::Shared => execute_shared(inner, job),
-        Backend::Distributed { ranks } => execute_distributed(job, ranks),
+    match (&job.request.spatial, job.request.backend) {
+        (None, Backend::Shared) => execute_shared(inner, job),
+        (None, Backend::Distributed { ranks }) => execute_distributed(job, ranks),
+        (Some(spec), Backend::Shared) => execute_spatial_shared(inner, job, spec),
+        (Some(spec), Backend::Distributed { ranks }) => {
+            execute_spatial_distributed(inner, job, spec, ranks)
+        }
     }
 }
 
@@ -441,6 +462,121 @@ fn execute_shared(inner: &Inner, job: &QueuedJob) -> Outcome {
             // rule): elapsed is reported as 0; cost attribution lives in
             // the counter deltas and span timings.
             manifest: pop.manifest(0.0),
+        },
+    }
+}
+
+/// Shared-memory lattice job: the [`SpatialPopulation`] generation loop
+/// with the same pause/stream/checkpoint cadence as [`execute_shared`].
+fn execute_spatial_shared(inner: &Inner, job: &QueuedJob, spec: &SpatialJobSpec) -> Outcome {
+    let baseline = obs::counters().snapshot();
+    let mut pop = match &job.resume_spatial {
+        Some(cp) => match SpatialPopulation::restore(cp.clone()) {
+            Ok(p) => p,
+            Err(e) => return Outcome::Failed { reason: e },
+        },
+        None => SpatialPopulation::new(spec.params.clone(), spec.init.clone()),
+    };
+    let id = &job.request.id;
+    let total = pop.params().generations;
+    let mut chunk: Vec<GenerationRecord> = Vec::new();
+    while pop.generation() < total {
+        if pause_requested(inner, id) {
+            stream_records(inner, id, &mut chunk);
+            return Outcome::PausedSpatial {
+                checkpoint: pop.checkpoint(),
+            };
+        }
+        chunk.push(pop.step());
+        if chunk.len() >= RECORD_FLUSH {
+            stream_records(inner, id, &mut chunk);
+        }
+        if let Some(every) = job.request.checkpoint_every {
+            if every > 0 && pop.generation() % every == 0 {
+                if let Some(sp) = &inner.spool {
+                    let _ = sp.write_spatial_checkpoint(id, &pop.checkpoint());
+                }
+            }
+        }
+    }
+    stream_records(inner, id, &mut chunk);
+    let snap = pop.snapshot();
+    let digest = format!("{:016x}", state_digest(&snap.assignments, &snap.features));
+    let manifest = obs::RunManifest::capture(
+        pop.params().to_value(),
+        pop.params().seed,
+        1,
+        pop.generation(),
+        0.0,
+        &baseline,
+        &[],
+    );
+    Outcome::Done {
+        receipt: Receipt {
+            schema_version: crate::SVC_SCHEMA_VERSION,
+            job_id: id.clone(),
+            seed: pop.params().seed,
+            generations: pop.generation(),
+            retries: job.retries,
+            state_digest: digest,
+            manifest,
+        },
+    }
+}
+
+/// Rank-sharded lattice job ([`cluster::dist::graph`]): runs to
+/// completion or degradation, streaming the rank-0 record fold on
+/// success. Fault and retry semantics mirror [`execute_distributed`].
+fn execute_spatial_distributed(
+    inner: &Inner,
+    job: &QueuedJob,
+    spec: &SpatialJobSpec,
+    ranks: usize,
+) -> Outcome {
+    let mut cfg = SpatialDistConfig::new(spec.params.clone(), spec.init.clone(), ranks);
+    cfg.checkpoint_every = job.request.checkpoint_every;
+    cfg.resume = job.resume_spatial.clone();
+    if job.faults_spent {
+        // Retry attempt: injected schedule already fired, only the
+        // receive deadline survives (retry_config semantics).
+        cfg.faults.recv_timeout_ms = job.request.faults.recv_timeout_ms;
+    } else {
+        cfg.faults = job.request.faults.clone();
+    }
+    let baseline = obs::counters().snapshot();
+    match run_spatial_distributed(&cfg) {
+        Ok(out) => {
+            let digest = format!("{:016x}", state_digest(&out.grid, &out.features));
+            let manifest = obs::RunManifest::capture(
+                spec.params.to_value(),
+                spec.params.seed,
+                ranks,
+                out.stats.generations,
+                0.0,
+                &baseline,
+                &[],
+            );
+            let mut chunk = out.records;
+            stream_records(inner, &job.request.id, &mut chunk);
+            Outcome::Done {
+                receipt: Receipt {
+                    schema_version: crate::SVC_SCHEMA_VERSION,
+                    job_id: job.request.id.clone(),
+                    seed: spec.params.seed,
+                    generations: out.stats.generations,
+                    retries: job.retries,
+                    state_digest: digest,
+                    manifest,
+                },
+            }
+        }
+        Err(DistError::SpatialDegraded(d)) => {
+            let reason = format!("degraded spatial run: {}", d.reason);
+            let resume = d.retry_config(&cfg).and_then(|next| next.resume);
+            Outcome::DegradedSpatial { resume, reason }
+        }
+        Err(e) => Outcome::Failed {
+            reason: e.to_string(),
         },
     }
 }
@@ -536,6 +672,7 @@ fn finish(inner: &Inner, job: QueuedJob, outcome: Outcome) {
         return;
     };
     let mut spool_checkpoint: Option<Checkpoint> = None;
+    let mut spool_spatial_checkpoint: Option<SpatialCheckpoint> = None;
     let mut spool_receipt: Option<Receipt> = None;
     let mut wake_worker = false;
     match outcome {
@@ -557,6 +694,21 @@ fn finish(inner: &Inner, job: QueuedJob, outcome: Outcome) {
             entry.parked = Some(QueuedJob {
                 request: job.request.clone(),
                 resume: Some(checkpoint),
+                resume_spatial: None,
+                retries: job.retries,
+                faults_spent: job.faults_spent,
+            });
+        }
+        Outcome::PausedSpatial { checkpoint } => {
+            entry.pause_requested = false;
+            entry.status = JobStatus::Paused {
+                generation: checkpoint.generation,
+            };
+            spool_spatial_checkpoint = Some(checkpoint.clone());
+            entry.parked = Some(QueuedJob {
+                request: job.request.clone(),
+                resume: None,
+                resume_spatial: Some(checkpoint),
                 retries: job.retries,
                 faults_spent: job.faults_spent,
             });
@@ -570,6 +722,7 @@ fn finish(inner: &Inner, job: QueuedJob, outcome: Outcome) {
                     queue.requeue(QueuedJob {
                         request: job.request.clone(),
                         resume: Some(cp),
+                        resume_spatial: None,
                         retries: job.retries + 1,
                         faults_spent: true,
                     });
@@ -592,6 +745,36 @@ fn finish(inner: &Inner, job: QueuedJob, outcome: Outcome) {
                 }
             }
         }
+        Outcome::DegradedSpatial { resume, reason } => match resume {
+            Some(cp) if job.retries < job.request.retry_budget => {
+                obs::counters().add_job_retried();
+                entry.status = JobStatus::Queued;
+                spool_spatial_checkpoint = Some(cp.clone());
+                queue.requeue(QueuedJob {
+                    request: job.request.clone(),
+                    resume: None,
+                    resume_spatial: Some(cp),
+                    retries: job.retries + 1,
+                    faults_spent: true,
+                });
+                wake_worker = true;
+            }
+            Some(_) => {
+                entry.status = JobStatus::Failed {
+                    reason: format!(
+                        "{reason}; retry budget exhausted ({} allowed)",
+                        job.request.retry_budget
+                    ),
+                    retries: job.retries,
+                };
+            }
+            None => {
+                entry.status = JobStatus::Failed {
+                    reason: format!("{reason}; no checkpoint to retry from"),
+                    retries: job.retries,
+                };
+            }
+        },
         Outcome::Failed { reason } => {
             entry.status = JobStatus::Failed {
                 reason,
@@ -604,6 +787,11 @@ fn finish(inner: &Inner, job: QueuedJob, outcome: Outcome) {
     if let Some(cp) = &spool_checkpoint {
         if let Some(sp) = &inner.spool {
             let _ = sp.write_checkpoint(&id, cp);
+        }
+    }
+    if let Some(cp) = &spool_spatial_checkpoint {
+        if let Some(sp) = &inner.spool {
+            let _ = sp.write_spatial_checkpoint(&id, cp);
         }
     }
     if let Some(receipt) = &spool_receipt {
@@ -680,6 +868,162 @@ mod tests {
 
     fn state_digest_direct(pop: &Population) -> u64 {
         state_digest(&pop.assignments(), &pop.snapshot().features)
+    }
+
+    fn spatial_params(seed: u64, generations: u64) -> evo_core::spatial::SpatialParams {
+        evo_core::spatial::SpatialParams {
+            width: 12,
+            height: 12,
+            generations,
+            seed,
+            ..evo_core::spatial::SpatialParams::default()
+        }
+    }
+
+    fn spatial_direct_digest(params: &evo_core::spatial::SpatialParams) -> String {
+        let mut pop = SpatialPopulation::new(
+            params.clone(),
+            evo_core::spatial::InitPattern::SingleDefector,
+        );
+        while pop.generation() < params.generations {
+            pop.step();
+        }
+        let snap = pop.snapshot();
+        format!("{:016x}", state_digest(&snap.assignments, &snap.features))
+    }
+
+    #[test]
+    fn spatial_shared_receipt_matches_direct_lattice_run() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+        });
+        let p = spatial_params(7, 30);
+        server
+            .submit(JobRequest::new_spatial(
+                "sp-shared",
+                p.clone(),
+                evo_core::spatial::InitPattern::SingleDefector,
+            ))
+            .unwrap();
+        let status = server.wait("sp-shared").unwrap();
+        let JobStatus::Completed { state_digest: digest, retries } = status else {
+            panic!("expected completion, got {status:?}");
+        };
+        assert_eq!(retries, 0);
+        assert_eq!(digest, spatial_direct_digest(&p));
+        let receipt = server.receipt("sp-shared").unwrap();
+        assert_eq!(receipt.generations, 30);
+        assert_eq!(receipt.seed, 7);
+        assert_eq!(receipt.manifest.elapsed_seconds, 0.0, "svc reads no clock");
+        assert_eq!(server.records("sp-shared").unwrap().len(), 30);
+        server.shutdown();
+    }
+
+    #[test]
+    fn spatial_distributed_receipt_digest_matches_shared_backend() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+        });
+        let p = spatial_params(9, 24);
+        let mut req = JobRequest::new_spatial(
+            "sp-dist",
+            p.clone(),
+            evo_core::spatial::InitPattern::SingleDefector,
+        );
+        req.backend = Backend::Distributed { ranks: 3 };
+        server.submit(req).unwrap();
+        let status = server.wait("sp-dist").unwrap();
+        let JobStatus::Completed { state_digest: digest, retries } = status else {
+            panic!("expected completion, got {status:?}");
+        };
+        assert_eq!(retries, 0);
+        assert_eq!(
+            digest,
+            spatial_direct_digest(&p),
+            "rank-sharded lattice run is bit-identical to the shared one"
+        );
+        assert_eq!(
+            server.records("sp-dist").unwrap().len(),
+            24,
+            "spatial distributed jobs deliver the rank-0 record fold"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn spatial_degraded_run_retries_to_the_clean_digest() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+        });
+        let p = spatial_params(13, 24);
+        let mut req = JobRequest::new_spatial(
+            "sp-retry",
+            p.clone(),
+            evo_core::spatial::InitPattern::SingleDefector,
+        );
+        req.backend = Backend::Distributed { ranks: 3 };
+        req.retry_budget = 1;
+        req.faults.kills = vec![cluster::faults::RankKill {
+            rank: 2,
+            generation: 10,
+        }];
+        server.submit(req).unwrap();
+        let status = server.wait("sp-retry").unwrap();
+        let JobStatus::Completed { state_digest: digest, retries } = status else {
+            panic!("expected completion after retry, got {status:?}");
+        };
+        assert_eq!(retries, 1, "one degraded attempt, one clean retry");
+        assert_eq!(
+            digest,
+            spatial_direct_digest(&p),
+            "retry from the degraded checkpoint lands on the uninterrupted digest"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn spatial_pause_resume_completes_bit_identical() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+        });
+        let p = spatial_params(21, 200);
+        server
+            .submit(JobRequest::new_spatial(
+                "sp-pause",
+                p.clone(),
+                evo_core::spatial::InitPattern::SingleDefector,
+            ))
+            .unwrap();
+        // Let the worker pick it up, then ask for a pause. Whether the
+        // pause lands mid-run or the job races to completion first, the
+        // final digest must be the uninterrupted one.
+        while matches!(server.status("sp-pause"), Some(JobStatus::Queued)) {
+            std::thread::yield_now();
+        }
+        server.pause("sp-pause");
+        match server.wait("sp-pause").unwrap() {
+            JobStatus::Paused { generation } => {
+                assert!(generation <= 200);
+                assert!(server.resume("sp-pause"), "paused job resumes");
+            }
+            JobStatus::Completed { .. } => {}
+            other => panic!("unexpected status {other:?}"),
+        }
+        let status = server.wait("sp-pause").unwrap();
+        let JobStatus::Completed { state_digest: digest, .. } = status else {
+            panic!("expected completion, got {status:?}");
+        };
+        assert_eq!(digest, spatial_direct_digest(&p));
+        assert_eq!(
+            server.records("sp-pause").unwrap().len(),
+            200,
+            "records stream exactly once across the pause"
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use crate::job::{JobStatus, Receipt};
 use evo_core::record::{read_generations, Checkpoint, GenerationRecord};
+use evo_core::spatial::SpatialCheckpoint;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -125,6 +126,24 @@ impl Spool {
 
     /// Read `id`'s latest checkpoint, if one was spooled.
     pub fn read_checkpoint(&self, id: &str) -> std::io::Result<Checkpoint> {
+        let text = std::fs::read_to_string(self.job_dir(id).join("checkpoint.json"))?;
+        serde_json::from_str(&text).map_err(to_io)
+    }
+
+    /// Rewrite `id`'s latest `checkpoint.json` for a lattice job (same
+    /// schema as `evogame-cli spatial --checkpoint-out`). Spatial and
+    /// well-mixed checkpoints share the filename — a job only ever
+    /// produces one kind.
+    pub fn write_spatial_checkpoint(&self, id: &str, cp: &SpatialCheckpoint) -> std::io::Result<()> {
+        let dir = self.ensure_dir(id)?;
+        let json = serde_json::to_string(cp).map_err(to_io)?;
+        std::fs::write(dir.join("checkpoint.json"), json)?;
+        obs::counters().add_checkpoint_written();
+        Ok(())
+    }
+
+    /// Read `id`'s latest spatial checkpoint, if one was spooled.
+    pub fn read_spatial_checkpoint(&self, id: &str) -> std::io::Result<SpatialCheckpoint> {
         let text = std::fs::read_to_string(self.job_dir(id).join("checkpoint.json"))?;
         serde_json::from_str(&text).map_err(to_io)
     }

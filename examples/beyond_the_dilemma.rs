@@ -12,6 +12,7 @@
 use evogame::engine::replicator::{payoff_matrix, Replicator};
 use evogame::engine::spatial::{InitPattern, SpatialParams, SpatialPopulation};
 use evogame::ipd::classic;
+use evogame::ipd::payoff::GameClass;
 use evogame::prelude::*;
 
 fn one_shot(payoff: PayoffMatrix) -> GameConfig {
@@ -72,6 +73,24 @@ fn main() {
             rep * 100.0,
             lat * 100.0
         );
+        match class {
+            GameClass::PrisonersDilemma => {
+                assert!(rep < 0.01 && lat < 0.01, "{name}: defection sweeps (got {rep:.2}/{lat:.2})");
+            }
+            GameClass::Snowdrift => {
+                // Analytic interior fixed point for (b=4, c=2) is 2/3.
+                assert!((rep - 2.0 / 3.0).abs() < 0.02, "{name}: replicator interior mix (got {rep:.2})");
+                assert!(lat > 0.1 && lat < 1.0, "{name}: lattice stays mixed (got {lat:.2})");
+            }
+            GameClass::StagHunt => {
+                assert!((rep - 0.5).abs() < 0.02, "{name}: 50/50 is the basin boundary (got {rep:.2})");
+                assert!(lat > 0.99, "{name}: clustering tips the lattice to all-stag (got {lat:.2})");
+            }
+            GameClass::Harmony => {
+                assert!(rep > 0.99 && lat > 0.99, "{name}: cooperation dominates (got {rep:.2}/{lat:.2})");
+            }
+            other => panic!("{name}: unexpected classification {other:?}"),
+        }
     }
     println!();
     println!("Textbook checks:");
@@ -99,4 +118,10 @@ fn main() {
          (the paper's §III-B).",
         x[1] * 100.0
     );
+    assert!(
+        x[1] > 0.99,
+        "direct reciprocity fixes TFT in the repeated PD (got {:.2})",
+        x[1]
+    );
+    println!("\nAll end-state checks passed.");
 }

@@ -25,6 +25,7 @@ fn nowak_may(b: f64) -> GameConfig {
 fn main() {
     // 1. A single defector: inert below b = 1.8, an expanding domain above
     //    (the growth front advances two cells per generation).
+    let mut single = Vec::new();
     for b in [1.75f64, 1.9] {
         let mut pop = SpatialPopulation::new(
             SpatialParams {
@@ -40,7 +41,19 @@ fn main() {
             "Single defector, b = {b}: cooperators {:.0}% after 6 generations",
             pop.cooperator_fraction() * 100.0
         );
+        single.push(pop.cooperator_fraction());
     }
+    assert!(
+        single[0] > 0.95,
+        "below the window the defector stays near-inert (got {:.2})",
+        single[0]
+    );
+    assert!(
+        single[1] < single[0] - 0.1,
+        "above b = 1.8 the defector domain expands (got {:.2} vs {:.2})",
+        single[1],
+        single[0]
+    );
 
     // 2. Coexistence maze: random start in the 1.8 < b < 2 window.
     let mut maze = SpatialPopulation::new(
@@ -60,10 +73,16 @@ fn main() {
         maze.cooperator_fraction() * 100.0,
         maze.render()
     );
+    assert!(
+        maze.cooperator_fraction() > 0.5 && maze.cooperator_fraction() < 1.0,
+        "the 1.8 < b < 2 window sustains coexistence, not fixation (got {:.2})",
+        maze.cooperator_fraction()
+    );
 
     // 3. Temptation sweep: where does cooperation survive?
     println!("Cooperator fraction after 80 generations, random 30% defector start (25x25):");
     println!("{:>6}  {:>12}", "b", "cooperators");
+    let mut sweep = Vec::new();
     for &b in &[1.1, 1.35, 1.55, 1.7, 1.85, 1.95, 2.05, 2.3] {
         let mut grid = SpatialPopulation::new(
             SpatialParams {
@@ -77,6 +96,14 @@ fn main() {
         );
         grid.run(80);
         println!("{b:>6.2}  {:>11.0}%", grid.cooperator_fraction() * 100.0);
+        sweep.push((b, grid.cooperator_fraction()));
+    }
+    for (b, frac) in &sweep {
+        if *b < 2.0 {
+            assert!(*frac > 0.3, "cooperation survives at b = {b} (got {frac:.2})");
+        } else {
+            assert!(*frac < 0.01, "cooperation collapses at b = {b} (got {frac:.2})");
+        }
     }
     println!(
         "\nCooperation collapses as b crosses ~2 (a defector facing 4+self\n\
@@ -103,4 +130,10 @@ fn main() {
         start * 100.0,
         fermi.cooperator_fraction() * 100.0
     );
+    assert!(
+        fermi.cooperator_fraction() > 0.05 && fermi.cooperator_fraction() < 0.95,
+        "stochastic imitation keeps both strategies alive at b = 1.3 (got {:.2})",
+        fermi.cooperator_fraction()
+    );
+    println!("\nAll end-state checks passed.");
 }

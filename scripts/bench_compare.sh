@@ -16,10 +16,11 @@ THRESHOLD="${1:-10}"
 OUT="$REPO/target/bench-current"
 mkdir -p "$OUT"
 
-for suite in generation kernel; do
+for suite in generation kernel spatial; do
     case "$suite" in
         generation) bench=generation ;;
         kernel)     bench=game_kernel ;;
+        spatial)    bench=spatial ;;
     esac
     echo "== bench: $bench =="
     cargo bench -p bench --bench "$bench" -- --save-json "$OUT/BENCH_$suite.json"

@@ -96,6 +96,44 @@ for rank in 1 2 3; do
 done
 echo "fault matrix: 9/9 degraded cleanly and resumed bit-identically"
 
+echo "== structured populations: spatial smoke — shared vs rank-sharded bit-identity =="
+# The graph-scope contract (docs/GRAPH.md): a lattice run must produce the
+# same state digest and byte-identical record stream on the shared backend
+# and on the row-sharded distributed backend at any rank count, and a rank
+# kill must degrade to exit 3 with a checkpoint that resumes onto the
+# clean digest.
+SP_DIR="target/verify-spatial"
+mkdir -p "$SP_DIR"
+SP_ARGS="--width 12 --height 12 --generations 40 --seed 11 --update fermi --beta 0.8"
+$CLI spatial $SP_ARGS --records "$SP_DIR/shared.jsonl" 2> "$SP_DIR/shared.err"
+SP_DIGEST=$(grep "state digest" "$SP_DIR/shared.err")
+[ -n "$SP_DIGEST" ] || { echo "verify: FAIL — no spatial state digest" >&2; exit 1; }
+for ranks in 2 4; do
+    $CLI spatial $SP_ARGS --ranks "$ranks" --records "$SP_DIR/dist$ranks.jsonl" \
+        2> "$SP_DIR/dist$ranks.err"
+    D=$(grep "state digest" "$SP_DIR/dist$ranks.err")
+    if [ "$D" != "$SP_DIGEST" ]; then
+        echo "verify: FAIL — spatial digest diverged at $ranks ranks" >&2
+        printf 'shared: %s\n%s ranks: %s\n' "$SP_DIGEST" "$ranks" "$D" >&2
+        exit 1
+    fi
+    cmp -s "$SP_DIR/shared.jsonl" "$SP_DIR/dist$ranks.jsonl" \
+        || { echo "verify: FAIL — spatial record stream diverged at $ranks ranks" >&2; exit 1; }
+done
+rc=0
+$CLI spatial $SP_ARGS --ranks 3 --kill-rank 1 --kill-at 20 --recv-timeout-ms 2000 \
+    --checkpoint-out "$SP_DIR/kill.json" 2> "$SP_DIR/kill.err" || rc=$?
+[ "$rc" -eq 3 ] || { echo "verify: FAIL — spatial kill: exit $rc, want 3 (degraded)" >&2; exit 1; }
+[ -s "$SP_DIR/kill.json" ] || { echo "verify: FAIL — spatial kill left no checkpoint" >&2; exit 1; }
+$CLI spatial --ranks 3 --resume "$SP_DIR/kill.json" 2> "$SP_DIR/resume.err"
+SP_RESUMED=$(grep "state digest" "$SP_DIR/resume.err")
+if [ "$SP_RESUMED" != "$SP_DIGEST" ]; then
+    echo "verify: FAIL — spatial resume digest differs from clean run" >&2
+    printf 'clean:   %s\nresumed: %s\n' "$SP_DIGEST" "$SP_RESUMED" >&2
+    exit 1
+fi
+echo "spatial smoke: shared == 2/4 ranks byte-for-byte, kill degraded and resumed bit-identically"
+
 echo "== service: serve smoke — deterministic receipts + degraded auto-retry =="
 # A three-job batch through the in-process job server (docs/SERVICE.md):
 # the same run as the fault matrix above on the shared backend, on the
@@ -109,16 +147,19 @@ SV_DIR="target/verify-serve"
 rm -rf "$SV_DIR"
 mkdir -p "$SV_DIR"
 SV_PARAMS='{"mem_steps":1,"num_ssets":12,"agents_per_sset":0,"game":{"rounds":200,"noise":0.0,"payoff":{"reward":3.0,"sucker":0.0,"temptation":4.0,"punishment":1.0}},"pc_rate":0.25,"mutation_rate":0.05,"beta":1.0,"kind":"Pure","teacher_must_be_fitter":true,"rule":"PairwiseComparison","mutation_kind":"Fresh","generations":60,"seed":7}'
+SP_SPEC='{"params":{"width":12,"height":12,"mem_steps":0,"game":{"rounds":1,"noise":0.0,"payoff":{"reward":1.0,"sucker":0.0,"temptation":1.85,"punishment":0.0}},"neighborhood":"Moore8","update":"BestNeighbor","include_self":true,"generations":40,"seed":11},"init":"SingleDefector"}'
 {
     echo "{\"id\":\"clean-shared\",\"params\":$SV_PARAMS}"
     echo "{\"id\":\"clean-dist\",\"params\":$SV_PARAMS,\"backend\":{\"Distributed\":{\"ranks\":4}}}"
     echo "{\"id\":\"faulty-dist\",\"params\":$SV_PARAMS,\"backend\":{\"Distributed\":{\"ranks\":4}},\"retry_budget\":2,\"faults\":{\"kills\":[{\"rank\":2,\"generation\":30}],\"recv_timeout_ms\":200}}"
+    echo "{\"id\":\"spatial-shared\",\"spatial\":$SP_SPEC}"
+    echo "{\"id\":\"spatial-dist\",\"spatial\":$SP_SPEC,\"backend\":{\"Distributed\":{\"ranks\":3}}}"
 } > "$SV_DIR/jobs.jsonl"
 for n in 1 2; do
     $CLI serve --spool "$SV_DIR/spool$n" --requests "$SV_DIR/jobs.jsonl" \
         > "$SV_DIR/out$n" 2> "$SV_DIR/err$n"
 done
-for id in clean-shared clean-dist faulty-dist; do
+for id in clean-shared clean-dist faulty-dist spatial-shared spatial-dist; do
     [ -s "$SV_DIR/spool1/$id/receipt.json" ] \
         || { echo "verify: FAIL — serve left no receipt for $id" >&2; exit 1; }
 done
@@ -127,18 +168,29 @@ if ! cmp -s "$SV_DIR/out1" "$SV_DIR/out2"; then
     diff "$SV_DIR/out1" "$SV_DIR/out2" >&2 || true
     exit 1
 fi
-SV_D1=$(grep -h '"state_digest"' "$SV_DIR"/spool1/*/receipt.json | sort -u)
-SV_D2=$(grep -h '"state_digest"' "$SV_DIR"/spool2/*/receipt.json | sort -u)
+# The three well-mixed jobs run the same trajectory — one digest among
+# them; the two spatial jobs run theirs — one digest among those too.
+SV_D1=$(for id in clean-shared clean-dist faulty-dist; do
+    grep -h '"state_digest"' "$SV_DIR/spool1/$id/receipt.json"; done | sort -u)
+SV_D2=$(for id in clean-shared clean-dist faulty-dist; do
+    grep -h '"state_digest"' "$SV_DIR/spool2/$id/receipt.json"; done | sort -u)
 if [ "$SV_D1" != "$SV_D2" ] || [ "$(printf '%s\n' "$SV_D1" | wc -l)" -ne 1 ]; then
     echo "verify: FAIL — receipt digests differ across jobs or resubmissions" >&2
     printf 'spool1:\n%s\nspool2:\n%s\n' "$SV_D1" "$SV_D2" >&2
+    exit 1
+fi
+SP_SV=$(for n in 1 2; do for id in spatial-shared spatial-dist; do
+    grep -h '"state_digest"' "$SV_DIR/spool$n/$id/receipt.json"; done; done | sort -u)
+if [ "$(printf '%s\n' "$SP_SV" | wc -l)" -ne 1 ]; then
+    echo "verify: FAIL — spatial receipt digests differ across backends or resubmissions" >&2
+    printf '%s\n' "$SP_SV" >&2
     exit 1
 fi
 grep -q "faulty-dist: completed" "$SV_DIR/out1" \
     || { echo "verify: FAIL — injected-fault job did not complete" >&2; exit 1; }
 grep -q "retried 1" "$SV_DIR/err1" \
     || { echo "verify: FAIL — retry counter does not show the auto-resume" >&2; exit 1; }
-echo "serve smoke: 3/3 receipts, one auto-retry, resubmission bit-identical"
+echo "serve smoke: 5/5 receipts, one auto-retry, spatial backends agree, resubmission bit-identical"
 
 if [ "${VERIFY_BENCH:-0}" = "1" ]; then
     echo "== perf: committed baseline regression gate (opt-in) =="

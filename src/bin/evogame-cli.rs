@@ -13,6 +13,10 @@
 //!                         [--rule pc|moran|best] [--every-generation]
 //!                         [--manifest-out run.json]
 //!                         [--kill-rank R --kill-at G] [--recv-timeout-ms MS]
+//! evogame-cli spatial     --width 32 --height 32 --generations 100
+//!                         [--temptation 1.85] [--update best|fermi]
+//!                         [--neighborhood moore8|vn4] [--init single|random:P]
+//!                         [--ranks N] [--records F.jsonl] [...]
 //! evogame-cli serve       --spool DIR [--requests FILE.jsonl]
 //!                         [--workers N] [--queue-depth N]
 //! ```
@@ -451,6 +455,296 @@ fn cmd_distributed(args: &Args) -> Result<ExitCode, String> {
     }
 }
 
+/// Spatial lattice parameters from flags (docs/GRAPH.md). The payoff
+/// matrix is the weak dilemma of the spatial-games literature: R = 1,
+/// S = P = 0, T = `--temptation` (default 1.85).
+fn build_spatial_params(args: &Args) -> Result<SpatialParams, String> {
+    let mut p = SpatialParams {
+        width: args.parse("--width", 32usize)?,
+        height: args.parse("--height", 32usize)?,
+        mem_steps: args.parse("--mem", 0usize)?,
+        generations: args.parse("--generations", 100u64)?,
+        seed: args.parse("--seed", 0u64)?,
+        ..SpatialParams::default()
+    };
+    p.game.rounds = args.parse("--rounds", 1u32)?;
+    p.game.noise = args.parse("--noise", 0.0f64)?;
+    let b = args.parse("--temptation", 1.85f64)?;
+    p.game.payoff = evogame::ipd::payoff::PayoffMatrix::from_rstp(1.0, 0.0, b, 0.0);
+    p.update = match args.value("--update").unwrap_or("best") {
+        "best" => SpatialUpdate::BestNeighbor,
+        "fermi" => SpatialUpdate::Fermi {
+            beta: args.parse("--beta", 1.0f64)?,
+        },
+        other => return Err(format!("unknown update {other:?} (best|fermi)")),
+    };
+    p.neighborhood = match args.value("--neighborhood").unwrap_or("moore8") {
+        "moore8" => Neighborhood::Moore8,
+        "vn4" => Neighborhood::VonNeumann4,
+        other => return Err(format!("unknown neighborhood {other:?} (moore8|vn4)")),
+    };
+    if args.flag("--no-self") {
+        p.include_self = false;
+    }
+    p.validate()?;
+    Ok(p)
+}
+
+/// `--init single` (lone central defector, the paper-classic seeding) or
+/// `--init random:P` (each cell defects with probability P).
+fn parse_init(args: &Args) -> Result<InitPattern, String> {
+    match args.value("--init").unwrap_or("single") {
+        "single" => Ok(InitPattern::SingleDefector),
+        s => match s.strip_prefix("random:") {
+            Some(p) => Ok(InitPattern::RandomDefectors(
+                p.parse()
+                    .map_err(|_| format!("invalid probability {p:?} in --init"))?,
+            )),
+            None => Err(format!("unknown init {s:?} (single|random:P)")),
+        },
+    }
+}
+
+/// Write a restartable spatial checkpoint as JSON to `path`.
+fn write_spatial_checkpoint(path: &str, cp: &SpatialCheckpoint) -> Result<(), String> {
+    let json = serde_json::to_string(cp).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    evogame::obs::counters().add_checkpoint_written();
+    eprintln!("wrote checkpoint (generation {}) to {path}", cp.generation);
+    Ok(())
+}
+
+/// Read a checkpoint previously written by [`write_spatial_checkpoint`].
+fn read_spatial_checkpoint(path: &str) -> Result<SpatialCheckpoint, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: not a spatial checkpoint: {e}"))
+}
+
+/// `spatial`: games on a lattice (docs/GRAPH.md). Without `--ranks` the
+/// shared-memory [`SpatialPopulation`] runs; with `--ranks N` the same
+/// trajectory runs rank-sharded over contiguous row partitions — bit for
+/// bit the same records, grid, and state digest.
+fn cmd_spatial(args: &Args) -> Result<ExitCode, String> {
+    let manifest_out = args.value("--manifest-out").map(str::to_string);
+    if manifest_out.is_some() {
+        evogame::obs::set_enabled(true);
+    }
+    let checkpoint_out = args.value("--checkpoint-out").map(str::to_string);
+    if args.value("--checkpoint-every").is_some() && checkpoint_out.is_none() {
+        return Err("--checkpoint-every needs --checkpoint-out FILE".into());
+    }
+    let checkpoint_every: Option<u64> = match args.value("--checkpoint-every") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid value {v:?} for --checkpoint-every"))?,
+        ),
+        None => None,
+    };
+    let resume: Option<SpatialCheckpoint> = match args.value("--resume") {
+        Some(path) => Some(read_spatial_checkpoint(path)?),
+        None => None,
+    };
+    // The checkpoint's params drive a resumed run (same contract as the
+    // other subcommands); parameter flags are ignored.
+    let (params, init) = match &resume {
+        Some(cp) => (cp.params.clone(), InitPattern::SingleDefector),
+        None => {
+            let p = build_spatial_params(args)?;
+            let init = parse_init(args)?;
+            init.validate(&p)?;
+            (p, init)
+        }
+    };
+    let baseline = evogame::obs::counters().snapshot();
+    let params_value = {
+        use serde::Serialize;
+        params.to_value()
+    };
+    let (seed, generations) = (params.seed, params.generations);
+    let mut writer = match args.value("--records") {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            Some((
+                path.to_string(),
+                evogame::engine::record::RecordWriter::new(file),
+            ))
+        }
+        None => None,
+    };
+    let t0 = std::time::Instant::now();
+
+    if let Some(ranks) = args.value("--ranks") {
+        // Distributed: rank 0 coordinates, ranks 1.. own row blocks.
+        let ranks: usize = ranks
+            .parse()
+            .map_err(|_| format!("invalid value {ranks:?} for --ranks"))?;
+        let mut cfg = SpatialDistConfig::new(params, init, ranks);
+        cfg.resume = resume;
+        cfg.checkpoint_every = match checkpoint_every {
+            Some(n) => Some(n),
+            // `--checkpoint-out` alone still wants the final state.
+            None => checkpoint_out.as_ref().map(|_| generations),
+        };
+        if let Some(r) = args.value("--kill-rank") {
+            let rank: usize = r
+                .parse()
+                .map_err(|_| format!("invalid value {r:?} for --kill-rank"))?;
+            let generation = args.parse("--kill-at", 0u64)?;
+            cfg.faults.kills.push(RankKill { rank, generation });
+        }
+        if let Some(ms) = args.value("--recv-timeout-ms") {
+            cfg.faults.recv_timeout_ms = Some(
+                ms.parse()
+                    .map_err(|_| format!("invalid value {ms:?} for --recv-timeout-ms"))?,
+            );
+        }
+        if args.flag("--no-payoff-cache") {
+            cfg.disable_payoff_cache = true;
+        }
+        return match run_spatial_distributed(&cfg) {
+            Ok(out) => {
+                if let Some((_, w)) = &mut writer {
+                    for rec in &out.records {
+                        w.write_generation(rec)
+                            .map_err(|e| format!("writing records: {e}"))?;
+                    }
+                }
+                if let Some((path, w)) = writer {
+                    let lines = w.lines();
+                    w.finish().map_err(|e| format!("flushing records: {e}"))?;
+                    eprintln!("wrote {lines} generation records to {path}");
+                }
+                let cells = out.grid.len();
+                let coop = out
+                    .features
+                    .iter()
+                    .filter(|f| f.iter().all(|&p| p == 1.0))
+                    .count();
+                println!(
+                    "spatial run on {ranks} ranks: {} generations in {:.2}s",
+                    out.stats.generations,
+                    t0.elapsed().as_secs_f64()
+                );
+                println!(
+                    "cooperators {coop}/{cells} | adoptions {} | games {} | messages {}",
+                    out.stats.adoptions, out.stats.games_played, out.messages_sent
+                );
+                eprintln!(
+                    "state digest: {:016x}",
+                    state_digest(&out.grid, &out.features)
+                );
+                if let (Some(path), Some(cp)) = (checkpoint_out.as_deref(), &out.checkpoint) {
+                    write_spatial_checkpoint(path, cp)?;
+                }
+                if let Some(path) = manifest_out {
+                    let manifest = evogame::obs::RunManifest::capture(
+                        params_value,
+                        seed,
+                        ranks,
+                        generations,
+                        t0.elapsed().as_secs_f64(),
+                        &baseline,
+                        &[],
+                    );
+                    write_manifest(&path, &manifest)?;
+                }
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(DistError::SpatialDegraded(d)) => {
+                eprintln!(
+                    "spatial run degraded after {} generations (dead ranks {:?}): {}",
+                    d.completed_generations, d.dead_ranks, d.reason
+                );
+                match (checkpoint_out.as_deref(), &d.checkpoint) {
+                    (Some(path), Some(cp)) => {
+                        write_spatial_checkpoint(path, cp)?;
+                        eprintln!("restart with: evogame-cli spatial --resume {path}");
+                    }
+                    (None, Some(_)) => {
+                        eprintln!(
+                            "hint: add --checkpoint-out FILE to save the restart checkpoint"
+                        );
+                    }
+                    _ => {}
+                }
+                Ok(ExitCode::from(3))
+            }
+            Err(e) => Err(e.to_string()),
+        };
+    }
+
+    // Shared-memory backend.
+    let mut pop = match resume {
+        Some(cp) => SpatialPopulation::restore(cp)?,
+        None => SpatialPopulation::new(params, init),
+    };
+    if args.flag("--no-payoff-cache") {
+        pop.use_payoff_cache = false;
+    }
+    let start = pop.generation();
+    let every = args.parse("--sample-every", ((generations - start) / 10).max(1))?;
+    println!("generation,cooperator_fraction,mean_fitness,distinct");
+    let emit = |pop: &SpatialPopulation, mean: f64| {
+        println!(
+            "{},{:.6},{mean:.6},{}",
+            pop.generation(),
+            pop.cooperator_fraction(),
+            pop.snapshot().distinct_strategies()
+        );
+    };
+    for g in start..generations {
+        let rec = pop.step();
+        if let Some((_, w)) = &mut writer {
+            w.write_generation(&rec)
+                .map_err(|e| format!("writing records: {e}"))?;
+        }
+        if (g + 1 - start) % every == 0 || g + 1 == generations {
+            emit(&pop, rec.mean_fitness.unwrap_or(f64::NAN));
+        }
+        if let (Some(n), Some(path)) = (checkpoint_every, checkpoint_out.as_deref()) {
+            if n > 0 && (g + 1) % n == 0 {
+                write_spatial_checkpoint(path, &pop.checkpoint())?;
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    if let Some((path, w)) = writer {
+        let lines = w.lines();
+        w.finish().map_err(|e| format!("flushing records: {e}"))?;
+        eprintln!("wrote {lines} generation records to {path}");
+    }
+    let stats = pop.stats();
+    eprintln!(
+        "\n{} generations in {elapsed:.2}s | adoptions {} | games {}",
+        stats.generations, stats.adoptions, stats.games_played
+    );
+    let snap = pop.snapshot();
+    eprintln!(
+        "state digest: {:016x}",
+        state_digest(&snap.assignments, &snap.features)
+    );
+    if args.flag("--render") {
+        eprintln!("\nfinal grid (C = cooperate, D = defect):");
+        eprint!("{}", pop.render());
+    }
+    if let Some(path) = checkpoint_out.as_deref() {
+        write_spatial_checkpoint(path, &pop.checkpoint())?;
+    }
+    if let Some(path) = manifest_out {
+        let manifest = evogame::obs::RunManifest::capture(
+            params_value,
+            seed,
+            1,
+            generations,
+            elapsed,
+            &baseline,
+            &[],
+        );
+        write_manifest(&path, &manifest)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// `serve`: the simulation-as-a-service front end (docs/SERVICE.md).
 ///
 /// Reads line-delimited JSON [`JobRequest`]s from `--requests FILE` or
@@ -574,12 +868,15 @@ fn cmd_classify(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: evogame-cli <run|tournament|predict|distributed|serve|classify> [flags]
+const USAGE: &str = "usage: evogame-cli <run|tournament|predict|distributed|spatial|serve|classify> [flags]
   run          evolve a population, print the sampled trajectory as CSV
   tournament   Axelrod round robin over the classic roster
   predict      Blue Gene-scale runtime/efficiency from the perf model
   distributed  run the virtual-cluster engine (any --rule; same trajectory
                as `run`, bit for bit — docs/ENGINE_CORE.md)
+  spatial      games on a lattice, shared-memory or (--ranks N) rank-sharded
+               over row partitions — same trajectory bit for bit
+               (docs/GRAPH.md)
   serve        job server: line-delimited JSON job requests from stdin or
                --requests FILE, receipts spooled per job (docs/SERVICE.md)
   classify     name a strategy given its compact code (e.g. 'classify m1:6')
@@ -602,7 +899,18 @@ checkpointing (both `run` and `distributed` — docs/FAULT_TOLERANCE.md):
                --checkpoint-every N        refresh it every N generations
                --resume FILE.json          continue a checkpointed run
                                            (bit-identical to never stopping)
-fault injection (`distributed` only; exit code 3 = clean degraded run):
+spatial flags (docs/GRAPH.md; checkpointing and fault injection as below):
+               --width W --height H        torus size (default 32x32)
+               --temptation B              T of the weak dilemma (1.85)
+               --update best|fermi --beta B  update rule (best)
+               --neighborhood moore8|vn4   interaction graph (moore8)
+               --no-self                   exclude own payoff from 'best'
+               --init single|random:P      seeding (single central defector)
+               --mem M --rounds N --noise E  iterated-game knobs
+               --ranks N                   run rank-sharded (row partitions)
+               --render                    ASCII grid to stderr at the end
+fault injection (`distributed` and `spatial --ranks`; exit 3 = clean
+degraded run):
                --kill-rank R --kill-at G   kill rank R at generation G
                --recv-timeout-ms MS        receive deadline for survivors
 serve flags (docs/SERVICE.md; exit code 4 = some job failed/rejected):
@@ -625,6 +933,7 @@ fn main() -> ExitCode {
         "tournament" => cmd_tournament(&args).map(|()| ExitCode::SUCCESS),
         "predict" => cmd_predict(&args).map(|()| ExitCode::SUCCESS),
         "distributed" => cmd_distributed(&args),
+        "spatial" => cmd_spatial(&args),
         "serve" => cmd_serve(&args),
         "classify" => cmd_classify(&args).map(|()| ExitCode::SUCCESS),
         "-h" | "--help" | "help" => {

@@ -121,6 +121,54 @@ fn trajectories_are_bit_identical_across_thread_counts() {
             );
         }
     }
+
+    // Structured populations ride the same contract: the lattice play and
+    // decide phases are rayon-parallel over per-cell `Domain::Graph`
+    // streams (docs/GRAPH.md), so the spatial record stream, final grid,
+    // stats, and state digest must be just as thread-count invariant.
+    let spatial_run = |threads: &str, update: SpatialUpdate| {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let params = SpatialParams {
+            width: 16,
+            height: 16,
+            generations: 25,
+            seed: 0x5A71A1,
+            update,
+            ..SpatialParams::default()
+        };
+        let mut pop = SpatialPopulation::new(params.clone(), InitPattern::SingleDefector);
+        let records: Vec<String> = (0..params.generations)
+            .map(|_| serde_json::to_string(&pop.step()).unwrap())
+            .collect();
+        let snap = pop.snapshot();
+        let digest = evogame::engine::record::state_digest(&snap.assignments, &snap.features);
+        (records, pop.grid().to_vec(), *pop.stats(), digest)
+    };
+    for (u, update) in [SpatialUpdate::BestNeighbor, SpatialUpdate::Fermi { beta: 0.5 }]
+        .into_iter()
+        .enumerate()
+    {
+        let baseline = spatial_run("1", update);
+        for threads in ["2", "8"] {
+            let got = spatial_run(threads, update);
+            assert_eq!(
+                baseline.0, got.0,
+                "spatial update {u}: record stream diverged at {threads} threads"
+            );
+            assert_eq!(
+                baseline.1, got.1,
+                "spatial update {u}: final grid diverged at {threads} threads"
+            );
+            assert_eq!(
+                baseline.2, got.2,
+                "spatial update {u}: RunStats diverged at {threads} threads"
+            );
+            assert_eq!(
+                baseline.3, got.3,
+                "spatial update {u}: state digest diverged at {threads} threads"
+            );
+        }
+    }
     std::env::remove_var("RAYON_NUM_THREADS");
 }
 

@@ -262,6 +262,98 @@ fn checkpoints_cross_backends_bit_identically() {
 }
 
 #[test]
+fn spatial_distributed_equals_shared_at_every_rank_count() {
+    // The structured-population counterpart of the equality suite above:
+    // the row-sharded lattice runner must reproduce the shared-memory
+    // SpatialPopulation bit for bit — record stream, final grid, stats,
+    // and state digest — at every rank count (docs/GRAPH.md).
+    use evogame::engine::record::state_digest;
+    for update in [SpatialUpdate::BestNeighbor, SpatialUpdate::Fermi { beta: 0.8 }] {
+        let params = SpatialParams {
+            width: 12,
+            height: 12,
+            generations: 30,
+            seed: 0x57A7,
+            update,
+            ..SpatialParams::default()
+        };
+        let mut pop = SpatialPopulation::new(params.clone(), InitPattern::SingleDefector);
+        let shared_records: Vec<String> = (0..params.generations)
+            .map(|_| serde_json::to_string(&pop.step()).unwrap())
+            .collect();
+        let snap = pop.snapshot();
+        let shared_digest = state_digest(&snap.assignments, &snap.features);
+        for ranks in [2usize, 4] {
+            let out = run_spatial_distributed(&SpatialDistConfig::new(
+                params.clone(),
+                InitPattern::SingleDefector,
+                ranks,
+            ))
+            .unwrap();
+            let dist_records: Vec<String> = out
+                .records
+                .iter()
+                .map(|r| serde_json::to_string(r).unwrap())
+                .collect();
+            assert_eq!(
+                dist_records, shared_records,
+                "{update:?} on {ranks} ranks: record stream diverged"
+            );
+            assert_eq!(out.grid, pop.grid(), "{update:?} on {ranks} ranks: grid");
+            assert_eq!(out.stats, *pop.stats(), "{update:?} on {ranks} ranks: stats");
+            assert_eq!(
+                state_digest(&out.grid, &out.features),
+                shared_digest,
+                "{update:?} on {ranks} ranks: state digest"
+            );
+        }
+    }
+}
+
+#[test]
+fn spatial_rank_kill_then_resume_is_bit_identical() {
+    // Fault-tolerance parity for lattice runs: a rank kill yields a typed
+    // SpatialDegradedRun with a boundary checkpoint, and the resumed run
+    // stitches onto the clean trajectory exactly.
+    let params = SpatialParams {
+        width: 12,
+        height: 12,
+        generations: 30,
+        seed: 0x57A8,
+        update: SpatialUpdate::Fermi { beta: 1.2 },
+        ..SpatialParams::default()
+    };
+    let clean = run_spatial_distributed(&SpatialDistConfig::new(
+        params.clone(),
+        InitPattern::SingleDefector,
+        3,
+    ))
+    .unwrap();
+
+    let mut faulty = SpatialDistConfig::new(params, InitPattern::SingleDefector, 3);
+    faulty.faults.kills = vec![RankKill {
+        rank: 1,
+        generation: 12,
+    }];
+    let DistError::SpatialDegraded(d) = run_spatial_distributed(&faulty).unwrap_err() else {
+        panic!("expected a SpatialDegradedRun");
+    };
+    assert!(d.dead_ranks.contains(&1), "{:?}", d.dead_ranks);
+    let resumed_cfg = d
+        .retry_config(&faulty)
+        .expect("degraded run leaves a checkpoint");
+    let resume_from = resumed_cfg.resume.as_ref().unwrap().generation as usize;
+    let resumed = run_spatial_distributed(&resumed_cfg).unwrap();
+    assert_eq!(resumed.grid, clean.grid, "final grid");
+    assert_eq!(resumed.stats, clean.stats, "full RunStats");
+    assert_eq!(
+        serde_json::to_string(&resumed.records).unwrap(),
+        serde_json::to_string(&clean.records[resume_from..].to_vec()).unwrap(),
+        "record bits from generation {resume_from}"
+    );
+}
+
+#[test]
 fn random_fault_plans_always_terminate_with_typed_outcomes() {
     // No fault schedule may hang or panic the distributed engine: every
     // seeded plan ends in a clean outcome or a restartable DegradedRun.
