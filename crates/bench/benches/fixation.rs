@@ -1,0 +1,115 @@
+//! Criterion bench: fixation-batch throughput.
+//!
+//! Covers the fixation workload family's operating points
+//! (docs/FIXATION.md): replicate-count sweep (each replicate is a full
+//! engine trajectory run to absorption, fanned out over `Domain::Fixation`
+//! streams), the batch-shared payoff cache on vs off, and the cost of one
+//! replicate alone (the svc pause-path granularity).
+//!
+//! For a machine-readable baseline:
+//!
+//! ```text
+//! cargo bench -p bench --bench fixation -- --save-json BENCH_fixation.json
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evo_core::fixation::{FixationBatch, FixationSpec};
+use evo_core::params::{Params, UpdateRule};
+use evo_core::paycache::PayoffCache;
+use ipd::classic;
+use ipd::state::StateSpace;
+use ipd::strategy::Strategy;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn spec(replicates: u32) -> FixationSpec {
+    let space = StateSpace::new(1).unwrap();
+    let mut params = Params {
+        mem_steps: 1,
+        num_ssets: 8,
+        generations: 150,
+        seed: 3,
+        pc_rate: 1.0,
+        mutation_rate: 0.0,
+        rule: UpdateRule::Moran,
+        ..Params::default()
+    };
+    params.game.rounds = 10;
+    FixationSpec {
+        params,
+        resident: Strategy::Pure(classic::all_c(&space)),
+        mutant: Strategy::Pure(classic::all_d(&space)),
+        replicates,
+    }
+}
+
+fn bench_replicate_sweep(c: &mut Criterion) {
+    // Whole-batch cost: batch construction (cache included) plus every
+    // replicate run to absorption. The cache starts cold each iteration,
+    // so this is the one-shot `fixate` CLI cost shape.
+    let mut group = c.benchmark_group("generation/fixation");
+    group.sample_size(10);
+    for replicates in [8u32, 16, 32] {
+        let s = spec(replicates);
+        group.bench_with_input(
+            BenchmarkId::new("replicates", replicates),
+            &s,
+            |bencher, s| {
+                bencher.iter(|| {
+                    let mut batch = FixationBatch::new(s.clone()).unwrap();
+                    black_box(batch.run())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_payoff_cache(c: &mut Criterion) {
+    // The batch-shared cross-replicate payoff cache (cost-only,
+    // docs/FIXATION.md §3). Cache-on holds one warm cache across
+    // iterations — the steady state a long batch or tournament pair
+    // reaches — while cache-off replays every game of every generation.
+    // Memory-2 with long games keeps the replay outside the word-parallel
+    // gate (memory ≤ 1), so this measures the cache, not the batch kernel.
+    let mut group = c.benchmark_group("generation/fixation");
+    group.sample_size(10);
+    let space = StateSpace::new(2).unwrap();
+    let mut s = spec(16);
+    s.params.mem_steps = 2;
+    s.params.game.rounds = 2000;
+    s.resident = Strategy::Pure(classic::all_c(&space));
+    s.mutant = Strategy::Pure(classic::all_d(&space));
+    let warm = Arc::new(PayoffCache::new(s.params.game));
+    for (label, cache) in [("off", None), ("on", Some(&warm))] {
+        group.bench_function(BenchmarkId::new("cache", label), |bencher| {
+            bencher.iter(|| {
+                for r in 0..s.replicates {
+                    black_box(s.run_replicate(r, cache));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_replicate(c: &mut Criterion) {
+    // One replicate through the batch-shared cache: the unit the svc
+    // worker loop steps between pause checks (`FixationBatch::run_step`).
+    let mut group = c.benchmark_group("generation/fixation");
+    group.sample_size(10);
+    let batch = FixationBatch::new(spec(16)).unwrap();
+    group.bench_function(BenchmarkId::new("step", "one_replicate"), |bencher| {
+        bencher.iter(|| black_box(batch.run_replicate(0)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_replicate_sweep, bench_payoff_cache, bench_single_replicate
+}
+criterion_main!(benches);

@@ -43,6 +43,7 @@
 //!   a degraded run is always restartable — and resuming reproduces the
 //!   uninterrupted trajectory bit for bit.
 
+pub mod fixation;
 pub mod graph;
 
 use crate::collective::Collective;
@@ -248,6 +249,11 @@ pub enum DistError {
     /// [`evo_core::spatial::SpatialCheckpoint`] rather than the well-mixed
     /// [`Checkpoint`].
     SpatialDegraded(Box<graph::SpatialDegradedRun>),
+    /// A *fixation batch* degraded ([`fixation::run_fixation_distributed`]):
+    /// same clean-termination contract, but the restartable snapshot is a
+    /// [`evo_core::fixation::FixationCheckpoint`] of the completed
+    /// replicates.
+    FixationDegraded(Box<fixation::FixationDegradedRun>),
 }
 
 impl std::fmt::Display for DistError {
@@ -271,6 +277,11 @@ impl std::fmt::Display for DistError {
                 f,
                 "spatial run degraded after {} generations (dead ranks {:?}): {}",
                 d.completed_generations, d.dead_ranks, d.reason
+            ),
+            DistError::FixationDegraded(d) => write!(
+                f,
+                "fixation batch degraded after {} replicates (dead ranks {:?}): {}",
+                d.completed_replicates, d.dead_ranks, d.reason
             ),
         }
     }

@@ -1,0 +1,489 @@
+//! Distributed fixation batches: replicate sharding over the virtual
+//! cluster (docs/FIXATION.md).
+//!
+//! A fixation batch is embarrassingly parallel — every replicate is a pure
+//! function of `(spec, replicate index)` (the `Domain::Fixation` stream
+//! contract, `evo_core::fixation`) — so the distributed mapping is plain
+//! block sharding: rank 0 coordinates, compute ranks `1..ranks` each own a
+//! contiguous block of replicate indices ([`super::owned_range`] over the
+//! replicate axis), run them locally in ascending order, and return each
+//! [`ReplicateResult`] to rank 0 point-to-point. No broadcasts, no
+//! collectives: nothing global ever changes mid-run.
+//!
+//! Because results are recorded by replicate index (never by arrival), the
+//! assembled [`FixationOutcome`] — counts, records, digest — is
+//! bit-identical to [`evo_core::fixation::FixationBatch::run`] on shared
+//! memory at any rank count, thread count, or resume split; the
+//! integration tests pin this down.
+//!
+//! # Fault tolerance
+//!
+//! Same typed-termination contract as the well-mixed engine
+//! (docs/FAULT_TOLERANCE.md): a fault-plan kill lands on a compute rank
+//! *between* replicates (the replicate index is the kill schedule's
+//! generation axis), the rank kills itself, and rank 0's source-filtered
+//! (or deadline-bound) receive surfaces the death as a typed
+//! [`FixationDegradedRun`] carrying a [`FixationCheckpoint`] of every
+//! replicate completed so far. Resuming runs only the missing replicates,
+//! so the stitched outcome is bit-identical to an uninterrupted run.
+
+use crate::comm::{ClusterError, Comm, Rank, VirtualCluster};
+use crate::faults::FaultPlan;
+use evo_core::fixation::{
+    FixationBatch, FixationCheckpoint, FixationOutcome, FixationSpec, ReplicateResult,
+};
+use evo_core::paycache::PayoffCache;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+use super::{owned_range, DistError, RankError};
+
+/// Point-to-point tag for replicate results (disjoint from the well-mixed
+/// engine's fitness tag by construction — the two protocols never share a
+/// cluster).
+const RESULT_TAG: crate::comm::Tag = 2;
+
+/// Messages exchanged by the distributed fixation runner.
+#[derive(Debug, Clone)]
+enum FixMsg {
+    /// Point-to-point: one finished replicate, returned to rank 0.
+    Result(ReplicateResult),
+}
+
+/// Configuration of a distributed fixation batch. Construct with
+/// [`FixationDistConfig::new`] and set the optional fault-tolerance fields
+/// as needed; the defaults are a fault-free, checkpoint-free run of the
+/// full batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FixationDistConfig {
+    /// The batch to run (shared with the shared-memory runner).
+    pub spec: FixationSpec,
+    /// Total ranks including the coordinator (rank 0); ≥ 2.
+    pub ranks: usize,
+    /// Deterministic fault schedule. The **replicate index** is the kill
+    /// schedule's generation axis: `kills_at(rank, r)` kills `rank` just
+    /// before it would run replicate `r`. Empty = fault-free.
+    #[serde(default)]
+    pub faults: FaultPlan,
+    /// Have rank 0 refresh a restartable [`FixationCheckpoint`] every N
+    /// *received* replicates, surfaced as
+    /// [`FixationDistOutcome::checkpoint`].
+    #[serde(default)]
+    pub checkpoint_every: Option<u32>,
+    /// Resume from a checkpoint: its `spec` drives the run (`spec` above
+    /// is ignored when set) and its completed replicates are skipped.
+    #[serde(default)]
+    pub resume: Option<FixationCheckpoint>,
+    /// Disable the per-rank payoff memo-cache shared across that rank's
+    /// replicates. Cost-only either way (serde default keeps older
+    /// configs on the cached path).
+    #[serde(default)]
+    pub disable_payoff_cache: bool,
+}
+
+impl FixationDistConfig {
+    /// A fault-free, checkpoint-free run of the full batch.
+    pub fn new(spec: FixationSpec, ranks: usize) -> Self {
+        FixationDistConfig {
+            spec,
+            ranks,
+            faults: FaultPlan::default(),
+            checkpoint_every: None,
+            resume: None,
+            disable_payoff_cache: false,
+        }
+    }
+}
+
+/// Result of a distributed fixation batch.
+#[derive(Debug, Clone)]
+pub struct FixationDistOutcome {
+    /// The assembled batch outcome — bit-identical to the shared-memory
+    /// runner's.
+    pub outcome: FixationOutcome,
+    /// Total point-to-point messages the run sent.
+    pub messages_sent: u64,
+    /// The most recent periodic checkpoint (`Some` only when
+    /// [`FixationDistConfig::checkpoint_every`] was set and at least one
+    /// interval completed).
+    pub checkpoint: Option<FixationCheckpoint>,
+}
+
+/// A distributed fixation batch that terminated early but *cleanly*: dead
+/// ranks were detected and every replicate completed so far was
+/// snapshotted. Restarting from [`FixationDegradedRun::checkpoint`] (see
+/// [`FixationDegradedRun::retry_config`]) runs only the missing replicates
+/// and reproduces the uninterrupted outcome bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixationDegradedRun {
+    /// Ranks observed dead when the coordinator degraded.
+    pub dead_ranks: Vec<Rank>,
+    /// Replicates fully received before the failure.
+    pub completed_replicates: u32,
+    /// Human-readable description of the detected failure.
+    pub reason: String,
+    /// Restartable snapshot. Unlike the well-mixed engine's boundary
+    /// checkpoint, this is *always* present: completed replicate results
+    /// are self-consistent at any instant, so no fault plan is needed to
+    /// maintain one.
+    pub checkpoint: FixationCheckpoint,
+}
+
+impl FixationDegradedRun {
+    /// Build the [`FixationDistConfig`] that resumes this degraded batch
+    /// from its checkpoint — the re-enqueue plumbing the service layer's
+    /// automatic retry uses (docs/SERVICE.md). Keeps `base`'s rank count,
+    /// cache setting, and checkpoint interval; **clears the injected fault
+    /// schedule** (those faults already executed) but keeps the receive
+    /// deadline so emergent failures in the retry still surface as typed
+    /// degraded outcomes rather than hangs.
+    pub fn retry_config(&self, base: &FixationDistConfig) -> FixationDistConfig {
+        let mut cfg = base.clone();
+        cfg.spec = self.checkpoint.spec.clone();
+        cfg.resume = Some(self.checkpoint.clone());
+        cfg.faults.kills.clear();
+        cfg.faults.messages = crate::faults::MessageFaults::default();
+        cfg
+    }
+}
+
+/// What one rank's thread hands back to [`run_fixation_distributed`].
+enum FixRankResult {
+    /// Rank 0 assembled the full outcome.
+    Outcome(Box<FixationDistOutcome>),
+    /// Rank 0 detected a failure and degraded.
+    Degraded(Box<FixationDegradedRun>),
+    /// A compute rank finished all of its owned replicates.
+    Done,
+    /// A compute rank failed (fault-plan kill or detected peer failure)
+    /// after killing itself to cascade the detection.
+    Failed,
+}
+
+/// Everything a rank thread needs, shipped into the cluster closure once.
+struct FixRunSpec {
+    spec: FixationSpec,
+    faults: FaultPlan,
+    checkpoint_every: Option<u32>,
+    completed: Vec<ReplicateResult>,
+    payoff_cache: bool,
+}
+
+impl FixRunSpec {
+    fn recv_timeout(&self) -> Option<Duration> {
+        self.faults.recv_timeout_ms.map(Duration::from_millis)
+    }
+
+    fn is_completed(&self, r: u32) -> bool {
+        self.completed.iter().any(|c| c.replicate == r)
+    }
+}
+
+/// Run a fixation batch across `ranks` virtual ranks and return the
+/// assembled outcome — bit-identical to the shared-memory
+/// [`FixationBatch::run`] for the same spec.
+///
+/// # Errors
+///
+/// - [`DistError::Params`] — invalid spec or rank count.
+/// - [`DistError::FixationDegraded`] — a fault (injected or emergent) was
+///   detected; the payload carries the dead ranks and a restartable
+///   checkpoint of every completed replicate.
+/// - [`DistError::Cluster`] / [`DistError::Protocol`] — low-level failures
+///   with no degraded-mode context.
+pub fn run_fixation_distributed(
+    config: &FixationDistConfig,
+) -> Result<FixationDistOutcome, DistError> {
+    let _span = obs::span("dist.fixation");
+    if config.ranks < 2 {
+        return Err(DistError::Params(
+            "need the coordinator plus at least one compute rank".into(),
+        ));
+    }
+    // A resumed run is driven by the checkpoint's own spec (it carries the
+    // batch seed and replicate count of the original run).
+    let (spec, completed) = match &config.resume {
+        Some(cp) => (cp.spec.clone(), cp.completed.clone()),
+        None => (config.spec.clone(), Vec::new()),
+    };
+    spec.validate().map_err(|e| DistError::Params(e.to_string()))?;
+    let run = FixRunSpec {
+        spec,
+        faults: config.faults.clone(),
+        checkpoint_every: config.checkpoint_every,
+        completed,
+        payoff_cache: !config.disable_payoff_cache,
+    };
+    let ranks = config.ranks;
+
+    let (results, messages_sent) = VirtualCluster::run_with_faults_counted(
+        ranks,
+        run.faults.messages.clone(),
+        move |comm: Comm<FixMsg>| run_rank(&comm, &run),
+    );
+
+    let mut outcome: Option<Box<FixationDistOutcome>> = None;
+    for r in results {
+        match r {
+            FixRankResult::Outcome(o) => outcome = Some(o),
+            FixRankResult::Degraded(d) => return Err(DistError::FixationDegraded(d)),
+            FixRankResult::Done | FixRankResult::Failed => {}
+        }
+    }
+    let mut outcome = *outcome.ok_or(DistError::Cluster(ClusterError::Disconnected))?;
+    // The post-join total is exact; rank 0's own view could miss peers'
+    // in-flight final sends.
+    outcome.messages_sent = messages_sent;
+    Ok(outcome)
+}
+
+/// Per-rank body: compute ranks run their owned replicates in ascending
+/// index order and send each result to rank 0; rank 0 receives them in the
+/// same deterministic order (per-link FIFO makes arrival order equal send
+/// order) and assembles the outcome. Any failure converts into a typed,
+/// cascading result — a failing rank kills itself before returning so
+/// blocked peers unblock.
+fn run_rank(comm: &Comm<FixMsg>, run: &FixRunSpec) -> FixRankResult {
+    let rank = comm.rank();
+    if rank == 0 {
+        match coordinate(comm, run) {
+            Ok(outcome) => FixRankResult::Outcome(Box::new(outcome)),
+            Err(err_batch) => {
+                let (err, batch) = *err_batch;
+                comm.kill();
+                let dead_ranks: Vec<Rank> = (0..comm.size())
+                    .filter(|&r| r != rank && !comm.is_alive(r))
+                    .collect();
+                FixRankResult::Degraded(Box::new(FixationDegradedRun {
+                    dead_ranks,
+                    completed_replicates: batch.completed().len() as u32,
+                    reason: err.to_string(),
+                    checkpoint: batch.checkpoint(),
+                }))
+            }
+        }
+    } else {
+        match compute(comm, run) {
+            Ok(()) => FixRankResult::Done,
+            Err(_) => {
+                comm.kill();
+                FixRankResult::Failed
+            }
+        }
+    }
+}
+
+/// Compute-rank body: run owned, not-yet-completed replicates in ascending
+/// order, sharing one payoff cache across them, and send each result home.
+fn compute(comm: &Comm<FixMsg>, run: &FixRunSpec) -> Result<(), RankError> {
+    let rank = comm.rank();
+    let owned = owned_range(rank, run.spec.replicates as usize, comm.size());
+    let cache = run
+        .payoff_cache
+        .then(|| Arc::new(PayoffCache::new(run.spec.params.game)));
+    for r in owned {
+        let r = r as u32;
+        if run.is_completed(r) {
+            continue;
+        }
+        if run.faults.kills_at(rank, r as u64) {
+            obs::counters().add_fault_injected();
+            return Err(RankError::Killed);
+        }
+        let result = run.spec.run_replicate(r, cache.as_ref());
+        comm.send(0, RESULT_TAG, FixMsg::Result(result))?;
+    }
+    Ok(())
+}
+
+/// Coordinator body: source-filtered receives in deterministic
+/// (rank-major, replicate-ascending) order, recording each result into a
+/// bookkeeping [`FixationBatch`]. On error, returns the batch alongside so
+/// the caller can snapshot exactly what was received.
+fn coordinate(
+    comm: &Comm<FixMsg>,
+    run: &FixRunSpec,
+) -> Result<FixationDistOutcome, Box<(RankError, FixationBatch)>> {
+    let mut batch = FixationBatch::new(run.spec.clone())
+        // detlint: allow(panic-path, reason = "run_fixation_distributed validated this exact spec before any rank started; re-validation cannot fail")
+        .expect("spec validated by run_fixation_distributed");
+    for c in &run.completed {
+        batch.record(*c);
+    }
+    let mut periodic: Option<FixationCheckpoint> = None;
+    let mut received: u32 = 0;
+
+    let recv = |src: Rank| -> Result<crate::comm::Envelope<FixMsg>, ClusterError> {
+        match run.recv_timeout() {
+            Some(t) => comm.recv_timeout(Some(src), Some(RESULT_TAG), t),
+            // detlint: allow(comm-discipline, reason = "explicit opt-out: no fault deadline in the plan; the source filter keeps it aliveness-aware (a killed compute rank surfaces as RankDead, not a hang)")
+            None => comm.recv(Some(src), Some(RESULT_TAG)),
+        }
+    };
+
+    for src in 1..comm.size() {
+        for r in owned_range(src, run.spec.replicates as usize, comm.size()) {
+            let r = r as u32;
+            if run.is_completed(r) {
+                continue;
+            }
+            let envelope = match recv(src) {
+                Ok(e) => e,
+                Err(e) => return Err(Box::new((RankError::Cluster(e), batch))),
+            };
+            let FixMsg::Result(result) = envelope.payload;
+            if result.replicate != r {
+                // Per-link FIFO plus the deterministic send order makes any
+                // index mismatch a protocol bug, not a fault-model outcome.
+                return Err(Box::new((RankError::Protocol("replicate result in owned order"), batch)));
+            }
+            batch.record(result);
+            received += 1;
+            if let Some(every) = run.checkpoint_every {
+                if every > 0 && received.is_multiple_of(every) {
+                    periodic = Some(batch.checkpoint());
+                }
+            }
+        }
+    }
+    Ok(FixationDistOutcome {
+        outcome: batch.outcome(),
+        // Placeholder: `run_fixation_distributed` overwrites this with the
+        // exact post-join cluster total.
+        messages_sent: 0,
+        checkpoint: periodic,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::RankKill;
+    use evo_core::params::{Params, UpdateRule};
+    use ipd::state::StateSpace;
+    use ipd::strategy::Strategy;
+
+    fn spec(seed: u64, replicates: u32) -> FixationSpec {
+        let space = StateSpace::new(1).unwrap();
+        let mut params = Params {
+            mem_steps: 1,
+            num_ssets: 8,
+            generations: 150,
+            seed,
+            pc_rate: 1.0,
+            mutation_rate: 0.0,
+            rule: UpdateRule::Moran,
+            ..Params::default()
+        };
+        params.game.rounds = 10;
+        FixationSpec {
+            params,
+            resident: Strategy::Pure(ipd::classic::all_c(&space)),
+            mutant: Strategy::Pure(ipd::classic::all_d(&space)),
+            replicates,
+        }
+    }
+
+    #[test]
+    fn distributed_matches_shared_memory_at_any_rank_count() {
+        let expected = FixationBatch::new(spec(5, 12)).unwrap().run();
+        for ranks in [2usize, 3, 4, 7] {
+            let out =
+                run_fixation_distributed(&FixationDistConfig::new(spec(5, 12), ranks)).unwrap();
+            assert_eq!(out.outcome, expected, "ranks {ranks}");
+            assert_eq!(out.outcome.digest(), expected.digest(), "ranks {ranks}");
+            assert!(out.messages_sent >= 12, "every replicate travels once");
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_replicates_still_works() {
+        let expected = FixationBatch::new(spec(6, 3)).unwrap().run();
+        let out = run_fixation_distributed(&FixationDistConfig::new(spec(6, 3), 9)).unwrap();
+        assert_eq!(out.outcome, expected);
+    }
+
+    #[test]
+    fn too_few_ranks_is_a_params_error() {
+        let err = run_fixation_distributed(&FixationDistConfig::new(spec(1, 4), 1)).unwrap_err();
+        assert!(matches!(err, DistError::Params(_)));
+    }
+
+    #[test]
+    fn invalid_spec_is_a_params_error() {
+        let mut s = spec(1, 4);
+        s.params.mutation_rate = 0.1;
+        let err = run_fixation_distributed(&FixationDistConfig::new(s, 3)).unwrap_err();
+        assert!(matches!(err, DistError::Params(_)));
+    }
+
+    #[test]
+    fn rank_kill_degrades_cleanly_with_checkpoint() {
+        let mut cfg = FixationDistConfig::new(spec(9, 10), 3);
+        // Kill rank 1 just before its third owned replicate (global index 2).
+        cfg.faults.kills = vec![RankKill {
+            rank: 1,
+            generation: 2,
+        }];
+        let err = run_fixation_distributed(&cfg).unwrap_err();
+        let DistError::FixationDegraded(d) = err else {
+            panic!("expected FixationDegradedRun, got {err}");
+        };
+        assert!(d.dead_ranks.contains(&1), "dead ranks: {:?}", d.dead_ranks);
+        assert!(d.completed_replicates < 10);
+        assert_eq!(
+            d.checkpoint.completed.len() as u32,
+            d.completed_replicates,
+            "checkpoint carries exactly the received replicates"
+        );
+    }
+
+    #[test]
+    fn degraded_batch_resumes_bit_identical_to_uninterrupted() {
+        let clean = run_fixation_distributed(&FixationDistConfig::new(spec(11, 10), 3))
+            .unwrap()
+            .outcome;
+
+        let mut cfg = FixationDistConfig::new(spec(11, 10), 3);
+        cfg.faults.kills = vec![RankKill {
+            rank: 2,
+            generation: 7,
+        }];
+        let DistError::FixationDegraded(d) = run_fixation_distributed(&cfg).unwrap_err() else {
+            panic!("expected degraded batch");
+        };
+        let retry = d.retry_config(&cfg);
+        assert!(retry.faults.kills.is_empty(), "retry clears the kill schedule");
+        let resumed = run_fixation_distributed(&retry).unwrap();
+        assert_eq!(resumed.outcome, clean, "stitched outcome matches clean run");
+        assert_eq!(resumed.outcome.digest(), clean.digest());
+    }
+
+    #[test]
+    fn periodic_checkpoint_resumes_bit_identical() {
+        let clean = run_fixation_distributed(&FixationDistConfig::new(spec(13, 9), 3))
+            .unwrap()
+            .outcome;
+        let mut cfg = FixationDistConfig::new(spec(13, 9), 3);
+        cfg.checkpoint_every = Some(4);
+        let out = run_fixation_distributed(&cfg).unwrap();
+        assert_eq!(out.outcome, clean, "checkpointing is inert");
+        let cp = out.checkpoint.expect("periodic checkpoint present");
+        assert_eq!(cp.completed.len(), 8, "latest multiple of 4 within 9");
+
+        let mut resumed_cfg = FixationDistConfig::new(cp.spec.clone(), 3);
+        resumed_cfg.resume = Some(cp);
+        let resumed = run_fixation_distributed(&resumed_cfg).unwrap();
+        assert_eq!(resumed.outcome, clean);
+    }
+
+    #[test]
+    fn payoff_cache_off_is_bit_identical_to_on() {
+        let on = run_fixation_distributed(&FixationDistConfig::new(spec(15, 8), 3)).unwrap();
+        let mut cfg = FixationDistConfig::new(spec(15, 8), 3);
+        cfg.disable_payoff_cache = true;
+        let off = run_fixation_distributed(&cfg).unwrap();
+        assert_eq!(on.outcome, off.outcome);
+    }
+}

@@ -80,6 +80,12 @@ pub const PURITY_ROOTS: &[PurityRoot] = &[
         suffix: "Archipelago::commit_migration",
         sanctioned: &[],
     },
+    // The fixation workload's absorption classifier inspects committed
+    // assignments only — no draws, no delegates.
+    PurityRoot {
+        suffix: "fixation::commit_absorption",
+        sanctioned: &[],
+    },
 ];
 
 /// Function names that construct an RNG when called.
@@ -148,12 +154,17 @@ pub const DOMAIN_OWNERS: &[(&str, &[&str])] = &[
             "crates/evo-core/src/islands.rs",
         ],
     ),
+    (
+        "Fixation",
+        &["crates/evo-core/src/rngstream.rs", "crates/evo-core/src/fixation.rs"],
+    ),
 ];
 
 /// Files whose panic paths must be typed or reason-annotated: the
 /// distributed protocol layer and the engine transition hot path.
 pub const PANIC_SCOPE: &[&str] = &[
     "crates/cluster/src/dist.rs",
+    "crates/cluster/src/dist/fixation.rs",
     "crates/cluster/src/dist/graph.rs",
     "crates/cluster/src/collective.rs",
     "crates/cluster/src/comm.rs",

@@ -41,6 +41,7 @@
 
 pub mod engine;
 pub mod fermi;
+pub mod fixation;
 pub mod graph;
 pub mod islands;
 pub mod fitness;
@@ -63,6 +64,10 @@ pub mod prelude {
     };
     pub use crate::fermi::fermi_probability;
     pub use crate::fitness::{ExecMode, FitnessPolicy, GameKernel};
+    pub use crate::fixation::{
+        Absorption, FixationBatch, FixationCheckpoint, FixationError, FixationMatrix,
+        FixationOutcome, FixationSpec, FixationTournament, ReplicateResult,
+    };
     pub use crate::graph::{AdjacencyGraph, GraphScope, GraphView, Lattice};
     pub use crate::islands::{Archipelago, Migration, MigrationPolicy};
     pub use crate::nature::{Event, NatureAgent};

@@ -179,12 +179,14 @@ impl NatureAgent {
     }
 
     /// Moran birth-death picks: the parent is sampled proportional to
-    /// fitness (uniformly when total fitness is zero), the victim
-    /// uniformly. Deterministic per `(seed, generation)`.
+    /// fitness (uniformly when the total fitness is zero, negative, or
+    /// non-finite — an infinite payoff or an all-zero generation must not
+    /// degenerate into NaN selection weights or a silent last-index pick),
+    /// the victim uniformly. Deterministic per `(seed, generation)`.
     pub fn moran_pick(&self, fitness: &[f64], generation: u64) -> (u32, u32) {
         let mut rng = stream(self.seed, Domain::Nature, 2, generation);
         let total: f64 = fitness.iter().sum();
-        let parent = if total <= 0.0 {
+        let parent = if total <= 0.0 || !total.is_finite() {
             rng.random_range(0..fitness.len() as u32)
         } else {
             let mut target = rng.random::<f64>() * total;
@@ -431,6 +433,34 @@ mod tests {
             seen[parent as usize] = true;
         }
         assert!(seen.iter().all(|&s| s), "all SSets reachable under drift");
+    }
+
+    #[test]
+    fn moran_non_finite_fitness_falls_back_to_uniform() {
+        // An infinite payoff (e.g. beta/payoff pathologies upstream) makes
+        // the fitness total non-finite; proportional sampling would then
+        // compare against NaN after the first subtraction and silently pick
+        // the last index every generation. The guard must treat this like
+        // the all-zero case: uniform, deterministic drift.
+        let a = agent(1.0, 0.0);
+        for fitness in [
+            [1.0, f64::INFINITY, 2.0, 3.0],
+            [f64::NEG_INFINITY, 1.0, 2.0, 3.0],
+            [f64::NAN, 1.0, 2.0, 3.0],
+        ] {
+            let mut seen = [false; 4];
+            for g in 0..500 {
+                let (parent, victim) = a.moran_pick(&fitness, g);
+                assert!(parent < 4 && victim < 4);
+                seen[parent as usize] = true;
+                // Deterministic per generation even on the fallback path.
+                assert_eq!((parent, victim), a.moran_pick(&fitness, g));
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "uniform fallback must reach every SSet for {fitness:?}"
+            );
+        }
     }
 
     #[test]

@@ -70,6 +70,13 @@ pub struct Population {
     /// The cross-generation payoff memo-cache (warm state survives between
     /// steps; [`Population::restore`] restarts it cold).
     payoff_cache: PayoffCache,
+    /// When set ([`Population::use_shared_payoff_cache`]), evaluations
+    /// read and warm this cache instead of the private one — the batch
+    /// workloads' cross-replicate sharing hook. Sound only while every
+    /// sharing population maps equal `StratId`s to equal strategies (e.g.
+    /// [`Population::new_uniform`] replicates of one resident/mutant
+    /// pair).
+    shared_cache: Option<Arc<PayoffCache>>,
 }
 
 impl Population {
@@ -108,8 +115,70 @@ impl Population {
             expected_fitness: false,
             use_payoff_cache: true,
             payoff_cache: PayoffCache::new(params.game),
+            shared_cache: None,
             params,
         })
+    }
+
+    /// Build a population with every SSet holding `strategy` — no
+    /// `Domain::Init` draws at all. Beyond skipping the random
+    /// initialisation that [`Population::seed_uniform`] would immediately
+    /// overwrite, this pins the interning order: the seeded strategy is
+    /// always `StratId` 0 and the next [`Population::set_strategy`] call
+    /// interns id 1, which is what lets fixation replicates of one
+    /// resident/mutant pair share a payoff cache soundly
+    /// (`crate::fixation`, docs/FIXATION.md).
+    pub fn new_uniform(params: Params, strategy: Strategy) -> Result<Self, ParamsError> {
+        let space = params.validate()?;
+        assert_eq!(
+            strategy.space(),
+            &space,
+            "strategy space must match the population's"
+        );
+        let mut pool = StrategyPool::new();
+        let id = pool.intern(strategy);
+        let nature = NatureAgent::from_params(&params);
+        let layout = SSetLayout {
+            num_ssets: params.num_ssets,
+            agents_per_sset: params.effective_agents_per_sset(),
+        };
+        Ok(Population {
+            fitness: vec![0.0; params.num_ssets],
+            nature,
+            space,
+            layout,
+            pool,
+            assignments: vec![id; params.num_ssets],
+            generation: 0,
+            stats: RunStats::default(),
+            obs_baseline: obs::counters().snapshot(),
+            gen_timings: Vec::new(),
+            exec_mode: ExecMode::Rayon,
+            fitness_policy: FitnessPolicy::EveryGeneration,
+            dedup: false,
+            kernel: GameKernel::Naive,
+            expected_fitness: false,
+            use_payoff_cache: true,
+            payoff_cache: PayoffCache::new(params.game),
+            shared_cache: None,
+            params,
+        })
+    }
+
+    /// Evaluate through `cache` instead of the private per-population
+    /// cache (cost-only; panics if `cache` was pinned to a different
+    /// `GameConfig`). Callers must guarantee id-compatibility: every
+    /// population sharing the cache must map equal `StratId`s to equal
+    /// strategies for the cache's lifetime — see the field docs.
+    pub fn use_shared_payoff_cache(&mut self, cache: Arc<PayoffCache>) {
+        cache.assert_game(&self.params.game);
+        self.shared_cache = Some(cache);
+    }
+
+    /// The cache evaluations actually consult: the shared one when
+    /// installed, the private one otherwise.
+    fn active_cache(&self) -> &PayoffCache {
+        self.shared_cache.as_deref().unwrap_or(&self.payoff_cache)
     }
 
     /// The parameters this population was built with.
@@ -195,7 +264,7 @@ impl Population {
             dedup: self.dedup,
             kernel: self.kernel,
             expected_fitness: self.expected_fitness,
-            cache: self.use_payoff_cache.then_some(&self.payoff_cache),
+            cache: self.use_payoff_cache.then(|| self.active_cache()),
         }
         .provide(&plan);
         let delta = engine::apply(
@@ -332,7 +401,7 @@ impl Population {
             &self.params.game,
             self.kernel,
             self.expected_fitness,
-            &self.payoff_cache,
+            self.active_cache(),
         )
     }
 
@@ -340,7 +409,7 @@ impl Population {
     /// cross-generation payoff cache (0 when `use_payoff_cache` is off or
     /// no cacheable evaluation has run yet).
     pub fn payoff_cache_len(&self) -> usize {
-        self.payoff_cache.len()
+        self.active_cache().len()
     }
 
     /// Per-generation wall times (nanoseconds) recorded so far, in

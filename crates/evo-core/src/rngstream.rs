@@ -38,6 +38,12 @@ pub enum Domain {
     /// migration selection. Disjoint from `Nature` so well-mixed and
     /// graph-structured dynamics can never perturb each other's schedules.
     Graph = 7,
+    /// Fixation-probability replicate seeding (`evo_core::fixation`): the
+    /// per-replicate engine seeds of a `FixationBatch` are derived from
+    /// streams keyed by the replicate index, so a batch's trajectory set is
+    /// a pure function of `(batch seed, replicate index)` — independent of
+    /// sharding, thread count, or completion order.
+    Fixation = 8,
 }
 
 /// SplitMix64 — the standard 64-bit mixer; used only for key derivation.

@@ -117,6 +117,9 @@ pub struct Counters {
     jobs_rejected: AtomicU64,
     jobs_completed: AtomicU64,
     jobs_retried: AtomicU64,
+    replicates_run: AtomicU64,
+    fixations: AtomicU64,
+    extinctions: AtomicU64,
 }
 
 static COUNTERS: Counters = Counters {
@@ -139,6 +142,9 @@ static COUNTERS: Counters = Counters {
     jobs_rejected: AtomicU64::new(0),
     jobs_completed: AtomicU64::new(0),
     jobs_retried: AtomicU64::new(0),
+    replicates_run: AtomicU64::new(0),
+    fixations: AtomicU64::new(0),
+    extinctions: AtomicU64::new(0),
 };
 
 /// The process-global [`Counters`] instance.
@@ -269,6 +275,25 @@ impl Counters {
         self.jobs_retried.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One fixation replicate run to absorption or its generation cap
+    /// (`evo_core::fixation`).
+    #[inline]
+    pub fn add_replicate_run(&self) {
+        self.replicates_run.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One fixation replicate ended with the mutant lineage fixed.
+    #[inline]
+    pub fn add_fixation(&self) {
+        self.fixations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One fixation replicate ended with the mutant lineage extinct.
+    #[inline]
+    pub fn add_extinction(&self) {
+        self.extinctions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of every counter (each load
     /// is individually atomic; the set is not a cross-counter transaction).
     pub fn snapshot(&self) -> CounterSnapshot {
@@ -292,6 +317,9 @@ impl Counters {
             jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
+            replicates_run: self.replicates_run.load(Ordering::Relaxed),
+            fixations: self.fixations.load(Ordering::Relaxed),
+            extinctions: self.extinctions.load(Ordering::Relaxed),
         }
     }
 }
@@ -362,6 +390,19 @@ pub struct CounterSnapshot {
     /// checkpoint. `#[serde(default)]`: absent in older manifests.
     #[serde(default)]
     pub jobs_retried: u64,
+    /// Fixation replicates run to absorption or their generation cap
+    /// (`evo_core::fixation`). `#[serde(default)]`: absent in older
+    /// manifests.
+    #[serde(default)]
+    pub replicates_run: u64,
+    /// Fixation replicates that ended with the mutant lineage fixed.
+    /// `#[serde(default)]`: absent in older manifests.
+    #[serde(default)]
+    pub fixations: u64,
+    /// Fixation replicates that ended with the mutant lineage extinct.
+    /// `#[serde(default)]`: absent in older manifests.
+    #[serde(default)]
+    pub extinctions: u64,
 }
 
 impl CounterSnapshot {
@@ -387,6 +428,9 @@ impl CounterSnapshot {
             && self.jobs_rejected >= earlier.jobs_rejected
             && self.jobs_completed >= earlier.jobs_completed
             && self.jobs_retried >= earlier.jobs_retried
+            && self.replicates_run >= earlier.replicates_run
+            && self.fixations >= earlier.fixations
+            && self.extinctions >= earlier.extinctions
     }
 
     /// Per-counter difference `self − baseline` (saturating), attributing
@@ -427,6 +471,9 @@ impl CounterSnapshot {
             jobs_rejected: self.jobs_rejected.saturating_sub(baseline.jobs_rejected),
             jobs_completed: self.jobs_completed.saturating_sub(baseline.jobs_completed),
             jobs_retried: self.jobs_retried.saturating_sub(baseline.jobs_retried),
+            replicates_run: self.replicates_run.saturating_sub(baseline.replicates_run),
+            fixations: self.fixations.saturating_sub(baseline.fixations),
+            extinctions: self.extinctions.saturating_sub(baseline.extinctions),
         }
     }
 }
@@ -738,6 +785,9 @@ mod tests {
         counters().add_job_rejected();
         counters().add_job_completed();
         counters().add_job_retried();
+        counters().add_replicate_run();
+        counters().add_fixation();
+        counters().add_extinction();
         let after = counters().snapshot();
         assert!(after.monotone_since(&before));
         let delta = after.delta_since(&before);
@@ -754,6 +804,9 @@ mod tests {
         assert!(delta.jobs_rejected >= 1);
         assert!(delta.jobs_completed >= 1);
         assert!(delta.jobs_retried >= 1);
+        assert!(delta.replicates_run >= 1);
+        assert!(delta.fixations >= 1);
+        assert!(delta.extinctions >= 1);
     }
 
     #[test]
@@ -776,6 +829,9 @@ mod tests {
         assert_eq!(snap.jobs_rejected, 0);
         assert_eq!(snap.jobs_completed, 0);
         assert_eq!(snap.jobs_retried, 0);
+        assert_eq!(snap.replicates_run, 0);
+        assert_eq!(snap.fixations, 0);
+        assert_eq!(snap.extinctions, 0);
         assert_eq!(snap.games_played, 1);
     }
 

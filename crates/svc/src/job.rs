@@ -6,6 +6,7 @@
 //! [`crate::SVC_SCHEMA_VERSION`] and documented in docs/SERVICE.md.
 
 use cluster::faults::FaultPlan;
+use evo_core::fixation::FixationSpec;
 use evo_core::params::Params;
 use evo_core::spatial::{InitPattern, SpatialParams};
 use serde::{Deserialize, Serialize};
@@ -71,6 +72,16 @@ pub struct JobRequest {
     /// `cluster::dist::graph` runner (retryable on degradation).
     #[serde(default)]
     pub spatial: Option<SpatialJobSpec>,
+    /// Run a fixation-probability batch instead (docs/FIXATION.md):
+    /// independent mutant-invasion replicates to absorption. `backend`
+    /// selects the engine as for the other families: [`Backend::Shared`]
+    /// runs the batch replicate by replicate (pausable at replicate
+    /// boundaries), [`Backend::Distributed`] shards replicates across
+    /// ranks (`cluster::dist::fixation`, retryable on degradation).
+    /// Mutually exclusive with `spatial`; `params` is ignored (the spec
+    /// carries its own).
+    #[serde(default)]
+    pub fixation: Option<FixationSpec>,
     /// Queue lane.
     #[serde(default)]
     pub priority: Priority,
@@ -108,6 +119,7 @@ impl JobRequest {
             id: id.into(),
             params,
             spatial: None,
+            fixation: None,
             priority: Priority::Normal,
             backend: Backend::Shared,
             on_demand: false,
@@ -121,6 +133,14 @@ impl JobRequest {
     pub fn new_spatial(id: impl Into<String>, params: SpatialParams, init: InitPattern) -> Self {
         JobRequest {
             spatial: Some(SpatialJobSpec { params, init }),
+            ..JobRequest::new(id, Params::default())
+        }
+    }
+
+    /// A shared-memory fixation request with all other knobs defaulted.
+    pub fn new_fixation(id: impl Into<String>, spec: FixationSpec) -> Self {
+        JobRequest {
+            fixation: Some(spec),
             ..JobRequest::new(id, Params::default())
         }
     }

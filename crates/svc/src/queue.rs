@@ -8,6 +8,7 @@
 //! submission stream replays the same dispatch order.
 
 use crate::job::{AdmitError, Backend, JobRequest, Priority};
+use evo_core::fixation::FixationCheckpoint;
 use evo_core::record::Checkpoint;
 use evo_core::spatial::SpatialCheckpoint;
 use std::collections::{BTreeSet, VecDeque};
@@ -22,8 +23,12 @@ pub struct QueuedJob {
     /// degraded-run retry, `None` for a fresh start. Well-mixed jobs only.
     pub resume: Option<Checkpoint>,
     /// The spatial counterpart of `resume` (lattice jobs checkpoint as
-    /// [`SpatialCheckpoint`]); at most one of the two is ever `Some`.
+    /// [`SpatialCheckpoint`]); at most one of the resume slots is ever
+    /// `Some`.
     pub resume_spatial: Option<SpatialCheckpoint>,
+    /// The fixation counterpart (batch jobs checkpoint as
+    /// [`FixationCheckpoint`]); same at-most-one rule.
+    pub resume_fixation: Option<FixationCheckpoint>,
     /// Degraded-run retries already consumed.
     pub retries: u32,
     /// `true` once the request's injected fault schedule has fired —
@@ -38,6 +43,7 @@ impl QueuedJob {
             request,
             resume: None,
             resume_spatial: None,
+            resume_fixation: None,
             retries: 0,
             faults_spent: false,
         }
@@ -156,7 +162,18 @@ impl JobQueue {
                 ),
             });
         }
-        if let Some(spec) = &request.spatial {
+        if request.spatial.is_some() && request.fixation.is_some() {
+            return Err(AdmitError::Invalid {
+                reason: "a job runs one family: spatial or fixation, not both".into(),
+            });
+        }
+        if let Some(spec) = &request.fixation {
+            if let Err(e) = spec.validate() {
+                return Err(AdmitError::Invalid {
+                    reason: format!("fixation spec: {e}"),
+                });
+            }
+        } else if let Some(spec) = &request.spatial {
             if let Err(e) = spec.params.validate() {
                 return Err(AdmitError::Invalid {
                     reason: format!("spatial params: {e}"),
@@ -282,6 +299,60 @@ mod tests {
             Err(AdmitError::Invalid { ref reason }) if reason.contains("distributed")
         ));
         assert!(q.is_empty(), "no invalid request was queued");
+    }
+
+    #[test]
+    fn fixation_requests_validate_the_fixation_spec() {
+        use evo_core::fixation::FixationSpec;
+        use ipd::state::StateSpace;
+        use ipd::strategy::Strategy;
+
+        let space = StateSpace::new(1).unwrap();
+        let spec = |replicates: u32, mutation_rate: f64| {
+            let mut params = evo_core::params::Params {
+                mem_steps: 1,
+                num_ssets: 8,
+                mutation_rate,
+                ..evo_core::params::Params::default()
+            };
+            params.rule = evo_core::params::UpdateRule::Moran;
+            FixationSpec {
+                params,
+                resident: Strategy::Pure(ipd::classic::all_c(&space)),
+                mutant: Strategy::Pure(ipd::classic::all_d(&space)),
+                replicates,
+            }
+        };
+        let mut q = JobQueue::new(8);
+
+        let no_reps = JobRequest::new_fixation("fx-zero", spec(0, 0.0));
+        assert!(matches!(
+            q.admit(no_reps),
+            Err(AdmitError::Invalid { ref reason }) if reason.starts_with("fixation spec:")
+        ));
+
+        let mutating = JobRequest::new_fixation("fx-mu", spec(4, 0.05));
+        assert!(matches!(
+            q.admit(mutating),
+            Err(AdmitError::Invalid { ref reason }) if reason.starts_with("fixation spec:")
+        ));
+
+        let mut both = JobRequest::new_fixation("fx-both", spec(4, 0.0));
+        both.spatial = Some(crate::job::SpatialJobSpec {
+            params: evo_core::spatial::SpatialParams::default(),
+            init: evo_core::spatial::InitPattern::SingleDefector,
+        });
+        assert!(matches!(
+            q.admit(both),
+            Err(AdmitError::Invalid { ref reason }) if reason.contains("not both")
+        ));
+
+        // The well-mixed params are ignored for fixation jobs — an
+        // invalid (defaulted-over) Params must not block one.
+        let mut ok = JobRequest::new_fixation("fx-ok", spec(4, 0.0));
+        ok.params.num_ssets = 0;
+        q.admit(ok).unwrap();
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

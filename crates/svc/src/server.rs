@@ -36,9 +36,11 @@
 use crate::job::{AdmitError, Backend, JobRequest, JobStatus, Receipt, SpatialJobSpec};
 use crate::queue::{JobQueue, QueuedJob};
 use crate::spool::Spool;
+use cluster::dist::fixation::{run_fixation_distributed, FixationDistConfig};
 use cluster::dist::graph::{run_spatial_distributed, SpatialDistConfig};
 use cluster::dist::{run_distributed, DistConfig, DistError};
 use evo_core::fitness::FitnessPolicy;
+use evo_core::fixation::{FixationBatch, FixationCheckpoint, FixationSpec};
 use evo_core::population::Population;
 use evo_core::record::{state_digest, Checkpoint, GenerationRecord};
 use evo_core::spatial::{SpatialCheckpoint, SpatialPopulation};
@@ -216,6 +218,11 @@ impl Server {
                     .as_ref()
                     .map(|cp| cp.generation)
                     .or_else(|| job.resume_spatial.as_ref().map(|cp| cp.generation))
+                    .or_else(|| {
+                        job.resume_fixation
+                            .as_ref()
+                            .map(|cp| cp.completed.len() as u64)
+                    })
                     .unwrap_or(0);
                 entry.parked = Some(job);
                 entry.status = JobStatus::Paused { generation };
@@ -352,6 +359,9 @@ enum Outcome {
     Paused { checkpoint: Checkpoint },
     /// A shared spatial job honoured a pause request.
     PausedSpatial { checkpoint: SpatialCheckpoint },
+    /// A shared fixation job honoured a pause request at a replicate
+    /// boundary.
+    PausedFixation { checkpoint: FixationCheckpoint },
     /// Distributed run degraded; `resume` is the retry checkpoint
     /// derived via [`cluster::dist::DegradedRun::retry_config`].
     Degraded {
@@ -362,6 +372,14 @@ enum Outcome {
     /// ([`cluster::dist::graph::SpatialDegradedRun::retry_config`]).
     DegradedSpatial {
         resume: Option<SpatialCheckpoint>,
+        reason: String,
+    },
+    /// Distributed fixation batch degraded. The checkpoint is always
+    /// present (completed replicates are self-consistent whatever the
+    /// fault —
+    /// [`cluster::dist::fixation::FixationDegradedRun::retry_config`]).
+    DegradedFixation {
+        resume: FixationCheckpoint,
         reason: String,
     },
     /// Engine or I/O error — terminal.
@@ -397,6 +415,12 @@ fn worker_loop(inner: &Inner) {
 
 /// Run one attempt of `job` (no lock held during simulation).
 fn execute(inner: &Inner, job: &QueuedJob) -> Outcome {
+    if let Some(spec) = &job.request.fixation {
+        return match job.request.backend {
+            Backend::Shared => execute_fixation_shared(inner, job, spec),
+            Backend::Distributed { ranks } => execute_fixation_distributed(inner, job, spec, ranks),
+        };
+    }
     match (&job.request.spatial, job.request.backend) {
         (None, Backend::Shared) => execute_shared(inner, job),
         (None, Backend::Distributed { ranks }) => execute_distributed(job, ranks),
@@ -581,6 +605,136 @@ fn execute_spatial_distributed(
     }
 }
 
+/// Shared-memory fixation batch: the [`FixationBatch::run_step`]
+/// replicate loop, pausable at every replicate boundary, with the same
+/// stream/checkpoint cadence as the generation loops. The receipt's
+/// `generations` field counts *replicates* for this family; its digest is
+/// [`evo_core::fixation::FixationOutcome::digest`].
+fn execute_fixation_shared(inner: &Inner, job: &QueuedJob, spec: &FixationSpec) -> Outcome {
+    let baseline = obs::counters().snapshot();
+    let built = match &job.resume_fixation {
+        Some(cp) => FixationBatch::resume(cp.clone()),
+        None => FixationBatch::new(spec.clone()),
+    };
+    let mut batch = match built {
+        Ok(b) => b,
+        Err(e) => {
+            return Outcome::Failed {
+                reason: e.to_string(),
+            }
+        }
+    };
+    let id = &job.request.id;
+    let mut chunk: Vec<GenerationRecord> = Vec::new();
+    loop {
+        if pause_requested(inner, id) {
+            stream_records(inner, id, &mut chunk);
+            return Outcome::PausedFixation {
+                checkpoint: batch.checkpoint(),
+            };
+        }
+        let Some(result) = batch.run_step() else { break };
+        chunk.push(result.to_record());
+        if chunk.len() >= RECORD_FLUSH {
+            stream_records(inner, id, &mut chunk);
+        }
+        if let Some(every) = job.request.checkpoint_every {
+            if every > 0 && (batch.completed().len() as u64).is_multiple_of(every) {
+                if let Some(sp) = &inner.spool {
+                    let _ = sp.write_fixation_checkpoint(id, &batch.checkpoint());
+                }
+            }
+        }
+    }
+    stream_records(inner, id, &mut chunk);
+    let outcome = batch.outcome();
+    let manifest = obs::RunManifest::capture(
+        spec.params.to_value(),
+        spec.params.seed,
+        1,
+        u64::from(spec.replicates),
+        0.0,
+        &baseline,
+        &[],
+    );
+    Outcome::Done {
+        receipt: Receipt {
+            schema_version: crate::SVC_SCHEMA_VERSION,
+            job_id: id.clone(),
+            seed: spec.params.seed,
+            generations: outcome.results.len() as u64,
+            retries: job.retries,
+            state_digest: format!("{:016x}", outcome.digest()),
+            manifest,
+        },
+    }
+}
+
+/// Replicate-sharded fixation batch ([`cluster::dist::fixation`]): runs
+/// to completion or degradation. Fault and retry semantics mirror
+/// [`execute_distributed`], except the degraded checkpoint is always
+/// present, so a budgeted retry is always possible.
+fn execute_fixation_distributed(
+    inner: &Inner,
+    job: &QueuedJob,
+    spec: &FixationSpec,
+    ranks: usize,
+) -> Outcome {
+    let mut cfg = FixationDistConfig::new(spec.clone(), ranks);
+    // The request-level interval is in u64 like the generation engines';
+    // a fixation batch never exceeds u32 replicates.
+    cfg.checkpoint_every = job
+        .request
+        .checkpoint_every
+        .map(|n| u32::try_from(n).unwrap_or(u32::MAX));
+    cfg.resume = job.resume_fixation.clone();
+    if job.faults_spent {
+        // Retry attempt: injected schedule already fired, only the
+        // receive deadline survives (retry_config semantics).
+        cfg.faults.recv_timeout_ms = job.request.faults.recv_timeout_ms;
+    } else {
+        cfg.faults = job.request.faults.clone();
+    }
+    let baseline = obs::counters().snapshot();
+    match run_fixation_distributed(&cfg) {
+        Ok(out) => {
+            let manifest = obs::RunManifest::capture(
+                spec.params.to_value(),
+                spec.params.seed,
+                ranks,
+                u64::from(spec.replicates),
+                0.0,
+                &baseline,
+                &[],
+            );
+            let mut chunk = out.outcome.records();
+            stream_records(inner, &job.request.id, &mut chunk);
+            Outcome::Done {
+                receipt: Receipt {
+                    schema_version: crate::SVC_SCHEMA_VERSION,
+                    job_id: job.request.id.clone(),
+                    seed: spec.params.seed,
+                    generations: out.outcome.results.len() as u64,
+                    retries: job.retries,
+                    state_digest: format!("{:016x}", out.outcome.digest()),
+                    manifest,
+                },
+            }
+        }
+        Err(DistError::FixationDegraded(d)) => {
+            let reason = format!("degraded fixation batch: {}", d.reason);
+            let resume = d
+                .retry_config(&cfg)
+                .resume
+                .expect("fixation retry config always carries the checkpoint");
+            Outcome::DegradedFixation { resume, reason }
+        }
+        Err(e) => Outcome::Failed {
+            reason: e.to_string(),
+        },
+    }
+}
+
 fn execute_distributed(job: &QueuedJob, ranks: usize) -> Outcome {
     let policy = if job.request.on_demand {
         FitnessPolicy::OnDemand
@@ -673,6 +827,7 @@ fn finish(inner: &Inner, job: QueuedJob, outcome: Outcome) {
     };
     let mut spool_checkpoint: Option<Checkpoint> = None;
     let mut spool_spatial_checkpoint: Option<SpatialCheckpoint> = None;
+    let mut spool_fixation_checkpoint: Option<FixationCheckpoint> = None;
     let mut spool_receipt: Option<Receipt> = None;
     let mut wake_worker = false;
     match outcome {
@@ -695,6 +850,7 @@ fn finish(inner: &Inner, job: QueuedJob, outcome: Outcome) {
                 request: job.request.clone(),
                 resume: Some(checkpoint),
                 resume_spatial: None,
+                resume_fixation: None,
                 retries: job.retries,
                 faults_spent: job.faults_spent,
             });
@@ -709,6 +865,24 @@ fn finish(inner: &Inner, job: QueuedJob, outcome: Outcome) {
                 request: job.request.clone(),
                 resume: None,
                 resume_spatial: Some(checkpoint),
+                resume_fixation: None,
+                retries: job.retries,
+                faults_spent: job.faults_spent,
+            });
+        }
+        Outcome::PausedFixation { checkpoint } => {
+            entry.pause_requested = false;
+            entry.status = JobStatus::Paused {
+                // For fixation jobs the "generation" a pause reports is
+                // the replicate boundary it parked at.
+                generation: checkpoint.completed.len() as u64,
+            };
+            spool_fixation_checkpoint = Some(checkpoint.clone());
+            entry.parked = Some(QueuedJob {
+                request: job.request.clone(),
+                resume: None,
+                resume_spatial: None,
+                resume_fixation: Some(checkpoint),
                 retries: job.retries,
                 faults_spent: job.faults_spent,
             });
@@ -723,6 +897,7 @@ fn finish(inner: &Inner, job: QueuedJob, outcome: Outcome) {
                         request: job.request.clone(),
                         resume: Some(cp),
                         resume_spatial: None,
+                        resume_fixation: None,
                         retries: job.retries + 1,
                         faults_spent: true,
                     });
@@ -754,6 +929,7 @@ fn finish(inner: &Inner, job: QueuedJob, outcome: Outcome) {
                     request: job.request.clone(),
                     resume: None,
                     resume_spatial: Some(cp),
+                    resume_fixation: None,
                     retries: job.retries + 1,
                     faults_spent: true,
                 });
@@ -775,6 +951,30 @@ fn finish(inner: &Inner, job: QueuedJob, outcome: Outcome) {
                 };
             }
         },
+        Outcome::DegradedFixation { resume, reason } => {
+            if job.retries < job.request.retry_budget {
+                obs::counters().add_job_retried();
+                entry.status = JobStatus::Queued;
+                spool_fixation_checkpoint = Some(resume.clone());
+                queue.requeue(QueuedJob {
+                    request: job.request.clone(),
+                    resume: None,
+                    resume_spatial: None,
+                    resume_fixation: Some(resume),
+                    retries: job.retries + 1,
+                    faults_spent: true,
+                });
+                wake_worker = true;
+            } else {
+                entry.status = JobStatus::Failed {
+                    reason: format!(
+                        "{reason}; retry budget exhausted ({} allowed)",
+                        job.request.retry_budget
+                    ),
+                    retries: job.retries,
+                };
+            }
+        }
         Outcome::Failed { reason } => {
             entry.status = JobStatus::Failed {
                 reason,
@@ -792,6 +992,11 @@ fn finish(inner: &Inner, job: QueuedJob, outcome: Outcome) {
     if let Some(cp) = &spool_spatial_checkpoint {
         if let Some(sp) = &inner.spool {
             let _ = sp.write_spatial_checkpoint(&id, cp);
+        }
+    }
+    if let Some(cp) = &spool_fixation_checkpoint {
+        if let Some(sp) = &inner.spool {
+            let _ = sp.write_fixation_checkpoint(&id, cp);
         }
     }
     if let Some(receipt) = &spool_receipt {
@@ -1021,6 +1226,149 @@ mod tests {
         assert_eq!(
             server.records("sp-pause").unwrap().len(),
             200,
+            "records stream exactly once across the pause"
+        );
+        server.shutdown();
+    }
+
+    fn fixation_spec(seed: u64, replicates: u32) -> FixationSpec {
+        let space = ipd::state::StateSpace::new(1).unwrap();
+        let mut params = Params {
+            mem_steps: 1,
+            num_ssets: 8,
+            generations: 150,
+            seed,
+            pc_rate: 1.0,
+            mutation_rate: 0.0,
+            rule: evo_core::params::UpdateRule::Moran,
+            ..Params::default()
+        };
+        params.game.rounds = 10;
+        FixationSpec {
+            params,
+            resident: ipd::strategy::Strategy::Pure(ipd::classic::all_c(&space)),
+            mutant: ipd::strategy::Strategy::Pure(ipd::classic::all_d(&space)),
+            replicates,
+        }
+    }
+
+    fn direct_fixation_digest(spec: &FixationSpec) -> String {
+        let mut batch = FixationBatch::new(spec.clone()).unwrap();
+        format!("{:016x}", batch.run().digest())
+    }
+
+    #[test]
+    fn fixation_shared_receipt_matches_direct_batch_run() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+        });
+        let spec = fixation_spec(41, 12);
+        server
+            .submit(JobRequest::new_fixation("fx-shared", spec.clone()))
+            .unwrap();
+        let status = server.wait("fx-shared").unwrap();
+        let JobStatus::Completed { state_digest: digest, retries } = status else {
+            panic!("expected completion, got {status:?}");
+        };
+        assert_eq!(retries, 0);
+        assert_eq!(digest, direct_fixation_digest(&spec));
+        let receipt = server.receipt("fx-shared").unwrap();
+        assert_eq!(receipt.generations, 12, "receipt counts replicates");
+        assert_eq!(receipt.seed, 41);
+        assert_eq!(receipt.manifest.elapsed_seconds, 0.0, "svc reads no clock");
+        assert_eq!(
+            server.records("fx-shared").unwrap().len(),
+            12,
+            "one record per replicate"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn fixation_distributed_receipt_digest_matches_shared_backend() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+        });
+        let spec = fixation_spec(43, 12);
+        let mut req = JobRequest::new_fixation("fx-dist", spec.clone());
+        req.backend = Backend::Distributed { ranks: 3 };
+        server.submit(req).unwrap();
+        let status = server.wait("fx-dist").unwrap();
+        let JobStatus::Completed { state_digest: digest, retries } = status else {
+            panic!("expected completion, got {status:?}");
+        };
+        assert_eq!(retries, 0);
+        assert_eq!(
+            digest,
+            direct_fixation_digest(&spec),
+            "replicate-sharded batch is bit-identical to the shared one"
+        );
+        assert_eq!(server.records("fx-dist").unwrap().len(), 12);
+        server.shutdown();
+    }
+
+    #[test]
+    fn fixation_degraded_run_retries_to_the_clean_digest() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+        });
+        let spec = fixation_spec(47, 12);
+        let mut req = JobRequest::new_fixation("fx-retry", spec.clone());
+        req.backend = Backend::Distributed { ranks: 3 };
+        req.retry_budget = 1;
+        // With 12 replicates over 2 compute ranks, rank 1 owns indices
+        // 0..6 — killing it at replicate 2 degrades mid-batch.
+        req.faults.kills = vec![cluster::faults::RankKill {
+            rank: 1,
+            generation: 2,
+        }];
+        server.submit(req).unwrap();
+        let status = server.wait("fx-retry").unwrap();
+        let JobStatus::Completed { state_digest: digest, retries } = status else {
+            panic!("expected completion after retry, got {status:?}");
+        };
+        assert_eq!(retries, 1, "one degraded attempt, one clean retry");
+        assert_eq!(
+            digest,
+            direct_fixation_digest(&spec),
+            "retry from the degraded checkpoint lands on the uninterrupted digest"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn fixation_pause_resume_completes_bit_identical() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+        });
+        let spec = fixation_spec(53, 48);
+        server
+            .submit(JobRequest::new_fixation("fx-pause", spec.clone()))
+            .unwrap();
+        while matches!(server.status("fx-pause"), Some(JobStatus::Queued)) {
+            std::thread::yield_now();
+        }
+        server.pause("fx-pause");
+        match server.wait("fx-pause").unwrap() {
+            JobStatus::Paused { generation } => {
+                assert!(generation <= 48, "pause lands at a replicate boundary");
+                assert!(server.resume("fx-pause"), "paused job resumes");
+            }
+            JobStatus::Completed { .. } => {}
+            other => panic!("unexpected status {other:?}"),
+        }
+        let status = server.wait("fx-pause").unwrap();
+        let JobStatus::Completed { state_digest: digest, .. } = status else {
+            panic!("expected completion, got {status:?}");
+        };
+        assert_eq!(digest, direct_fixation_digest(&spec));
+        assert_eq!(
+            server.records("fx-pause").unwrap().len(),
+            48,
             "records stream exactly once across the pause"
         );
         server.shutdown();

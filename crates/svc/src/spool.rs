@@ -15,15 +15,63 @@
 //! `evogame-cli run --record-out` ([`evo_core::record::RecordWriter`]),
 //! and `checkpoint.json` the same schema as `--checkpoint-out` — every
 //! spooled artefact can be fed back to the ordinary CLI.
+//!
+//! # Crash atomicity
+//!
+//! `status.json`, `checkpoint.json`, and `receipt.json` are replaced
+//! crash-atomically: the new contents go to `<file>.tmp` in the job
+//! directory (same filesystem, so the final step is a metadata-only
+//! `rename`), and only a fully written tmp file is renamed over the
+//! committed name. A crash at any instant therefore leaves either the
+//! previous valid file, the new valid file, or a stray `.tmp` — never a
+//! torn committed file — which is what the restart-recovery scan
+//! (ROADMAP item 1) needs to trust the spool.
 
 use crate::job::{JobStatus, Receipt};
-use evo_core::record::{read_generations, Checkpoint, GenerationRecord};
+use evo_core::fixation::FixationCheckpoint;
+use evo_core::record::{Checkpoint, GenerationRecord};
 use evo_core::spatial::SpatialCheckpoint;
-use std::io::Write as _;
+use std::io::{BufRead as _, Write as _};
 use std::path::{Path, PathBuf};
 
 fn to_io(e: serde_json::Error) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+}
+
+/// The typed payload inside the `InvalidData` error returned by
+/// [`Spool::read_records`] when `records.jsonl` holds a line that does not
+/// parse as a generation record: names the first offending line so an
+/// operator can inspect exactly where a spool was damaged.
+#[derive(Debug)]
+pub struct MalformedRecordLine {
+    /// 1-based line number of the first malformed line.
+    pub line: usize,
+    /// The underlying JSON parse error.
+    pub source: serde_json::Error,
+}
+
+impl std::fmt::Display for MalformedRecordLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "records.jsonl line {}: {}", self.line, self.source)
+    }
+}
+
+impl std::error::Error for MalformedRecordLine {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Crash-atomically replace `dir/name`: write the full contents to
+/// `dir/name.tmp`, sync, then `rename` into place. See the module docs.
+fn replace_file(dir: &Path, name: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(tmp, dir.join(name))
 }
 
 /// Handle to a spool root directory. Cloneable; all methods take `&self`
@@ -57,11 +105,11 @@ impl Spool {
         Ok(dir)
     }
 
-    /// Rewrite `id`'s `status.json`.
+    /// Rewrite `id`'s `status.json` (crash-atomic; see the module docs).
     pub fn write_status(&self, id: &str, status: &JobStatus) -> std::io::Result<()> {
         let dir = self.ensure_dir(id)?;
         let json = serde_json::to_string(status).map_err(to_io)?;
-        std::fs::write(dir.join("status.json"), json)
+        replace_file(&dir, "status.json", &json)
     }
 
     /// Read `id`'s `status.json` back.
@@ -90,21 +138,43 @@ impl Spool {
         file.write_all(buf.as_bytes())
     }
 
-    /// Read every record streamed so far for `id`.
+    /// Read every record streamed so far for `id`, line by line through a
+    /// buffered reader (a long-running job's `records.jsonl` can dwarf
+    /// memory as one `String`). A malformed line fails with an
+    /// `InvalidData` error wrapping [`MalformedRecordLine`], which names
+    /// the first bad line number.
     pub fn read_records(&self, id: &str) -> std::io::Result<Vec<GenerationRecord>> {
         let path = self.job_dir(id).join("records.jsonl");
-        if !path.exists() {
-            return Ok(Vec::new());
+        let file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::new();
+        for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str(&line) {
+                Ok(rec) => out.push(rec),
+                Err(source) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        MalformedRecordLine { line: i + 1, source },
+                    ))
+                }
+            }
         }
-        let text = std::fs::read_to_string(path)?;
-        read_generations(&text).map_err(to_io)
+        Ok(out)
     }
 
-    /// Write `id`'s final `receipt.json` (pretty-printed, written once).
+    /// Write `id`'s final `receipt.json` (pretty-printed, written once,
+    /// crash-atomic).
     pub fn write_receipt(&self, id: &str, receipt: &Receipt) -> std::io::Result<()> {
         let dir = self.ensure_dir(id)?;
         let json = serde_json::to_string_pretty(receipt).map_err(to_io)?;
-        std::fs::write(dir.join("receipt.json"), json)
+        replace_file(&dir, "receipt.json", &json)
     }
 
     /// Read `id`'s receipt, if the job completed.
@@ -114,12 +184,13 @@ impl Spool {
     }
 
     /// Rewrite `id`'s latest restartable `checkpoint.json` (same schema
-    /// as `evogame-cli --checkpoint-out`; bumps the `checkpoints_written`
-    /// counter like every other checkpoint producer).
+    /// as `evogame-cli --checkpoint-out`; crash-atomic; bumps the
+    /// `checkpoints_written` counter like every other checkpoint
+    /// producer).
     pub fn write_checkpoint(&self, id: &str, cp: &Checkpoint) -> std::io::Result<()> {
         let dir = self.ensure_dir(id)?;
         let json = serde_json::to_string(cp).map_err(to_io)?;
-        std::fs::write(dir.join("checkpoint.json"), json)?;
+        replace_file(&dir, "checkpoint.json", &json)?;
         obs::counters().add_checkpoint_written();
         Ok(())
     }
@@ -137,13 +208,35 @@ impl Spool {
     pub fn write_spatial_checkpoint(&self, id: &str, cp: &SpatialCheckpoint) -> std::io::Result<()> {
         let dir = self.ensure_dir(id)?;
         let json = serde_json::to_string(cp).map_err(to_io)?;
-        std::fs::write(dir.join("checkpoint.json"), json)?;
+        replace_file(&dir, "checkpoint.json", &json)?;
         obs::counters().add_checkpoint_written();
         Ok(())
     }
 
     /// Read `id`'s latest spatial checkpoint, if one was spooled.
     pub fn read_spatial_checkpoint(&self, id: &str) -> std::io::Result<SpatialCheckpoint> {
+        let text = std::fs::read_to_string(self.job_dir(id).join("checkpoint.json"))?;
+        serde_json::from_str(&text).map_err(to_io)
+    }
+
+    /// Rewrite `id`'s latest `checkpoint.json` for a fixation-batch job
+    /// (same schema as `evogame-cli fixate --checkpoint-out`). Like the
+    /// spatial variant, the filename is shared — a job only ever produces
+    /// one checkpoint kind.
+    pub fn write_fixation_checkpoint(
+        &self,
+        id: &str,
+        cp: &FixationCheckpoint,
+    ) -> std::io::Result<()> {
+        let dir = self.ensure_dir(id)?;
+        let json = serde_json::to_string(cp).map_err(to_io)?;
+        replace_file(&dir, "checkpoint.json", &json)?;
+        obs::counters().add_checkpoint_written();
+        Ok(())
+    }
+
+    /// Read `id`'s latest fixation checkpoint, if one was spooled.
+    pub fn read_fixation_checkpoint(&self, id: &str) -> std::io::Result<FixationCheckpoint> {
         let text = std::fs::read_to_string(self.job_dir(id).join("checkpoint.json"))?;
         serde_json::from_str(&text).map_err(to_io)
     }
@@ -191,6 +284,60 @@ mod tests {
         let cp = pop.checkpoint();
         spool.write_checkpoint("j1", &cp).unwrap();
         assert_eq!(spool.read_checkpoint("j1").unwrap(), cp);
+        let _ = std::fs::remove_dir_all(spool.root());
+    }
+
+    #[test]
+    fn torn_tmp_file_never_shadows_a_committed_file() {
+        // A crash between "write tmp" and "rename" leaves a truncated tmp
+        // file in the job dir. Reads must keep returning the last committed
+        // contents, and the next write must commit cleanly over the debris.
+        let spool = Spool::new(tmp("torn")).unwrap();
+        spool.write_status("j1", &JobStatus::Queued).unwrap();
+        let receipt = Receipt {
+            schema_version: crate::SVC_SCHEMA_VERSION,
+            job_id: "j1".into(),
+            seed: 7,
+            generations: 3,
+            retries: 0,
+            state_digest: format!("{:016x}", 0xBEEFu64),
+            manifest: evo_core::population::Population::new(evo_core::params::Params::default())
+                .unwrap()
+                .manifest(0.0),
+        };
+        spool.write_receipt("j1", &receipt).unwrap();
+        let dir = spool.job_dir("j1");
+        for name in ["status.json", "receipt.json", "checkpoint.json"] {
+            std::fs::write(dir.join(format!("{name}.tmp")), r#"{"trunc"#).unwrap();
+        }
+        assert_eq!(spool.read_status("j1").unwrap(), JobStatus::Queued);
+        assert_eq!(spool.read_receipt("j1").unwrap(), receipt);
+        // Committing through the same path replaces the torn tmp too.
+        spool.write_status("j1", &JobStatus::Running).unwrap();
+        assert_eq!(spool.read_status("j1").unwrap(), JobStatus::Running);
+        assert!(!dir.join("status.json.tmp").exists());
+        let _ = std::fs::remove_dir_all(spool.root());
+    }
+
+    #[test]
+    fn malformed_record_line_error_names_the_line() {
+        let spool = Spool::new(tmp("malformed")).unwrap();
+        let rec = GenerationRecord {
+            generation: 0,
+            events: vec![],
+            mean_fitness: None,
+            max_fitness: None,
+            distinct_strategies: 1,
+        };
+        spool.append_records("j1", &[rec]).unwrap();
+        let path = spool.job_dir("j1").join("records.jsonl");
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"generation\": tor\n").unwrap();
+        drop(f);
+        let err = spool.read_records("j1").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "error should name line 2: {msg}");
         let _ = std::fs::remove_dir_all(spool.root());
     }
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Re-runs the two committed benchmark suites and gates the results against
+# Re-runs the committed benchmark suites and gates the results against
 # the committed post-optimisation baselines in benchmarks/ — the "committed
 # perf trajectory" contract of docs/PERFORMANCE.md. Exits non-zero if any
 # benchmark present in both the baseline and the fresh run got slower by
@@ -16,11 +16,12 @@ THRESHOLD="${1:-10}"
 OUT="$REPO/target/bench-current"
 mkdir -p "$OUT"
 
-for suite in generation kernel spatial; do
+for suite in generation kernel spatial fixation; do
     case "$suite" in
         generation) bench=generation ;;
         kernel)     bench=game_kernel ;;
         spatial)    bench=spatial ;;
+        fixation)   bench=fixation ;;
     esac
     echo "== bench: $bench =="
     cargo bench -p bench --bench "$bench" -- --save-json "$OUT/BENCH_$suite.json"

@@ -134,6 +134,44 @@ if [ "$SP_RESUMED" != "$SP_DIGEST" ]; then
 fi
 echo "spatial smoke: shared == 2/4 ranks byte-for-byte, kill degraded and resumed bit-identically"
 
+echo "== fixation: fixate smoke — shared vs replicate-sharded bit-identity =="
+# The fixation workload contract (docs/FIXATION.md): a replicate batch
+# must report the same batch digest and byte-identical record stream on
+# the shared backend and on the replicate-sharded distributed backend at
+# any rank count, and a rank kill must degrade to exit 3 with an
+# always-present checkpoint that resumes onto the clean digest.
+FX_DIR="target/verify-fixation"
+mkdir -p "$FX_DIR"
+FX_ARGS="--replicates 16 --ssets 8 --generations 150 --seed 7 --rounds 10 --rule moran"
+$CLI fixate $FX_ARGS --records "$FX_DIR/shared.jsonl" 2> "$FX_DIR/shared.err"
+FX_DIGEST=$(grep "state digest" "$FX_DIR/shared.err")
+[ -n "$FX_DIGEST" ] || { echo "verify: FAIL — no fixation state digest" >&2; exit 1; }
+for ranks in 2 4; do
+    $CLI fixate $FX_ARGS --ranks "$ranks" --records "$FX_DIR/dist$ranks.jsonl" \
+        2> "$FX_DIR/dist$ranks.err"
+    D=$(grep "state digest" "$FX_DIR/dist$ranks.err")
+    if [ "$D" != "$FX_DIGEST" ]; then
+        echo "verify: FAIL — fixation digest diverged at $ranks ranks" >&2
+        printf 'shared: %s\n%s ranks: %s\n' "$FX_DIGEST" "$ranks" "$D" >&2
+        exit 1
+    fi
+    cmp -s "$FX_DIR/shared.jsonl" "$FX_DIR/dist$ranks.jsonl" \
+        || { echo "verify: FAIL — fixation record stream diverged at $ranks ranks" >&2; exit 1; }
+done
+rc=0
+$CLI fixate $FX_ARGS --ranks 3 --kill-rank 1 --kill-at 6 --recv-timeout-ms 2000 \
+    --checkpoint-out "$FX_DIR/kill.json" 2> "$FX_DIR/kill.err" || rc=$?
+[ "$rc" -eq 3 ] || { echo "verify: FAIL — fixation kill: exit $rc, want 3 (degraded)" >&2; exit 1; }
+[ -s "$FX_DIR/kill.json" ] || { echo "verify: FAIL — fixation kill left no checkpoint" >&2; exit 1; }
+$CLI fixate --ranks 3 --resume "$FX_DIR/kill.json" 2> "$FX_DIR/resume.err"
+FX_RESUMED=$(grep "state digest" "$FX_DIR/resume.err")
+if [ "$FX_RESUMED" != "$FX_DIGEST" ]; then
+    echo "verify: FAIL — fixation resume digest differs from clean run" >&2
+    printf 'clean:   %s\nresumed: %s\n' "$FX_DIGEST" "$FX_RESUMED" >&2
+    exit 1
+fi
+echo "fixation smoke: shared == 2/4 ranks byte-for-byte, kill degraded and resumed bit-identically"
+
 echo "== service: serve smoke — deterministic receipts + degraded auto-retry =="
 # A three-job batch through the in-process job server (docs/SERVICE.md):
 # the same run as the fault matrix above on the shared backend, on the
@@ -194,7 +232,7 @@ echo "serve smoke: 5/5 receipts, one auto-retry, spatial backends agree, resubmi
 
 if [ "${VERIFY_BENCH:-0}" = "1" ]; then
     echo "== perf: committed baseline regression gate (opt-in) =="
-    # Re-runs both criterion suites and compares against the committed
+    # Re-runs the committed criterion suites and compares against the
     # benchmarks/BENCH_*.json baselines (docs/PERFORMANCE.md). Opt-in
     # because wall-clock benches are machine-sensitive and slow.
     sh scripts/bench_compare.sh

@@ -17,6 +17,9 @@
 //!                         [--temptation 1.85] [--update best|fermi]
 //!                         [--neighborhood moore8|vn4] [--init single|random:P]
 //!                         [--ranks N] [--records F.jsonl] [...]
+//! evogame-cli fixate      --replicates 64 [--resident ALLC] [--mutant ALLD]
+//!                         [--ssets 16] [--generations 10000] [--rule moran]
+//!                         [--ranks N] [--matrix] [--records F.jsonl] [...]
 //! evogame-cli serve       --spool DIR [--requests FILE.jsonl]
 //!                         [--workers N] [--queue-depth N]
 //! ```
@@ -39,6 +42,7 @@
 
 use evogame::analysis::heatmap::{render_ascii, HeatmapOptions};
 use evogame::analysis::timeseries::Trajectory;
+use evogame::cluster::dist::fixation::{run_fixation_distributed, FixationDistConfig};
 use evogame::cluster::dist::{run_distributed, DistConfig, DistError};
 use evogame::cluster::faults::RankKill;
 use evogame::engine::params::UpdateRule;
@@ -745,6 +749,329 @@ fn cmd_spatial(args: &Args) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Fixation spec from flags (docs/FIXATION.md). `--mu` is rejected:
+/// absorption needs mutation off, so the spec always carries
+/// `mutation_rate = 0`.
+fn build_fixation_spec(args: &Args) -> Result<FixationSpec, String> {
+    if args.value("--mu").is_some() {
+        return Err(
+            "fixate forces --mu 0 (mutation re-introduces lost lineages, \
+             so absorption would never be reached)"
+                .into(),
+        );
+    }
+    let mut params = Params {
+        mem_steps: args.parse("--mem", 1usize)?,
+        num_ssets: args.parse("--ssets", 16usize)?,
+        generations: args.parse("--generations", 10_000u64)?,
+        seed: args.parse("--seed", 0u64)?,
+        pc_rate: args.parse("--pc-rate", 1.0f64)?,
+        mutation_rate: 0.0,
+        beta: args.parse("--beta", 1.0f64)?,
+        ..Params::default()
+    };
+    params.game.rounds = args.parse("--rounds", 200u32)?;
+    params.game.noise = args.parse("--noise", 0.0f64)?;
+    params.rule = match args.value("--rule").unwrap_or("moran") {
+        "pc" => UpdateRule::PairwiseComparison,
+        "moran" => UpdateRule::Moran,
+        "best" => UpdateRule::ImitateBest,
+        other => return Err(format!("unknown rule {other:?} (pc|moran|best)")),
+    };
+    let space = params.validate().map_err(|e| e.to_string())?;
+    let resident = roster_strategy(&space, args.value("--resident").unwrap_or("ALLC"))?;
+    let mutant = roster_strategy(&space, args.value("--mutant").unwrap_or("ALLD"))?;
+    let spec = FixationSpec {
+        params,
+        resident,
+        mutant,
+        replicates: args.parse("--replicates", 64u32)?,
+    };
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+/// Look a strategy up by its classic-roster name (case-insensitive).
+fn roster_strategy(space: &StateSpace, name: &str) -> Result<Strategy, String> {
+    let roster = classic::roster(space);
+    roster
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, s)| Strategy::Pure(s.clone()))
+        .ok_or_else(|| {
+            let names: Vec<&str> = roster.iter().map(|(n, _)| *n).collect();
+            format!(
+                "unknown strategy {name:?} for memory {} (one of {})",
+                space.mem_steps(),
+                names.join("|")
+            )
+        })
+}
+
+/// Write a restartable fixation checkpoint as JSON to `path`.
+fn write_fixation_checkpoint(path: &str, cp: &FixationCheckpoint) -> Result<(), String> {
+    let json = serde_json::to_string(cp).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    evogame::obs::counters().add_checkpoint_written();
+    eprintln!(
+        "wrote checkpoint ({}/{} replicates) to {path}",
+        cp.completed.len(),
+        cp.spec.replicates
+    );
+    Ok(())
+}
+
+/// Read a checkpoint previously written by [`write_fixation_checkpoint`].
+fn read_fixation_checkpoint(path: &str) -> Result<FixationCheckpoint, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: not a fixation checkpoint: {e}"))
+}
+
+/// `fixate --matrix`: the round-robin tournament over every pure
+/// memory-`m` strategy (docs/FIXATION.md), printed as the pairwise
+/// fixation-probability matrix.
+fn cmd_fixate_matrix(spec: FixationSpec) -> Result<ExitCode, String> {
+    let t0 = std::time::Instant::now();
+    let tournament = FixationTournament {
+        params: spec.params,
+        replicates: spec.replicates,
+    };
+    let matrix = tournament.run().map_err(|e| e.to_string())?;
+    let n = matrix.len();
+    let codes: Vec<String> = matrix
+        .strategies
+        .iter()
+        .map(evogame::ipd::codec::encode)
+        .collect();
+    println!(
+        "fixation matrix: {n} strategies x {n} strategies, {} replicates per pair, {:.2}s",
+        matrix.replicates,
+        t0.elapsed().as_secs_f64()
+    );
+    println!("rows = resident, columns = invading mutant; entry = P(fixation)");
+    let head: Vec<String> = codes.iter().map(|c| format!("{c:>8}")).collect();
+    println!("{:>8} {}", "", head.join(" "));
+    for (i, code) in codes.iter().enumerate() {
+        let row: Vec<String> = (0..n)
+            .map(|j| format!("{:>8.4}", matrix.probability(i, j)))
+            .collect();
+        println!("{code:>8} {}", row.join(" "));
+    }
+    eprintln!(
+        "state digest: {:016x}",
+        state_digest(&matrix.probabilities, &matrix.mean_times)
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `fixate`: the fixation-probability workload (docs/FIXATION.md). Seeds
+/// one mutant into a resident population and runs independent replicates
+/// to absorption; without `--ranks` the shared-memory [`FixationBatch`]
+/// runs, with `--ranks N` the same replicates run sharded across compute
+/// ranks — bit for bit the same counts, records, and state digest.
+fn cmd_fixate(args: &Args) -> Result<ExitCode, String> {
+    let manifest_out = args.value("--manifest-out").map(str::to_string);
+    if manifest_out.is_some() {
+        evogame::obs::set_enabled(true);
+    }
+    let checkpoint_out = args.value("--checkpoint-out").map(str::to_string);
+    if args.value("--checkpoint-every").is_some() && checkpoint_out.is_none() {
+        return Err("--checkpoint-every needs --checkpoint-out FILE".into());
+    }
+    let checkpoint_every: Option<u32> = match args.value("--checkpoint-every") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid value {v:?} for --checkpoint-every"))?,
+        ),
+        None => None,
+    };
+    let resume: Option<FixationCheckpoint> = match args.value("--resume") {
+        Some(path) => Some(read_fixation_checkpoint(path)?),
+        None => None,
+    };
+    // The checkpoint's spec drives a resumed run (same contract as the
+    // other subcommands); parameter flags are ignored.
+    let spec = match &resume {
+        Some(cp) => cp.spec.clone(),
+        None => build_fixation_spec(args)?,
+    };
+    if args.flag("--matrix") {
+        return cmd_fixate_matrix(spec);
+    }
+    let baseline = evogame::obs::counters().snapshot();
+    let params_value = {
+        use serde::Serialize;
+        spec.params.to_value()
+    };
+    let (seed, replicates) = (spec.params.seed, spec.replicates);
+    let mut writer = match args.value("--records") {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            Some((
+                path.to_string(),
+                evogame::engine::record::RecordWriter::new(file),
+            ))
+        }
+        None => None,
+    };
+    let t0 = std::time::Instant::now();
+
+    let summarize = |out: &FixationOutcome, backend: &str, elapsed: f64| {
+        println!(
+            "fixation batch ({backend}): {} replicates in {elapsed:.2}s",
+            out.results.len()
+        );
+        println!(
+            "fixed {} | extinct {} | censored {} | fixation probability {:.4} | \
+             mean absorption time {:.1}",
+            out.fixed(),
+            out.extinct(),
+            out.censored(),
+            out.fixation_probability(),
+            out.mean_absorption_time()
+        );
+        eprintln!("state digest: {:016x}", out.digest());
+    };
+    let write_records = |writer: &mut Option<(
+        String,
+        evogame::engine::record::RecordWriter<std::fs::File>,
+    )>,
+                         out: &FixationOutcome|
+     -> Result<(), String> {
+        if let Some((_, w)) = writer {
+            for rec in out.records() {
+                w.write_generation(&rec)
+                    .map_err(|e| format!("writing records: {e}"))?;
+            }
+        }
+        if let Some((path, w)) = writer.take() {
+            let lines = w.lines();
+            w.finish().map_err(|e| format!("flushing records: {e}"))?;
+            eprintln!("wrote {lines} replicate records to {path}");
+        }
+        Ok(())
+    };
+
+    if let Some(ranks) = args.value("--ranks") {
+        // Distributed: rank 0 coordinates, ranks 1.. own replicate blocks.
+        let ranks: usize = ranks
+            .parse()
+            .map_err(|_| format!("invalid value {ranks:?} for --ranks"))?;
+        let mut cfg = FixationDistConfig::new(spec.clone(), ranks);
+        cfg.resume = resume;
+        cfg.checkpoint_every = checkpoint_every;
+        if let Some(r) = args.value("--kill-rank") {
+            let rank: usize = r
+                .parse()
+                .map_err(|_| format!("invalid value {r:?} for --kill-rank"))?;
+            let generation = args.parse("--kill-at", 0u64)?;
+            cfg.faults.kills.push(RankKill { rank, generation });
+        }
+        if let Some(ms) = args.value("--recv-timeout-ms") {
+            cfg.faults.recv_timeout_ms = Some(
+                ms.parse()
+                    .map_err(|_| format!("invalid value {ms:?} for --recv-timeout-ms"))?,
+            );
+        }
+        if args.flag("--no-payoff-cache") {
+            cfg.disable_payoff_cache = true;
+        }
+        return match run_fixation_distributed(&cfg) {
+            Ok(out) => {
+                write_records(&mut writer, &out.outcome)?;
+                summarize(&out.outcome, &format!("{ranks} ranks"), t0.elapsed().as_secs_f64());
+                eprintln!("messages {}", out.messages_sent);
+                if let Some(path) = checkpoint_out.as_deref() {
+                    // The finished batch is its own (complete) checkpoint.
+                    let mut book = FixationBatch::new(spec).map_err(|e| e.to_string())?;
+                    for r in &out.outcome.results {
+                        book.record(*r);
+                    }
+                    write_fixation_checkpoint(path, &book.checkpoint())?;
+                }
+                if let Some(path) = manifest_out {
+                    let manifest = evogame::obs::RunManifest::capture(
+                        params_value,
+                        seed,
+                        ranks,
+                        u64::from(replicates),
+                        t0.elapsed().as_secs_f64(),
+                        &baseline,
+                        &[],
+                    );
+                    write_manifest(&path, &manifest)?;
+                }
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(DistError::FixationDegraded(d)) => {
+                eprintln!(
+                    "fixation batch degraded after {} replicates (dead ranks {:?}): {}",
+                    d.completed_replicates, d.dead_ranks, d.reason
+                );
+                // Unlike the generation-synchronous engines the degraded
+                // checkpoint is always present — completed replicates are
+                // self-consistent whatever the fault.
+                match checkpoint_out.as_deref() {
+                    Some(path) => {
+                        write_fixation_checkpoint(path, &d.checkpoint)?;
+                        eprintln!("restart with: evogame-cli fixate --resume {path}");
+                    }
+                    None => {
+                        eprintln!("hint: add --checkpoint-out FILE to save the restart checkpoint");
+                    }
+                }
+                Ok(ExitCode::from(3))
+            }
+            Err(e) => Err(e.to_string()),
+        };
+    }
+
+    // Shared-memory backend.
+    let mut batch = match resume {
+        Some(cp) => FixationBatch::resume(cp).map_err(|e| e.to_string())?,
+        None => FixationBatch::new(spec).map_err(|e| e.to_string())?,
+    };
+    match checkpoint_every {
+        Some(n) if n > 0 => {
+            // Checkpointed runs go replicate by replicate so the snapshot
+            // cadence is exact; the stitched outcome is bit-identical to
+            // the rayon path (each replicate is a pure function of its
+            // index).
+            let path = checkpoint_out.as_deref().expect("checked above");
+            let mut fresh = 0u32;
+            while batch.run_step().is_some() {
+                fresh += 1;
+                if fresh.is_multiple_of(n) {
+                    write_fixation_checkpoint(path, &batch.checkpoint())?;
+                }
+            }
+        }
+        _ => {
+            batch.run();
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let out = batch.outcome();
+    write_records(&mut writer, &out)?;
+    summarize(&out, "shared memory", elapsed);
+    if let Some(path) = checkpoint_out.as_deref() {
+        write_fixation_checkpoint(path, &batch.checkpoint())?;
+    }
+    if let Some(path) = manifest_out {
+        let manifest = evogame::obs::RunManifest::capture(
+            params_value,
+            seed,
+            1,
+            u64::from(replicates),
+            elapsed,
+            &baseline,
+            &[],
+        );
+        write_manifest(&path, &manifest)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// `serve`: the simulation-as-a-service front end (docs/SERVICE.md).
 ///
 /// Reads line-delimited JSON [`JobRequest`]s from `--requests FILE` or
@@ -868,7 +1195,7 @@ fn cmd_classify(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: evogame-cli <run|tournament|predict|distributed|spatial|serve|classify> [flags]
+const USAGE: &str = "usage: evogame-cli <run|tournament|predict|distributed|spatial|fixate|serve|classify> [flags]
   run          evolve a population, print the sampled trajectory as CSV
   tournament   Axelrod round robin over the classic roster
   predict      Blue Gene-scale runtime/efficiency from the perf model
@@ -877,6 +1204,10 @@ const USAGE: &str = "usage: evogame-cli <run|tournament|predict|distributed|spat
   spatial      games on a lattice, shared-memory or (--ranks N) rank-sharded
                over row partitions — same trajectory bit for bit
                (docs/GRAPH.md)
+  fixate       fixation probability: seed one mutant into a resident
+               population, run replicates to absorption, shared-memory or
+               (--ranks N) replicate-sharded — same counts, records, and
+               digest bit for bit (docs/FIXATION.md)
   serve        job server: line-delimited JSON job requests from stdin or
                --requests FILE, receipts spooled per job (docs/SERVICE.md)
   classify     name a strategy given its compact code (e.g. 'classify m1:6')
@@ -909,8 +1240,23 @@ spatial flags (docs/GRAPH.md; checkpointing and fault injection as below):
                --mem M --rounds N --noise E  iterated-game knobs
                --ranks N                   run rank-sharded (row partitions)
                --render                    ASCII grid to stderr at the end
-fault injection (`distributed` and `spatial --ranks`; exit 3 = clean
-degraded run):
+fixate flags (docs/FIXATION.md; checkpointing and fault injection as
+below; --mu is rejected — absorption needs mutation off):
+               --replicates R              independent replicates (64)
+               --resident NAME             roster strategy all SSets start
+                                           with (ALLC)
+               --mutant NAME               roster strategy seeded into one
+                                           SSet (ALLD)
+               --generations G             per-replicate absorption cap
+                                           (10000; overruns are censored)
+               --rule pc|moran|best        update rule (moran)
+               --pc-rate R                 update-event rate (1.0)
+               --matrix                    round-robin over every pure
+                                           memory-m strategy instead;
+                                           prints the fixation matrix
+               --ranks N                   shard replicates across ranks
+fault injection (`distributed`, `spatial --ranks`, and `fixate --ranks`;
+exit 3 = clean degraded run):
                --kill-rank R --kill-at G   kill rank R at generation G
                --recv-timeout-ms MS        receive deadline for survivors
 serve flags (docs/SERVICE.md; exit code 4 = some job failed/rejected):
@@ -934,6 +1280,7 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(&args).map(|()| ExitCode::SUCCESS),
         "distributed" => cmd_distributed(&args),
         "spatial" => cmd_spatial(&args),
+        "fixate" => cmd_fixate(&args),
         "serve" => cmd_serve(&args),
         "classify" => cmd_classify(&args).map(|()| ExitCode::SUCCESS),
         "-h" | "--help" | "help" => {

@@ -169,6 +169,46 @@ fn trajectories_are_bit_identical_across_thread_counts() {
             );
         }
     }
+    // The fixation workload fans replicates out through the same rayon
+    // stub; each replicate is a pure function of (spec, index)
+    // (docs/FIXATION.md), so the full per-replicate result set and batch
+    // digest must be thread-count invariant too.
+    let fixation_run = |threads: &str| {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let space = StateSpace::new(1).unwrap();
+        let mut params = Params {
+            mem_steps: 1,
+            num_ssets: 8,
+            generations: 200,
+            seed: 0xF1_8A7E,
+            pc_rate: 1.0,
+            mutation_rate: 0.0,
+            rule: UpdateRule::Moran,
+            ..Params::default()
+        };
+        params.game.rounds = 10;
+        let spec = FixationSpec {
+            params,
+            resident: Strategy::Pure(evogame::ipd::classic::all_c(&space)),
+            mutant: Strategy::Pure(evogame::ipd::classic::all_d(&space)),
+            replicates: 24,
+        };
+        let mut batch = FixationBatch::new(spec).unwrap();
+        let outcome = batch.run();
+        (outcome.digest(), outcome)
+    };
+    let baseline = fixation_run("1");
+    for threads in ["2", "8"] {
+        let got = fixation_run(threads);
+        assert_eq!(
+            baseline.1, got.1,
+            "fixation: per-replicate results diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline.0, got.0,
+            "fixation: batch digest diverged at {threads} threads"
+        );
+    }
     std::env::remove_var("RAYON_NUM_THREADS");
 }
 

@@ -353,6 +353,90 @@ fn spatial_rank_kill_then_resume_is_bit_identical() {
     );
 }
 
+fn fixation_spec(seed: u64, replicates: u32) -> FixationSpec {
+    let space = StateSpace::new(1).unwrap();
+    let mut params = Params {
+        mem_steps: 1,
+        num_ssets: 8,
+        generations: 200,
+        seed,
+        pc_rate: 1.0,
+        mutation_rate: 0.0,
+        rule: UpdateRule::Moran,
+        ..Params::default()
+    };
+    params.game.rounds = 10;
+    FixationSpec {
+        params,
+        resident: Strategy::Pure(evogame::ipd::classic::all_c(&space)),
+        mutant: Strategy::Pure(evogame::ipd::classic::all_d(&space)),
+        replicates,
+    }
+}
+
+#[test]
+fn fixation_distributed_equals_shared_at_every_rank_count() {
+    // The fixation-workload counterpart of the equality suite: the
+    // replicate-sharded runner must reproduce the shared-memory
+    // FixationBatch bit for bit — per-replicate results, records, and
+    // batch digest — at every rank count (docs/FIXATION.md).
+    use evogame::cluster::dist::fixation::{run_fixation_distributed, FixationDistConfig};
+    let spec = fixation_spec(0xF1_57A7, 20);
+    let mut batch = FixationBatch::new(spec.clone()).unwrap();
+    let shared = batch.run();
+    let shared_records = serde_json::to_string(&shared.records()).unwrap();
+    for ranks in [2usize, 4] {
+        let out = run_fixation_distributed(&FixationDistConfig::new(spec.clone(), ranks)).unwrap();
+        assert_eq!(
+            out.outcome, shared,
+            "{ranks} ranks: per-replicate results diverged"
+        );
+        assert_eq!(
+            serde_json::to_string(&out.outcome.records()).unwrap(),
+            shared_records,
+            "{ranks} ranks: record bits diverged"
+        );
+        assert_eq!(
+            out.outcome.digest(),
+            shared.digest(),
+            "{ranks} ranks: batch digest diverged"
+        );
+    }
+}
+
+#[test]
+fn fixation_rank_kill_then_resume_is_bit_identical() {
+    // Fault-tolerance parity for fixation batches: a rank kill yields a
+    // typed FixationDegradedRun whose checkpoint is always present, and
+    // the resumed batch stitches onto the clean outcome exactly.
+    use evogame::cluster::dist::fixation::{run_fixation_distributed, FixationDistConfig};
+    let spec = fixation_spec(0xF1_57A8, 20);
+    let clean = run_fixation_distributed(&FixationDistConfig::new(spec.clone(), 3)).unwrap();
+
+    let mut faulty = FixationDistConfig::new(spec, 3);
+    // With 20 replicates over 2 compute ranks, rank 1 owns indices 0..10.
+    faulty.faults.kills = vec![RankKill {
+        rank: 1,
+        generation: 6,
+    }];
+    let DistError::FixationDegraded(d) = run_fixation_distributed(&faulty).unwrap_err() else {
+        panic!("expected a FixationDegradedRun");
+    };
+    assert!(d.dead_ranks.contains(&1), "{:?}", d.dead_ranks);
+    assert_eq!(
+        d.checkpoint.completed.len() as u32,
+        d.completed_replicates,
+        "the degraded checkpoint carries exactly the completed replicates"
+    );
+    let resumed = run_fixation_distributed(&d.retry_config(&faulty)).unwrap();
+    assert_eq!(resumed.outcome, clean.outcome, "stitched outcome");
+    assert_eq!(
+        resumed.outcome.digest(),
+        clean.outcome.digest(),
+        "batch digest after kill→resume"
+    );
+}
+
 #[test]
 fn random_fault_plans_always_terminate_with_typed_outcomes() {
     // No fault schedule may hang or panic the distributed engine: every
